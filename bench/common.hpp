@@ -1,0 +1,70 @@
+#pragma once
+
+// Shared scaffolding for the paper-reproduction bench binaries.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/sessions.hpp"
+#include "corpus/alexa.hpp"
+#include "util/statistics.hpp"
+
+namespace mahimahi::bench {
+
+/// Integer knob from the environment (bench scale controls).
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return fallback;
+  }
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+/// One recorded corpus site ready for replay.
+struct CorpusEntry {
+  corpus::GeneratedSite site;
+  record::RecordStore store;
+};
+
+/// Generate and record `count` Alexa-calibrated sites (the recording runs
+/// the real RecordShell pipeline per site). Deterministic given `seed`.
+inline std::vector<CorpusEntry> build_recorded_corpus(int count,
+                                                      std::uint64_t seed) {
+  util::Rng rng{seed};
+  util::Rng spec_rng = rng.fork("specs");
+  const auto server_counts = corpus::alexa_server_counts(spec_rng, count);
+  std::vector<CorpusEntry> entries;
+  entries.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto spec = corpus::alexa_site_spec(
+        i, server_counts[static_cast<std::size_t>(i)], spec_rng);
+    CorpusEntry entry{corpus::generate_site(spec), record::RecordStore{}};
+    core::SessionConfig config;
+    config.seed = seed + static_cast<std::uint64_t>(i) * 101;
+    core::RecordSession session{entry.site, corpus::LiveWebConfig{}, config};
+    entry.store = session.record();
+    entries.push_back(std::move(entry));
+    if ((i + 1) % 50 == 0) {
+      std::fprintf(stderr, "  [corpus] recorded %d/%d sites\n", i + 1, count);
+    }
+  }
+  return entries;
+}
+
+/// Print a CDF as (value, cumulative fraction) rows at the given
+/// percentile grid — the series behind the paper's CDF figures.
+inline void print_cdf(const char* label, const util::Samples& samples) {
+  std::printf("# CDF %s (n=%zu)\n", label, samples.size());
+  for (const double p : {5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+    std::printf("%-28s p%-4.0f %10.1f ms\n", label, p, samples.percentile(p));
+  }
+}
+
+inline void print_rule() {
+  std::printf("-------------------------------------------------------------------\n");
+}
+
+}  // namespace mahimahi::bench

@@ -1,0 +1,62 @@
+// Figure 2 — "DelayShell's and LinkShell's low overhead".
+//
+// Paper: loading the 500-site corpus, DelayShell with 0 ms adds 0.15% to
+// the median page load time over ReplayShell alone; LinkShell with a
+// 1000 Mbit/s trace adds 1.5%.
+//
+// This harness records the corpus, loads every site under the three shell
+// stacks, prints the three PLT CDFs (the figure's series), and the median
+// overheads (the figure's claim).
+//
+// Scale knob: MAHI_FIG2_SITES (default 120; the paper used 500).
+
+#include "bench/common.hpp"
+#include "trace/synthesis.hpp"
+
+using namespace mahimahi;
+using namespace mahimahi::bench;
+using namespace mahimahi::core;
+using namespace mahimahi::literals;
+
+int main() {
+  const int site_count = env_int("MAHI_FIG2_SITES", 120);
+  std::printf("=== Figure 2: DelayShell / LinkShell overhead (%d sites) ===\n",
+              site_count);
+  const auto corpus = build_recorded_corpus(site_count, /*seed=*/0xF162);
+
+  struct Stack {
+    const char* label;
+    std::vector<ShellSpec> shells;
+  };
+  const Stack stacks[] = {
+      {"ReplayShell", {}},
+      {"DelayShell 0 ms", {DelayShellSpec{0}}},
+      {"LinkShell 1000 Mbit/s", {LinkShellSpec::constant_rate_mbps(1000, 1000)}},
+  };
+
+  util::Samples plt[3];
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      SessionConfig config;
+      config.seed = 0xF162 + i;  // same seed across stacks: paired loads
+      config.shells = stacks[s].shells;
+      ReplaySession session{corpus[i].store, config};
+      const auto result = session.load_once(corpus[i].site.primary_url(), 0);
+      plt[s].add(to_ms(result.page_load_time));
+    }
+    std::fprintf(stderr, "  [fig2] finished stack '%s'\n", stacks[s].label);
+  }
+
+  print_rule();
+  for (std::size_t s = 0; s < 3; ++s) {
+    print_cdf(stacks[s].label, plt[s]);
+  }
+  print_rule();
+  const double base = plt[0].median();
+  std::printf("median PLT, ReplayShell alone:        %9.1f ms\n", base);
+  std::printf("median PLT, + DelayShell 0 ms:        %9.1f ms  (+%.2f%%; paper: +0.15%%)\n",
+              plt[1].median(), util::percent_difference(base, plt[1].median()));
+  std::printf("median PLT, + LinkShell 1000 Mbit/s:  %9.1f ms  (+%.2f%%; paper: +1.5%%)\n",
+              plt[2].median(), util::percent_difference(base, plt[2].median()));
+  return 0;
+}

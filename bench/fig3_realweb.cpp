@@ -1,0 +1,77 @@
+// Figure 3 — multi-origin preservation yields measurements closer to the
+// real Web.
+//
+// Paper: www.nytimes.com loaded 100 times on the Internet and 100 times in
+// ReplayShell (DelayShell pinned to each live load's minimum RTT). The
+// multi-origin replay's median PLT is 7.9% above the live median; the
+// single-server replay's is 29.6% above.
+//
+// Scale knob: MAHI_FIG3_LOADS (default 100, as in the paper).
+
+#include "bench/common.hpp"
+
+using namespace mahimahi;
+using namespace mahimahi::bench;
+using namespace mahimahi::core;
+using namespace mahimahi::literals;
+
+int main() {
+  const int loads = env_int("MAHI_FIG3_LOADS", 100);
+  std::printf("=== Figure 3: replay fidelity vs the live web (%d loads) ===\n",
+              loads);
+
+  const auto site = corpus::generate_site(corpus::nytimes_like_spec());
+  corpus::LiveWebConfig web;
+
+  // Record the site once (RecordShell against the live web).
+  SessionConfig record_config;
+  record_config.seed = 0xF16300;
+  RecordSession recorder{site, web, record_config};
+  const auto store = recorder.record();
+
+  // 100 live loads; keep each load's primary-origin min RTT, as the paper
+  // does with ping.
+  util::Samples live_plt;
+  std::vector<Microseconds> live_rtts;
+  {
+    SessionConfig config;
+    config.seed = 0xF16301;
+    LiveWebSession live{site, web, config};
+    for (int i = 0; i < loads; ++i) {
+      live_plt.add(to_ms(live.load_once(i).page_load_time));
+      live_rtts.push_back(live.last_primary_rtt());
+    }
+  }
+  std::fprintf(stderr, "  [fig3] live loads done\n");
+
+  // Replay each load with DelayShell at that load's live min RTT.
+  util::Samples multi_plt;
+  util::Samples single_plt;
+  for (int i = 0; i < loads; ++i) {
+    SessionConfig config;
+    config.seed = 0xF16302;
+    config.shells = {DelayShellSpec{live_rtts[static_cast<std::size_t>(i)] / 2}};
+    ReplaySession multi{store, config};
+    multi_plt.add(to_ms(multi.load_once(site.primary_url(), i).page_load_time));
+
+    ReplaySession::Options single_options;
+    single_options.single_server = true;
+    ReplaySession single{store, config, single_options};
+    single_plt.add(
+        to_ms(single.load_once(site.primary_url(), i).page_load_time));
+  }
+  std::fprintf(stderr, "  [fig3] replay loads done\n");
+
+  print_rule();
+  print_cdf("Actual Web", live_plt);
+  print_cdf("Replay Multi-origin", multi_plt);
+  print_cdf("Replay Single Server", single_plt);
+  print_rule();
+  const double live = live_plt.median();
+  std::printf("median PLT, actual web:            %9.1f ms\n", live);
+  std::printf("median PLT, replay multi-origin:   %9.1f ms  (%+.1f%% vs web; paper: +7.9%%)\n",
+              multi_plt.median(), util::percent_difference(live, multi_plt.median()));
+  std::printf("median PLT, replay single server:  %9.1f ms  (%+.1f%% vs web; paper: +29.6%%)\n",
+              single_plt.median(), util::percent_difference(live, single_plt.median()));
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Microbenchmarks for the substrate: HTTP parsing, request matching,
+// queue disciplines, the event loop, and trace-driven link forwarding.
+// These are google-benchmark timings of the host code itself (wall time),
+// not simulated-time results.
+
+#include <benchmark/benchmark.h>
+
+#include "http/parser.hpp"
+#include "net/event_loop.hpp"
+#include "net/link.hpp"
+#include "net/queue.hpp"
+#include "record/serialize.hpp"
+#include "replay/matcher.hpp"
+#include "trace/synthesis.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace mahimahi;
+using namespace mahimahi::literals;
+
+std::string make_response_wire(std::size_t body_bytes) {
+  http::Response response = http::make_ok(std::string(body_bytes, 'x'));
+  return http::to_bytes(response);
+}
+
+void BM_ResponseParser(benchmark::State& state) {
+  const std::string wire = make_response_wire(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    http::ResponseParser parser;
+    parser.notify_request(http::Method::kGet);
+    parser.push(wire);
+    benchmark::DoNotOptimize(parser.pop());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_ResponseParser)->Arg(1 << 10)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_RequestParserPipelined(benchmark::State& state) {
+  std::string wire;
+  for (int i = 0; i < state.range(0); ++i) {
+    wire += http::to_bytes(
+        http::make_get("http://host.test/obj" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    http::RequestParser parser;
+    parser.push(wire);
+    while (parser.has_message()) {
+      benchmark::DoNotOptimize(parser.pop());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RequestParserPipelined)->Arg(1)->Arg(16)->Arg(128);
+
+record::RecordStore corpus_store(int exchanges) {
+  record::RecordStore store;
+  util::Rng rng{42};
+  for (int i = 0; i < exchanges; ++i) {
+    record::RecordedExchange exchange;
+    exchange.request = http::make_get(
+        "http://host" + std::to_string(i % 20) + ".test/asset" +
+        std::to_string(i) + "?v=" + std::to_string(rng.uniform_int(1, 5)));
+    exchange.response = http::make_ok(std::string(1000, 'b'));
+    exchange.server_address =
+        net::Address{net::Ipv4{10, 0, 0, static_cast<std::uint8_t>(1 + i % 20)}, 80};
+    store.add(std::move(exchange));
+  }
+  return store;
+}
+
+void BM_MatcherLookup(benchmark::State& state) {
+  const auto store = corpus_store(static_cast<int>(state.range(0)));
+  const replay::Matcher matcher{store};
+  const auto request = http::make_get("http://host3.test/asset43?v=9");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.find(request));
+  }
+}
+BENCHMARK(BM_MatcherLookup)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ExchangeSerializeRoundTrip(benchmark::State& state) {
+  record::RecordedExchange exchange;
+  exchange.request = http::make_get("http://host.test/page?a=1");
+  exchange.response =
+      http::make_ok(std::string(static_cast<std::size_t>(state.range(0)), 'x'));
+  exchange.server_address = net::Address{net::Ipv4{10, 0, 0, 1}, 80};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        record::decode_exchange(record::encode_exchange(exchange)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ExchangeSerializeRoundTrip)->Arg(1 << 10)->Arg(64 << 10);
+
+void BM_DropTailQueue(benchmark::State& state) {
+  net::DropTailQueue queue{1024, 0};
+  net::Packet packet;
+  packet.tcp.payload = std::string(1400, 'x');
+  for (auto _ : state) {
+    net::Packet p = packet;
+    queue.enqueue(std::move(p), 0);
+    benchmark::DoNotOptimize(queue.dequeue(0));
+  }
+}
+BENCHMARK(BM_DropTailQueue);
+
+void BM_CoDelQueue(benchmark::State& state) {
+  net::CoDelQueue queue;
+  net::Packet packet;
+  packet.tcp.payload = std::string(1400, 'x');
+  Microseconds now = 0;
+  for (auto _ : state) {
+    net::Packet p = packet;
+    queue.enqueue(std::move(p), now);
+    benchmark::DoNotOptimize(queue.dequeue(now + 100));
+    now += 100;
+  }
+}
+BENCHMARK(BM_CoDelQueue);
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    net::EventLoop loop;
+    int counter = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      loop.schedule_at(i, [&counter] { ++counter; });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EventLoopScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_TraceLinkForwarding(benchmark::State& state) {
+  // Cost of pushing packets through a 1000 Mbit/s trace-driven link.
+  for (auto _ : state) {
+    net::EventLoop loop;
+    net::LinkQueue link{loop, trace::constant_rate(1e9, 1_s),
+                        std::make_unique<net::InfiniteQueue>(),
+                        [](net::Packet&&) {}};
+    for (int i = 0; i < state.range(0); ++i) {
+      net::Packet packet;
+      packet.tcp.payload = std::string(1400, 'x');
+      link.accept(std::move(packet));
+    }
+    loop.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TraceLinkForwarding)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

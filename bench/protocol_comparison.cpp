@@ -1,0 +1,90 @@
+// Protocol evaluation — the paper's opening use case: "network protocol
+// designers who seek to understand the application-level impact of new
+// multiplexing protocols" (this was the SPDY era).
+//
+// Compares HTTP/1.1 (six connections per origin) against the SPDY-like
+// multiplexed protocol (one connection per origin, interleaved streams)
+// replaying the same recorded page over a grid of emulated networks.
+// Expected shape, matching the published SPDY studies of the period:
+//   - multiplexing wins at high RTT (handshakes amortized, no
+//     six-connection ceiling);
+//   - the win shrinks on fat, short links;
+//   - under packet loss the single TCP pipe suffers head-of-line
+//     blocking, eroding (or reversing) the win.
+//
+// Scale knob: MAHI_PROTO_LOADS (default 7 loads per cell).
+
+#include "bench/common.hpp"
+#include "trace/synthesis.hpp"
+
+using namespace mahimahi;
+using namespace mahimahi::bench;
+using namespace mahimahi::core;
+using namespace mahimahi::literals;
+
+int main() {
+  const int loads = env_int("MAHI_PROTO_LOADS", 7);
+  std::printf("=== HTTP/1.1 vs SPDY-like multiplexing (%d loads/cell) ===\n",
+              loads);
+
+  const auto site = corpus::generate_site(corpus::nytimes_like_spec());
+  SessionConfig base;
+  base.seed = 0x5BD7;
+  RecordSession recorder{site, corpus::LiveWebConfig{}, base};
+  const auto store = recorder.record();
+  std::printf("page: %zu objects, %zu origins, %.1f MB\n\n",
+              site.objects.size(), site.hostnames.size(),
+              site.total_bytes() / 1e6);
+
+  struct Network {
+    const char* label;
+    std::vector<ShellSpec> shells;
+  };
+  util::Rng trace_rng{77};
+  LinkShellSpec lte;
+  lte.uplink = std::make_shared<const trace::PacketTrace>(
+      trace::constant_rate(6e6, 2_s));
+  lte.downlink = std::make_shared<const trace::PacketTrace>(
+      trace::cellular_like(trace_rng, 20_s, 2e6, 24e6));
+
+  const Network networks[] = {
+      {"fiber 100 Mbit/s, 10 ms RTT",
+       {DelayShellSpec{5_ms}, LinkShellSpec::constant_rate_mbps(100, 100)}},
+      {"cable 20 Mbit/s, 40 ms RTT",
+       {DelayShellSpec{20_ms}, LinkShellSpec::constant_rate_mbps(5, 20)}},
+      {"transcontinental 20 Mbit/s, 200 ms RTT",
+       {DelayShellSpec{100_ms}, LinkShellSpec::constant_rate_mbps(5, 20)}},
+      {"LTE-like trace, 60 ms RTT", {DelayShellSpec{30_ms}, lte}},
+      {"lossy cable (2%), 40 ms RTT",
+       {DelayShellSpec{20_ms}, LinkShellSpec::constant_rate_mbps(5, 20),
+        LossShellSpec{0.02, 0.02}}},
+  };
+
+  std::printf("%-42s %14s %14s %9s\n", "network", "HTTP/1.1 p50",
+              "multiplexed", "speedup");
+  for (const auto& network : networks) {
+    double medians[2];
+    for (int proto = 0; proto < 2; ++proto) {
+      SessionConfig config = base;
+      config.shells = network.shells;
+      ReplaySession::Options options;
+      if (proto == 1) {
+        config.browser.protocol = web::AppProtocol::kMultiplexed;
+        config.browser.max_concurrent_requests = 64;  // streams are cheap
+        options.multiplexed = true;
+      }
+      ReplaySession session{store, config, options};
+      util::Samples samples;
+      for (int i = 0; i < loads; ++i) {
+        samples.add(to_ms(session.load_once(site.primary_url(), i).page_load_time));
+      }
+      medians[proto] = samples.median();
+    }
+    std::printf("%-42s %11.0f ms %11.0f ms %8.2fx\n", network.label,
+                medians[0], medians[1], medians[0] / medians[1]);
+  }
+  std::printf(
+      "\nExpected shape: multiplexing's advantage grows with RTT, shrinks on\n"
+      "fat short links, and erodes under loss (TCP head-of-line blocking).\n");
+  return 0;
+}

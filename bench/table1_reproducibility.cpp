@@ -1,0 +1,81 @@
+// Table 1 — reproducibility of page load times across host machines.
+//
+// Paper: loading www.cnbc.com and www.wikihow.com 100 times each on two
+// machines gives means within 0.5% across machines and standard
+// deviations within 1.6% of the mean:
+//          Machine 1        Machine 2
+//   CNBC    7584 +/- 120 ms   7612 +/- 111 ms
+//   wikiHow 4804 +/-  37 ms   4800 +/-  37 ms
+//
+// Protocol here: each page is recorded once, then replayed under the
+// toolkit's reference web-access emulation (DelayShell 25 ms one-way +
+// LinkShell 6 Mbit/s — a 2014 cable profile; the paper does not state its
+// link, see EXPERIMENTS.md). "Machines" are two calibrated HostProfiles.
+//
+// Scale knob: MAHI_T1_LOADS (default 100, as in the paper).
+
+#include "bench/common.hpp"
+
+using namespace mahimahi;
+using namespace mahimahi::bench;
+using namespace mahimahi::core;
+using namespace mahimahi::literals;
+
+int main() {
+  const int loads = env_int("MAHI_T1_LOADS", 100);
+  std::printf("=== Table 1: reproducibility across machines (%d loads) ===\n",
+              loads);
+
+  struct Page {
+    const char* label;
+    corpus::SiteSpec spec;
+    double paper_mean_m1, paper_sd_m1, paper_mean_m2, paper_sd_m2;
+  };
+  const Page pages[] = {
+      {"CNBC", corpus::cnbc_like_spec(), 7584, 120, 7612, 111},
+      {"wikiHow", corpus::wikihow_like_spec(), 4804, 37, 4800, 37},
+  };
+  const HostProfile machines[] = {HostProfile::machine1(),
+                                  HostProfile::machine2()};
+
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"page", "machine", "mean +/- sd (ms)", "sd/mean", "paper"});
+
+  for (const auto& page : pages) {
+    const auto site = corpus::generate_site(page.spec);
+    SessionConfig record_config;
+    record_config.seed = 0x7AB1E1;
+    RecordSession recorder{site, corpus::LiveWebConfig{}, record_config};
+    const auto store = recorder.record();
+
+    double means[2] = {0, 0};
+    for (int m = 0; m < 2; ++m) {
+      SessionConfig config;
+      config.seed = 0x7AB1E1;
+      config.host = machines[m];
+      config.shells = {DelayShellSpec{25_ms},
+                       LinkShellSpec::constant_rate_mbps(6, 6)};
+      ReplaySession session{store, config};
+      const auto samples = session.measure(site.primary_url(), loads);
+      means[m] = samples.mean();
+
+      char cell[64];
+      std::snprintf(cell, sizeof cell, "%.0f +/- %.0f", samples.mean(),
+                    samples.stddev());
+      char ratio[32];
+      std::snprintf(ratio, sizeof ratio, "%.2f%%",
+                    100.0 * samples.stddev() / samples.mean());
+      char paper[64];
+      std::snprintf(paper, sizeof paper, "%.0f +/- %.0f",
+                    m == 0 ? page.paper_mean_m1 : page.paper_mean_m2,
+                    m == 0 ? page.paper_sd_m1 : page.paper_sd_m2);
+      table.push_back({page.label, machines[m].name, cell, ratio, paper});
+    }
+    std::printf("%s: cross-machine mean difference %.2f%% (paper: <0.5%%)\n",
+                page.label,
+                100.0 * std::abs(means[0] - means[1]) / means[0]);
+  }
+  print_rule();
+  std::fputs(util::render_table(table).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: the full mahimahi workflow in ~60 lines.
+//
+//   1. Generate a small multi-origin website and host it on the simulated
+//      live web.
+//   2. Record it through RecordShell's transparent proxy.
+//   3. Save the recording to disk and load it back (the mm-webrecord
+//      folder round trip).
+//   4. Replay it under DelayShell + LinkShell and measure page load time.
+//
+// Build: cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/sessions.hpp"
+#include "corpus/site_generator.hpp"
+#include "util/strings.hpp"
+
+using namespace mahimahi;
+using namespace mahimahi::core;
+using namespace mahimahi::literals;
+
+int main() {
+  // 1. A site with 8 origins and 40 objects.
+  corpus::SiteSpec spec;
+  spec.name = "quickstart";
+  spec.seed = 7;
+  spec.server_count = 8;
+  spec.object_count = 40;
+  const auto site = corpus::generate_site(spec);
+  std::printf("site: %s — %zu objects, %zu origins, %s total\n",
+              site.primary_url().c_str(), site.objects.size(),
+              site.hostnames.size(),
+              util::format_bytes(site.total_bytes()).c_str());
+
+  // 2. Record it (browser -> proxy -> live web, all simulated).
+  SessionConfig config;
+  config.seed = 42;
+  web::PageLoadResult live_load;
+  RecordSession recorder{site, corpus::LiveWebConfig{}, config};
+  const auto store = recorder.record(&live_load);
+  std::printf("recorded %zu exchanges from %zu servers (live PLT %.0f ms)\n",
+              store.size(), store.distinct_servers().size(),
+              to_ms(live_load.page_load_time));
+
+  // 3. Disk round trip, like a recorded-site folder.
+  const auto dir = std::filesystem::temp_directory_path() / "quickstart_site";
+  std::filesystem::remove_all(dir);
+  store.save(dir);
+  const auto loaded = record::RecordStore::load(dir);
+  std::printf("saved + reloaded %zu exchanges from %s\n", loaded.size(),
+              dir.c_str());
+
+  // 4. Replay under emulated network conditions:
+  //    mm-delay 40 mm-link 8mbit 8mbit <browser>
+  config.shells = {DelayShellSpec{40_ms},
+                   LinkShellSpec::constant_rate_mbps(8, 8)};
+  ReplaySession replay{loaded, config};
+  for (int i = 0; i < 3; ++i) {
+    const auto result = replay.load_once(site.primary_url(), i);
+    std::printf("replay load %d: PLT %.0f ms (%zu objects, %zu connections)\n",
+                i, to_ms(result.page_load_time), result.objects_loaded,
+                result.connections_opened);
+  }
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+
+#include "util/time.hpp"
+
+namespace mahimahi::core {
+
+/// Models the host machine running the toolkit — the source of the (small)
+/// overheads Figure 2 measures and the cross-machine differences Table 1
+/// bounds. Emulation overhead appears as a per-packet forwarding cost each
+/// nested shell charges (TUN read/write + context switch in the real
+/// system); compute differences scale the browser's main-thread costs.
+struct HostProfile {
+  std::string name{"machine"};
+  /// Per-packet, per-shell forwarding cost. DelayShell's element does one
+  /// queue hop; LinkShell's does strictly more work per packet.
+  Microseconds delay_shell_packet_cost{9};
+  Microseconds link_shell_packet_cost{66};
+  Microseconds loss_shell_packet_cost{2};
+  /// Relative main-thread speed (1.0 = reference machine).
+  double compute_scale{1.0};
+  /// Mixed into every per-load RNG stream so two machines never share
+  /// jitter draws.
+  std::uint64_t seed_salt{0};
+
+  /// The two lab machines of Table 1: same class of hardware, slightly
+  /// different clocks — means must agree within 0.5%.
+  static HostProfile machine1();
+  static HostProfile machine2();
+};
+
+inline HostProfile HostProfile::machine1() {
+  HostProfile profile;
+  profile.name = "machine-1";
+  profile.seed_salt = 0x1111'1111;
+  return profile;
+}
+
+inline HostProfile HostProfile::machine2() {
+  HostProfile profile;
+  profile.name = "machine-2";
+  profile.delay_shell_packet_cost = 10;
+  profile.link_shell_packet_cost = 68;
+  profile.compute_scale = 1.003;  // ~0.3% slower clock
+  profile.seed_salt = 0x2222'2222;
+  return profile;
+}
+
+}  // namespace mahimahi::core

@@ -1,0 +1,163 @@
+#include "core/sessions.hpp"
+
+#include <stdexcept>
+
+#include "record/proxy.hpp"
+#include "replay/origin_servers.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace mahimahi::core {
+namespace {
+
+constexpr std::size_t kEventLimit = 200'000'000;
+
+/// Seed stream for one load: experiment seed + machine salt + load index.
+util::Rng load_rng(const SessionConfig& config, int load_index) {
+  util::Rng root{config.seed ^ config.host.seed_salt};
+  return root.fork("load-" + std::to_string(load_index));
+}
+
+web::PageLoadResult run_load(net::EventLoop& loop, web::Browser& browser,
+                             const std::string& url) {
+  std::optional<web::PageLoadResult> result;
+  browser.load(url, [&](web::PageLoadResult r) { result = std::move(r); });
+  loop.run();
+  if (!result.has_value()) {
+    throw std::runtime_error{"page load never completed (event loop drained)"};
+  }
+  return std::move(*result);
+}
+
+}  // namespace
+
+web::BrowserConfig scaled_browser(const web::BrowserConfig& base,
+                                  const HostProfile& host) {
+  web::BrowserConfig scaled = base;
+  scaled.html_parse_us_per_byte *= host.compute_scale;
+  scaled.css_parse_us_per_byte *= host.compute_scale;
+  scaled.js_exec_us_per_byte *= host.compute_scale;
+  scaled.image_decode_us_per_byte *= host.compute_scale;
+  scaled.other_us_per_byte *= host.compute_scale;
+  scaled.per_object_overhead = static_cast<Microseconds>(
+      static_cast<double>(base.per_object_overhead) * host.compute_scale);
+  scaled.request_issue_cost = static_cast<Microseconds>(
+      static_cast<double>(base.request_issue_cost) * host.compute_scale);
+  scaled.parallel_object_overhead = static_cast<Microseconds>(
+      static_cast<double>(base.parallel_object_overhead) * host.compute_scale);
+  scaled.final_layout_cost = static_cast<Microseconds>(
+      static_cast<double>(base.final_layout_cost) * host.compute_scale);
+  return scaled;
+}
+
+// --- ReplaySession -------------------------------------------------------
+
+ReplaySession::ReplaySession(const record::RecordStore& store,
+                             SessionConfig config, Options options)
+    : store_{store}, config_{std::move(config)}, options_{options} {}
+
+web::PageLoadResult ReplaySession::load_once(const std::string& url,
+                                             int load_index) {
+  util::Rng rng = load_rng(config_, load_index);
+
+  net::EventLoop loop;
+  loop.set_event_limit(kEventLimit);
+  net::Fabric fabric{loop};
+
+  // ReplayShell: spawn one server per recorded (IP, port) — or the
+  // single-server ablation — and a local DNS (dnsmasq equivalent).
+  replay::OriginServerSet servers{fabric, store_, options_};
+
+  const net::Ipv4 dns_ip = fabric.allocate_server_ip();
+  net::DnsServer dns_server{fabric, net::Address{dns_ip, net::kDnsPort},
+                            servers.dns_table()};
+
+  // Nested shells between the application and the replayed servers.
+  apply_shells(fabric, config_.shells, config_.host, rng);
+
+  web::Browser browser{fabric, dns_server.address(),
+                       scaled_browser(config_.browser, config_.host),
+                       rng.fork("browser")};
+  return run_load(loop, browser, url);
+}
+
+util::Samples ReplaySession::measure(const std::string& url, int count) {
+  util::Samples samples;
+  for (int i = 0; i < count; ++i) {
+    const auto result = load_once(url, i);
+    if (!result.success) {
+      MAHI_WARN("replay-session")
+          << "load " << i << " of " << url << " had failures ("
+          << result.objects_failed << " objects)";
+    }
+    samples.add(to_ms(result.page_load_time));
+  }
+  return samples;
+}
+
+// --- RecordSession -------------------------------------------------------
+
+RecordSession::RecordSession(const corpus::GeneratedSite& site,
+                             corpus::LiveWebConfig web, SessionConfig config)
+    : site_{site}, web_{web}, config_{std::move(config)} {}
+
+record::RecordStore RecordSession::record(web::PageLoadResult* result_out) {
+  util::Rng rng = load_rng(config_, 0);
+
+  net::EventLoop loop;
+  loop.set_event_limit(kEventLimit);
+  // Outer fabric: the Internet, with per-origin delays.
+  net::Fabric outer{loop};
+  corpus::LiveWeb live{outer, site_, web_, rng.fork("live-web")};
+  // Inner fabric: the namespace the application runs in; shells may nest.
+  net::Fabric inner{loop};
+  apply_shells(inner, config_.shells, config_.host, rng);
+
+  record::RecordStore store;
+  record::RecordingProxy proxy{inner, outer, store};
+
+  // The application's resolver: forwards the live web's bindings from
+  // inside the namespace (the host stub resolver mahimahi exposes).
+  const net::Ipv4 dns_ip = inner.allocate_server_ip();
+  net::DnsServer dns_server{inner, net::Address{dns_ip, net::kDnsPort},
+                            live.dns_table()};
+
+  web::Browser browser{inner, dns_server.address(),
+                       scaled_browser(config_.browser, config_.host),
+                       rng.fork("browser")};
+  auto result = run_load(loop, browser, site_.primary_url());
+  if (result_out != nullptr) {
+    *result_out = std::move(result);
+  }
+  return store;
+}
+
+// --- LiveWebSession -------------------------------------------------------
+
+LiveWebSession::LiveWebSession(const corpus::GeneratedSite& site,
+                               corpus::LiveWebConfig web, SessionConfig config)
+    : site_{site}, web_{web}, config_{std::move(config)} {}
+
+web::PageLoadResult LiveWebSession::load_once(int load_index) {
+  util::Rng rng = load_rng(config_, load_index);
+  net::EventLoop loop;
+  loop.set_event_limit(kEventLimit);
+  net::Fabric fabric{loop};
+  corpus::LiveWeb live{fabric, site_, web_, rng.fork("live-web")};
+  last_rtt_ = live.primary_rtt();
+  apply_shells(fabric, config_.shells, config_.host, rng);
+  web::Browser browser{fabric, live.dns_server_address(),
+                       scaled_browser(config_.browser, config_.host),
+                       rng.fork("browser")};
+  return run_load(loop, browser, site_.primary_url());
+}
+
+util::Samples LiveWebSession::measure(int count) {
+  util::Samples samples;
+  for (int i = 0; i < count; ++i) {
+    samples.add(to_ms(load_once(i).page_load_time));
+  }
+  return samples;
+}
+
+}  // namespace mahimahi::core

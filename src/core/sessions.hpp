@@ -1,0 +1,96 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/host_profile.hpp"
+#include "core/shells.hpp"
+#include "corpus/live_web.hpp"
+#include "record/store.hpp"
+#include "replay/origin_servers.hpp"
+#include "util/statistics.hpp"
+#include "web/browser.hpp"
+
+namespace mahimahi::core {
+
+/// Common knobs for a measurement session.
+struct SessionConfig {
+  std::vector<ShellSpec> shells;  // outermost first; empty = bare shell
+  HostProfile host{};
+  web::BrowserConfig browser{};
+  std::uint64_t seed{1};
+};
+
+/// ReplayShell driver: loads a page from a recorded site, optionally under
+/// nested delay/link/loss shells, and reports page load times. Every load
+/// runs in a fresh, fully isolated namespace stack (fresh event loop,
+/// fabric, servers, browser) — mirroring the paper's methodology of
+/// repeated cold loads, and guaranteeing loads cannot contaminate each
+/// other.
+class ReplaySession {
+ public:
+  /// Server-farm knobs (single-server ablation, Apache prefork pool, CGI
+  /// think time) are OriginServerSet options, passed through verbatim.
+  using Options = replay::OriginServerSet::Options;
+
+  ReplaySession(const record::RecordStore& store, SessionConfig config,
+                Options options);
+  ReplaySession(const record::RecordStore& store, SessionConfig config)
+      : ReplaySession(store, std::move(config), Options{}) {}
+
+  /// One measured load of `url` (load_index seeds the jitter stream).
+  web::PageLoadResult load_once(const std::string& url, int load_index = 0);
+
+  /// `count` loads; returns PLT samples in milliseconds.
+  util::Samples measure(const std::string& url, int count);
+
+ private:
+  const record::RecordStore& store_;
+  SessionConfig config_;
+  Options options_;
+};
+
+/// RecordShell driver: runs a browser against the (simulated) live web
+/// through the recording proxy and returns the recorded site.
+class RecordSession {
+ public:
+  RecordSession(const corpus::GeneratedSite& site, corpus::LiveWebConfig web,
+                SessionConfig config);
+
+  /// Load the site's primary URL once through the proxy; returns the
+  /// store. `result_out`, if given, receives the load's metrics.
+  record::RecordStore record(web::PageLoadResult* result_out = nullptr);
+
+ private:
+  const corpus::GeneratedSite& site_;
+  corpus::LiveWebConfig web_;
+  SessionConfig config_;
+};
+
+/// "Actual web" driver (Figure 3): the browser loads the site directly
+/// from the simulated live Internet, no recording, no shells. Each load
+/// re-draws network weather.
+class LiveWebSession {
+ public:
+  LiveWebSession(const corpus::GeneratedSite& site, corpus::LiveWebConfig web,
+                 SessionConfig config);
+
+  web::PageLoadResult load_once(int load_index = 0);
+  util::Samples measure(int count);
+
+  /// Primary-origin RTT of the most recent load (what the paper feeds to
+  /// DelayShell for the fair replay comparison).
+  [[nodiscard]] Microseconds last_primary_rtt() const { return last_rtt_; }
+
+ private:
+  const corpus::GeneratedSite& site_;
+  corpus::LiveWebConfig web_;
+  SessionConfig config_;
+  Microseconds last_rtt_{0};
+};
+
+/// Convenience: browser config scaled by a host profile's compute speed.
+web::BrowserConfig scaled_browser(const web::BrowserConfig& base,
+                                  const HostProfile& host);
+
+}  // namespace mahimahi::core

@@ -1,0 +1,55 @@
+#include "corpus/alexa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace mahimahi::corpus {
+
+std::vector<int> alexa_server_counts(util::Rng& rng, int site_count) {
+  MAHI_ASSERT(site_count >= 10);
+  std::vector<int> counts;
+  counts.reserve(static_cast<std::size_t>(site_count));
+
+  // The paper reports 9 single-server pages out of 500; scale the count
+  // proportionally for smaller corpora (at least one when site_count >= 56).
+  const int singles = std::max(site_count >= 56 ? 1 : 0, site_count * 9 / 500);
+  for (int i = 0; i < singles; ++i) {
+    counts.push_back(1);
+  }
+  // Remaining sites: lognormal with median 20; sigma chosen so the 95th
+  // percentile lands at 51 (ln(51/20)/1.645 ~= 0.569).
+  const double mu = std::log(20.0);
+  const double sigma = 0.569;
+  while (counts.size() < static_cast<std::size_t>(site_count)) {
+    const double draw = rng.lognormal(mu, sigma);
+    const int servers = static_cast<int>(std::lround(std::clamp(draw, 2.0, 160.0)));
+    counts.push_back(servers);
+  }
+  return counts;
+}
+
+SiteSpec alexa_site_spec(int index, int server_count, util::Rng& rng) {
+  SiteSpec spec;
+  std::ostringstream name;
+  name << "site" << index;
+  spec.name = name.str();
+  spec.seed = 0xA1E7A000ULL + static_cast<std::uint64_t>(index) * 7919;
+  spec.server_count = server_count;
+  // Object count correlates with origin count (more origins, more widgets):
+  // roughly 5 objects per origin with heavy-ish noise, clamped to sane
+  // 2014-page bounds. Single-server pages stay small.
+  const double base = 5.0 * server_count * rng.lognormal(0.0, 0.35);
+  spec.object_count =
+      static_cast<int>(std::clamp(base, 8.0, 420.0));
+  if (server_count == 1) {
+    spec.object_count = static_cast<int>(rng.uniform_int(4, 18));
+  }
+  // Page weight varies around 1.0.
+  spec.size_scale = std::clamp(rng.lognormal(0.0, 0.30), 0.45, 2.6);
+  return spec;
+}
+
+}  // namespace mahimahi::corpus

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <vector>
+
+#include "corpus/site_generator.hpp"
+#include "util/random.hpp"
+
+namespace mahimahi::corpus {
+
+/// Servers-per-website distribution calibrated to the paper's measurement
+/// of the Alexa U.S. Top 500 (§4): median 20, 95th percentile 51, and
+/// exactly 9 single-server pages — i.e. ~98% of pages are multi-origin.
+/// Deterministic given the rng.
+std::vector<int> alexa_server_counts(util::Rng& rng, int site_count = 500);
+
+/// Spec for corpus site `index` with the given server count: object count
+/// and weight correlate with origin count the way real pages do.
+SiteSpec alexa_site_spec(int index, int server_count, util::Rng& rng);
+
+}  // namespace mahimahi::corpus

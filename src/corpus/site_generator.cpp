@@ -1,0 +1,296 @@
+#include "corpus/site_generator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace mahimahi::corpus {
+namespace {
+
+using http::ResourceKind;
+
+/// Draw a resource kind for a non-root object (2014-web-like mix).
+ResourceKind draw_kind(util::Rng& rng) {
+  const double roll = rng.uniform();
+  if (roll < 0.55) return ResourceKind::kImage;
+  if (roll < 0.73) return ResourceKind::kJavaScript;
+  if (roll < 0.83) return ResourceKind::kCss;
+  if (roll < 0.88) return ResourceKind::kFont;
+  if (roll < 0.96) return ResourceKind::kJson;
+  return ResourceKind::kOther;
+}
+
+/// Median object sizes by kind (bytes), jittered lognormally. Calibrated
+/// to 2014-era pages (HTTP Archive: median page ~1.2-1.7 MB, ~100 objects).
+std::size_t draw_size(util::Rng& rng, ResourceKind kind, double scale) {
+  double median = 3'000;
+  double sigma = 0.8;
+  switch (kind) {
+    case ResourceKind::kHtml: median = 45'000; sigma = 0.45; break;
+    case ResourceKind::kJavaScript: median = 13'000; sigma = 0.95; break;
+    case ResourceKind::kCss: median = 9'000; sigma = 0.75; break;
+    case ResourceKind::kImage: median = 7'500; sigma = 1.15; break;
+    case ResourceKind::kFont: median = 18'000; sigma = 0.40; break;
+    case ResourceKind::kJson: median = 1'600; sigma = 0.90; break;
+    case ResourceKind::kOther: median = 2'500; sigma = 0.80; break;
+  }
+  const double size = median * scale * rng.lognormal(0.0, sigma);
+  return static_cast<std::size_t>(std::clamp(size, 120.0, 2.0e6));
+}
+
+/// Filler text so bodies reach their target size (compressible, HTML-safe).
+void pad_to(std::string& body, std::size_t target, std::string_view comment_open,
+            std::string_view comment_close) {
+  static constexpr std::string_view kFiller =
+      "reproducible web measurement requires recording websites and "
+      "replaying them under emulated network conditions ";
+  if (body.size() + comment_open.size() + comment_close.size() >= target) {
+    return;
+  }
+  body += comment_open;
+  while (body.size() + comment_close.size() < target) {
+    const std::size_t want = target - comment_close.size() - body.size();
+    body.append(kFiller.substr(0, std::min(kFiller.size(), want)));
+  }
+  body += comment_close;
+}
+
+std::string reference_line(ResourceKind container, const std::string& url) {
+  switch (container) {
+    case ResourceKind::kHtml:
+      break;  // handled below with kind-specific tags
+    case ResourceKind::kCss:
+      return ".c{background:url(" + url + ")}\n";
+    case ResourceKind::kJavaScript:
+      return "loadSubresource(\"" + url + "\");\n";
+    default:
+      MAHI_ASSERT_MSG(false, "container kind cannot reference");
+  }
+  return {};
+}
+
+std::string html_reference_line(ResourceKind target, const std::string& url) {
+  switch (target) {
+    case ResourceKind::kJavaScript:
+      return "<script src=\"" + url + "\"></script>\n";
+    case ResourceKind::kCss:
+      return "<link rel=\"stylesheet\" href=\"" + url + "\">\n";
+    default:
+      return "<img src=\"" + url + "\">\n";
+  }
+}
+
+}  // namespace
+
+std::uint64_t GeneratedSite::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& object : objects) {
+    total += object.body.size();
+  }
+  return total;
+}
+
+const GeneratedObject* GeneratedSite::find(const std::string& host,
+                                           std::string_view target) const {
+  for (const auto& object : objects) {
+    if (object.url.host == host && object.url.request_target() == target) {
+      return &object;
+    }
+  }
+  return nullptr;
+}
+
+GeneratedSite generate_site(const SiteSpec& spec) {
+  MAHI_ASSERT(spec.server_count >= 1);
+  MAHI_ASSERT(spec.object_count >= 1);
+  util::Rng rng{spec.seed};
+  GeneratedSite site;
+  site.spec = spec;
+
+  // --- hostnames: primary + same-site subdomains + third parties --------
+  site.hostnames.push_back("www." + spec.name + ".test");
+  static constexpr const char* kSubdomainPrefixes[] = {"static", "img", "media",
+                                                       "api", "assets"};
+  static constexpr const char* kThirdParties[] = {
+      "cdn%d.edgenet.test",   "ads%d.adnet.test",     "fonts%d.typekit.test",
+      "metrics%d.track.test", "widgets%d.social.test"};
+  for (int i = 1; i < spec.server_count; ++i) {
+    if (rng.chance(0.4)) {
+      std::ostringstream host;
+      host << kSubdomainPrefixes[rng.uniform_int(0, 4)] << i << '.' << spec.name
+           << ".test";
+      site.hostnames.push_back(host.str());
+    } else {
+      char host[64];
+      std::snprintf(host, sizeof host,
+                    kThirdParties[static_cast<std::size_t>(rng.uniform_int(0, 4))],
+                    i);
+      site.hostnames.push_back(host);
+    }
+  }
+
+  // --- objects: kinds, sizes, origins ------------------------------------
+  struct Draft {
+    ResourceKind kind;
+    std::size_t host_index;
+    std::size_t size;
+    std::string path;
+    std::vector<std::size_t> children;
+  };
+  std::vector<Draft> drafts(static_cast<std::size_t>(spec.object_count));
+  drafts[0].kind = ResourceKind::kHtml;
+  drafts[0].host_index = 0;
+  drafts[0].size = draw_size(rng, ResourceKind::kHtml, spec.size_scale);
+  drafts[0].path = "/";
+
+  // Origin assignment: the primary origin serves ~30% of objects; the rest
+  // spread over other hosts with zipf-ish weights. Every host serves at
+  // least one object so the recorded server count equals spec.server_count.
+  std::vector<double> weights(site.hostnames.size());
+  weights[0] = 0.30 * static_cast<double>(site.hostnames.size());
+  for (std::size_t h = 1; h < weights.size(); ++h) {
+    weights[h] = 1.0 / static_cast<double>(h);
+  }
+  double weight_sum = 0;
+  for (const double w : weights) {
+    weight_sum += w;
+  }
+
+  for (std::size_t i = 1; i < drafts.size(); ++i) {
+    auto& draft = drafts[i];
+    draft.kind = draw_kind(rng);
+    draft.size = draw_size(rng, draft.kind, spec.size_scale);
+    if (i < site.hostnames.size()) {
+      draft.host_index = i;  // guarantee coverage of every host
+    } else {
+      double roll = rng.uniform(0.0, weight_sum);
+      std::size_t h = 0;
+      while (h + 1 < weights.size() && roll > weights[h]) {
+        roll -= weights[h];
+        ++h;
+      }
+      draft.host_index = h;
+    }
+    std::ostringstream path;
+    path << "/assets/obj" << i << http::extension_for_kind(draft.kind);
+    if (rng.chance(0.25)) {
+      path << "?v=" << rng.uniform_int(1, 9) << "&cb=" << rng.uniform_int(100, 999);
+    }
+    draft.path = path.str();
+  }
+
+  // --- dependency tree: who references whom ------------------------------
+  // Containers are the root plus every CSS/JS object; each non-root object
+  // hangs off one container, most off the root (depth <= 3 overall).
+  std::vector<std::size_t> containers{0};
+  for (std::size_t i = 1; i < drafts.size(); ++i) {
+    if (drafts[i].kind == ResourceKind::kCss ||
+        drafts[i].kind == ResourceKind::kJavaScript) {
+      containers.push_back(i);
+    }
+  }
+  for (std::size_t i = 1; i < drafts.size(); ++i) {
+    std::size_t parent = 0;
+    // ~72% of subresources referenced directly from the HTML; the rest
+    // from an earlier CSS/JS container (never itself or a later one, which
+    // keeps the graph acyclic).
+    if (!containers.empty() && rng.chance(0.28)) {
+      std::vector<std::size_t> eligible;
+      for (const std::size_t c : containers) {
+        if (c < i && drafts[c].kind != ResourceKind::kCss) {
+          eligible.push_back(c);  // JS can load anything
+        } else if (c < i && (drafts[i].kind == ResourceKind::kImage ||
+                             drafts[i].kind == ResourceKind::kFont)) {
+          eligible.push_back(c);  // CSS loads images/fonts
+        }
+      }
+      if (!eligible.empty()) {
+        parent = eligible[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(eligible.size()) - 1))];
+      }
+    }
+    drafts[parent].children.push_back(i);
+  }
+
+  // --- materialize bodies -------------------------------------------------
+  site.objects.resize(drafts.size());
+  for (std::size_t i = 0; i < drafts.size(); ++i) {
+    const auto& draft = drafts[i];
+    auto& object = site.objects[i];
+    object.kind = draft.kind;
+    object.url.scheme = "http";
+    object.url.host = site.hostnames[draft.host_index];
+    const auto [path_part, query_part] =
+        util::split_once(std::string_view{draft.path}, '?');
+    object.url.path = std::string{path_part};
+    object.url.query = std::string{query_part};
+
+    std::string& body = object.body;
+    if (draft.kind == ResourceKind::kHtml) {
+      body = "<html><head><title>" + spec.name + "</title></head><body>\n";
+      for (const std::size_t child : draft.children) {
+        const auto& target = drafts[child];
+        const std::string url =
+            "http://" + site.hostnames[target.host_index] + target.path;
+        body += html_reference_line(target.kind, url);
+      }
+      pad_to(body, draft.size, "<!-- ", " -->");
+      body += "</body></html>";
+    } else if (draft.kind == ResourceKind::kCss ||
+               draft.kind == ResourceKind::kJavaScript) {
+      for (const std::size_t child : draft.children) {
+        const auto& target = drafts[child];
+        const std::string url =
+            "http://" + site.hostnames[target.host_index] + target.path;
+        body += reference_line(draft.kind, url);
+      }
+      pad_to(body, draft.size,
+             draft.kind == ResourceKind::kCss ? "/* " : "// ",
+             draft.kind == ResourceKind::kCss ? " */" : "\n");
+    } else {
+      MAHI_ASSERT(draft.children.empty());
+      // Opaque payload (image/font/json bytes).
+      body.assign(draft.size, '\0');
+      for (std::size_t b = 0; b < body.size(); b += 7) {
+        body[b] = static_cast<char>(rng.uniform_int(0, 255));
+      }
+    }
+  }
+  return site;
+}
+
+SiteSpec cnbc_like_spec() {
+  // Heavy 2014 news front page: many origins, many objects, lots of script.
+  SiteSpec spec;
+  spec.name = "cnbc";
+  spec.seed = 20140817;
+  spec.server_count = 52;
+  spec.object_count = 290;
+  spec.size_scale = 0.80;
+  return spec;
+}
+
+SiteSpec wikihow_like_spec() {
+  SiteSpec spec;
+  spec.name = "wikihow";
+  spec.seed = 20140818;
+  spec.server_count = 24;
+  spec.object_count = 170;
+  spec.size_scale = 0.98;
+  return spec;
+}
+
+SiteSpec nytimes_like_spec() {
+  SiteSpec spec;
+  spec.name = "nytimes";
+  spec.seed = 20140819;
+  spec.server_count = 39;
+  spec.object_count = 215;
+  spec.size_scale = 0.75;
+  return spec;
+}
+
+}  // namespace mahimahi::corpus

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "http/mime.hpp"
+#include "http/url.hpp"
+#include "util/random.hpp"
+
+namespace mahimahi::corpus {
+
+/// Parameters of one synthetic website.
+struct SiteSpec {
+  std::string name;        // "site042" -> primary host www.site042.test
+  std::uint64_t seed{1};   // content is a pure function of the spec
+  int server_count{20};    // distinct origins (the paper's key statistic)
+  int object_count{100};   // total objects including the root HTML
+  double size_scale{1.0};  // multiplies every object size (site weight)
+};
+
+/// One synthetic web object with real bytes. Bodies embed genuine
+/// references (src=/href= in HTML, url() in CSS, loadSubresource() in JS),
+/// so browsers discover the dependency graph by parsing delivered bytes —
+/// exactly like replaying a real recorded site.
+struct GeneratedObject {
+  http::Url url;
+  http::ResourceKind kind{http::ResourceKind::kOther};
+  std::string body;
+};
+
+/// A complete generated site.
+struct GeneratedSite {
+  SiteSpec spec;
+  std::vector<std::string> hostnames;     // [0] is the primary origin
+  std::vector<GeneratedObject> objects;   // [0] is the root HTML
+
+  [[nodiscard]] std::string primary_url() const {
+    return "http://" + hostnames.at(0) + "/";
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const;
+  [[nodiscard]] const GeneratedObject* find(const std::string& host,
+                                            std::string_view target) const;
+};
+
+/// Deterministically generate a site from its spec. Guarantees:
+///   - exactly spec.server_count distinct hostnames, each referenced by at
+///     least one object (so recording preserves the server count);
+///   - every non-root object reachable from the root through reference
+///     chains of depth <= 3;
+///   - object sizes/kinds follow 2014-web-like distributions.
+GeneratedSite generate_site(const SiteSpec& spec);
+
+/// Named page profiles used by the paper's experiments. Scales follow the
+/// pages' relative weights (CNBC heaviest, wikiHow lighter).
+SiteSpec cnbc_like_spec();
+SiteSpec wikihow_like_spec();
+SiteSpec nytimes_like_spec();
+
+}  // namespace mahimahi::corpus

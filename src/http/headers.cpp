@@ -1,0 +1,83 @@
+#include "http/headers.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace mahimahi::http {
+
+HeaderMap::HeaderMap(std::initializer_list<HeaderField> fields) : fields_{fields} {}
+
+void HeaderMap::add(std::string name, std::string value) {
+  fields_.push_back(HeaderField{std::move(name), std::move(value)});
+}
+
+void HeaderMap::set(std::string_view name, std::string value) {
+  bool replaced = false;
+  for (auto it = fields_.begin(); it != fields_.end();) {
+    if (util::iequals(it->name, name)) {
+      if (!replaced) {
+        it->value = std::move(value);
+        replaced = true;
+        ++it;
+      } else {
+        it = fields_.erase(it);
+      }
+    } else {
+      ++it;
+    }
+  }
+  if (!replaced) {
+    add(std::string{name}, std::move(value));
+  }
+}
+
+std::size_t HeaderMap::remove(std::string_view name) {
+  const auto before = fields_.size();
+  fields_.erase(std::remove_if(fields_.begin(), fields_.end(),
+                               [&](const HeaderField& f) {
+                                 return util::iequals(f.name, name);
+                               }),
+                fields_.end());
+  return before - fields_.size();
+}
+
+bool HeaderMap::contains(std::string_view name) const {
+  return get(name).has_value();
+}
+
+std::optional<std::string_view> HeaderMap::get(std::string_view name) const {
+  for (const auto& field : fields_) {
+    if (util::iequals(field.name, name)) {
+      return std::string_view{field.value};
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> HeaderMap::get_all(std::string_view name) const {
+  std::vector<std::string_view> values;
+  for (const auto& field : fields_) {
+    if (util::iequals(field.name, name)) {
+      values.emplace_back(field.value);
+    }
+  }
+  return values;
+}
+
+std::string_view HeaderMap::get_or(std::string_view name,
+                                   std::string_view fallback) const {
+  const auto value = get(name);
+  return value ? *value : fallback;
+}
+
+bool value_has_token(std::string_view header_value, std::string_view token) {
+  for (const auto piece : util::split(header_value, ',')) {
+    if (util::iequals(util::trim(piece), token)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mahimahi::http

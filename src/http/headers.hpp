@@ -1,0 +1,64 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mahimahi::http {
+
+/// One header field. Name comparison is ASCII case-insensitive everywhere;
+/// insertion order and original spelling are preserved (RecordShell must
+/// store exactly what was on the wire).
+struct HeaderField {
+  std::string name;
+  std::string value;
+
+  bool operator==(const HeaderField&) const = default;
+};
+
+/// Ordered multimap of header fields.
+class HeaderMap {
+ public:
+  HeaderMap() = default;
+  HeaderMap(std::initializer_list<HeaderField> fields);
+
+  void add(std::string name, std::string value);
+
+  /// Replace the first field with this name (add if absent); removes any
+  /// additional fields with the same name.
+  void set(std::string_view name, std::string value);
+
+  /// Remove every field with this name; returns how many were removed.
+  std::size_t remove(std::string_view name);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// First value for `name`, if any.
+  [[nodiscard]] std::optional<std::string_view> get(std::string_view name) const;
+
+  /// All values for `name`, in insertion order.
+  [[nodiscard]] std::vector<std::string_view> get_all(std::string_view name) const;
+
+  /// First value, or `fallback` when absent.
+  [[nodiscard]] std::string_view get_or(std::string_view name,
+                                        std::string_view fallback) const;
+
+  [[nodiscard]] std::size_t size() const { return fields_.size(); }
+  [[nodiscard]] bool empty() const { return fields_.empty(); }
+  [[nodiscard]] const std::vector<HeaderField>& fields() const { return fields_; }
+
+  [[nodiscard]] auto begin() const { return fields_.begin(); }
+  [[nodiscard]] auto end() const { return fields_.end(); }
+
+  bool operator==(const HeaderMap&) const = default;
+
+ private:
+  std::vector<HeaderField> fields_;
+};
+
+/// True if a comma-separated header value contains `token`
+/// (case-insensitive) — e.g. Connection: keep-alive, Upgrade.
+bool value_has_token(std::string_view header_value, std::string_view token);
+
+}  // namespace mahimahi::http

@@ -1,0 +1,152 @@
+#include "http/message.hpp"
+
+#include <sstream>
+
+#include "http/status.hpp"
+#include "util/strings.hpp"
+
+namespace mahimahi::http {
+namespace {
+
+bool message_keep_alive(const HeaderMap& headers, std::string_view version) {
+  const auto connection = headers.get("Connection");
+  if (connection && value_has_token(*connection, "close")) {
+    return false;
+  }
+  if (version == "HTTP/1.0") {
+    return connection && value_has_token(*connection, "keep-alive");
+  }
+  return true;  // HTTP/1.1 default
+}
+
+bool is_chunked(const HeaderMap& headers) {
+  const auto te = headers.get("Transfer-Encoding");
+  return te && value_has_token(*te, "chunked");
+}
+
+void append_headers(std::ostringstream& out, const HeaderMap& headers) {
+  for (const auto& field : headers) {
+    out << field.name << ": " << field.value << "\r\n";
+  }
+  out << "\r\n";
+}
+
+}  // namespace
+
+std::string Request::host() const {
+  const auto raw = headers.get("Host");
+  if (!raw) {
+    return {};
+  }
+  const auto [host_part, port_part] = util::split_once(*raw, ':');
+  (void)port_part;
+  return util::to_lower(util::trim(host_part));
+}
+
+Url Request::url() const {
+  if (const auto absolute = parse_url(target); absolute && !absolute->host.empty()) {
+    return *absolute;
+  }
+  Url url;
+  url.scheme = "http";
+  url.host = host();
+  const auto raw_host = headers.get("Host");
+  if (raw_host) {
+    const auto [host_part, port_part] = util::split_once(*raw_host, ':');
+    (void)host_part;
+    std::uint64_t port = 0;
+    if (!port_part.empty() && util::parse_u64(util::trim(port_part), port) &&
+        port > 0 && port <= 65535) {
+      url.port = static_cast<std::uint16_t>(port);
+    }
+  }
+  if (const auto origin = parse_url(target)) {
+    url.path = origin->path;
+    url.query = origin->query;
+  }
+  return url;
+}
+
+bool Request::keep_alive() const { return message_keep_alive(headers, version); }
+
+bool Response::keep_alive() const { return message_keep_alive(headers, version); }
+
+std::string to_bytes(const Request& request) {
+  std::ostringstream out;
+  out << method_name(request.method) << ' ' << request.target << ' '
+      << request.version << "\r\n";
+  append_headers(out, request.headers);
+  out << request.body;
+  return out.str();
+}
+
+std::string to_bytes(const Response& response) {
+  std::ostringstream out;
+  out << response.version << ' ' << response.status << ' ' << response.reason
+      << "\r\n";
+  append_headers(out, response.headers);
+  out << response.body;
+  return out.str();
+}
+
+void finalize_content_length(Request& request) {
+  // Requests without a body are self-framing (no length header needed).
+  if (request.body.empty() || is_chunked(request.headers)) {
+    return;
+  }
+  request.headers.set("Content-Length", std::to_string(request.body.size()));
+}
+
+void finalize_content_length(Response& response) {
+  // Responses are different: a missing Content-Length means
+  // read-until-close framing, so even empty bodies must be declared
+  // (unless the status itself forbids a body).
+  if (is_chunked(response.headers) || status_has_no_body(response.status)) {
+    return;
+  }
+  response.headers.set("Content-Length", std::to_string(response.body.size()));
+}
+
+Request make_get(std::string_view url_text, const HeaderMap& extra) {
+  Request request;
+  request.method = Method::kGet;
+  const auto url = parse_url(url_text);
+  if (url && !url->host.empty()) {
+    request.target = url->request_target();
+    std::string host_value = url->host;
+    if (url->port != 0) {
+      host_value += ':';
+      host_value += std::to_string(url->port);
+    }
+    request.headers.add("Host", host_value);
+  } else {
+    request.target = std::string{url_text};
+  }
+  for (const auto& field : extra) {
+    request.headers.add(field.name, field.value);
+  }
+  return request;
+}
+
+Response make_ok(std::string body, std::string_view content_type) {
+  Response response;
+  response.status = 200;
+  response.reason = std::string{reason_phrase(200)};
+  response.headers.add("Content-Type", std::string{content_type});
+  response.body = std::move(body);
+  finalize_content_length(response);
+  return response;
+}
+
+Response make_not_found(std::string_view target) {
+  Response response;
+  response.status = 404;
+  response.reason = std::string{reason_phrase(404)};
+  response.headers.add("Content-Type", "text/plain");
+  response.body = "no recorded response for ";
+  response.body += target;
+  finalize_content_length(response);
+  return response;
+}
+
+}  // namespace mahimahi::http

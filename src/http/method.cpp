@@ -1,0 +1,43 @@
+#include "http/method.hpp"
+
+#include <array>
+#include <utility>
+
+namespace mahimahi::http {
+namespace {
+
+constexpr std::array<std::pair<Method, std::string_view>, 9> kMethods{{
+    {Method::kGet, "GET"},
+    {Method::kHead, "HEAD"},
+    {Method::kPost, "POST"},
+    {Method::kPut, "PUT"},
+    {Method::kDelete, "DELETE"},
+    {Method::kOptions, "OPTIONS"},
+    {Method::kTrace, "TRACE"},
+    {Method::kConnect, "CONNECT"},
+    {Method::kPatch, "PATCH"},
+}};
+
+}  // namespace
+
+std::string_view method_name(Method method) {
+  for (const auto& [m, name] : kMethods) {
+    if (m == method) {
+      return name;
+    }
+  }
+  return "GET";
+}
+
+std::optional<Method> parse_method(std::string_view token) {
+  for (const auto& [m, name] : kMethods) {
+    if (name == token) {
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+bool response_has_no_body(Method method) { return method == Method::kHead; }
+
+}  // namespace mahimahi::http

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace mahimahi::http {
+
+enum class Method {
+  kGet,
+  kHead,
+  kPost,
+  kPut,
+  kDelete,
+  kOptions,
+  kTrace,
+  kConnect,
+  kPatch,
+};
+
+/// Canonical token ("GET", "HEAD", ...).
+std::string_view method_name(Method method);
+
+/// Parse a method token (exact, case-sensitive per RFC 7230 §3.1.1).
+std::optional<Method> parse_method(std::string_view token);
+
+/// True when responses to this method never carry a body (HEAD).
+bool response_has_no_body(Method method);
+
+}  // namespace mahimahi::http

@@ -1,0 +1,103 @@
+#include "http/mime.hpp"
+
+#include "util/strings.hpp"
+
+namespace mahimahi::http {
+
+std::string_view resource_kind_name(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kHtml: return "html";
+    case ResourceKind::kCss: return "css";
+    case ResourceKind::kJavaScript: return "javascript";
+    case ResourceKind::kImage: return "image";
+    case ResourceKind::kFont: return "font";
+    case ResourceKind::kJson: return "json";
+    case ResourceKind::kOther: return "other";
+  }
+  return "other";
+}
+
+std::string_view content_type_for_path(std::string_view path) {
+  // Strip query if a caller passed a full target.
+  const auto [bare, query] = util::split_once(path, '?');
+  (void)query;
+  const std::size_t dot = bare.rfind('.');
+  const std::size_t slash = bare.rfind('/');
+  if (dot == std::string_view::npos ||
+      (slash != std::string_view::npos && dot < slash)) {
+    return "text/html";
+  }
+  const std::string ext = util::to_lower(bare.substr(dot + 1));
+  if (ext == "html" || ext == "htm") return "text/html";
+  if (ext == "css") return "text/css";
+  if (ext == "js" || ext == "mjs") return "application/javascript";
+  if (ext == "json") return "application/json";
+  if (ext == "png") return "image/png";
+  if (ext == "jpg" || ext == "jpeg") return "image/jpeg";
+  if (ext == "gif") return "image/gif";
+  if (ext == "webp") return "image/webp";
+  if (ext == "svg") return "image/svg+xml";
+  if (ext == "ico") return "image/x-icon";
+  if (ext == "woff") return "font/woff";
+  if (ext == "woff2") return "font/woff2";
+  if (ext == "ttf") return "font/ttf";
+  if (ext == "otf") return "font/otf";
+  if (ext == "txt") return "text/plain";
+  if (ext == "xml") return "application/xml";
+  return "application/octet-stream";
+}
+
+ResourceKind classify_content_type(std::string_view content_type) {
+  // Drop parameters: "text/html; charset=utf-8" -> "text/html".
+  const auto [type_part, params] = util::split_once(content_type, ';');
+  (void)params;
+  const std::string type = util::to_lower(util::trim(type_part));
+  if (type == "text/html" || type == "application/xhtml+xml") {
+    return ResourceKind::kHtml;
+  }
+  if (type == "text/css") {
+    return ResourceKind::kCss;
+  }
+  if (type == "application/javascript" || type == "text/javascript" ||
+      type == "application/x-javascript") {
+    return ResourceKind::kJavaScript;
+  }
+  if (type == "application/json") {
+    return ResourceKind::kJson;
+  }
+  if (util::starts_with(type, "image/")) {
+    return ResourceKind::kImage;
+  }
+  if (util::starts_with(type, "font/") || type == "application/font-woff") {
+    return ResourceKind::kFont;
+  }
+  return ResourceKind::kOther;
+}
+
+std::string_view content_type_for_kind(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kHtml: return "text/html; charset=utf-8";
+    case ResourceKind::kCss: return "text/css";
+    case ResourceKind::kJavaScript: return "application/javascript";
+    case ResourceKind::kImage: return "image/jpeg";
+    case ResourceKind::kFont: return "font/woff2";
+    case ResourceKind::kJson: return "application/json";
+    case ResourceKind::kOther: return "application/octet-stream";
+  }
+  return "application/octet-stream";
+}
+
+std::string_view extension_for_kind(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kHtml: return ".html";
+    case ResourceKind::kCss: return ".css";
+    case ResourceKind::kJavaScript: return ".js";
+    case ResourceKind::kImage: return ".jpg";
+    case ResourceKind::kFont: return ".woff2";
+    case ResourceKind::kJson: return ".json";
+    case ResourceKind::kOther: return ".bin";
+  }
+  return ".bin";
+}
+
+}  // namespace mahimahi::http

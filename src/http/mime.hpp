@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string_view>
+
+namespace mahimahi::http {
+
+/// Coarse resource classes the browser model cares about. Classification
+/// drives discovery (HTML/CSS/JS can reference further objects) and the
+/// compute model (script/style cost more main-thread time than images).
+enum class ResourceKind {
+  kHtml,
+  kCss,
+  kJavaScript,
+  kImage,
+  kFont,
+  kJson,
+  kOther,
+};
+
+std::string_view resource_kind_name(ResourceKind kind);
+
+/// Guess a Content-Type from a URL path extension ("/a/b.css" -> "text/css").
+std::string_view content_type_for_path(std::string_view path);
+
+/// Classify a Content-Type header value (parameters ignored).
+ResourceKind classify_content_type(std::string_view content_type);
+
+/// Canonical Content-Type for a resource kind (used by the corpus
+/// generator when synthesizing origin content).
+std::string_view content_type_for_kind(ResourceKind kind);
+
+/// Conventional URL path extension for a kind (".js", ".png", ...).
+std::string_view extension_for_kind(ResourceKind kind);
+
+}  // namespace mahimahi::http

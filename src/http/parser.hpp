@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "http/message.hpp"
+
+namespace mahimahi::http {
+
+/// Incremental (push) HTTP/1.1 message parser core.
+///
+/// Bytes arrive in arbitrary fragments via push(); complete messages are
+/// queued and popped by the typed subclasses. Framing follows RFC 7230
+/// §3.3.3: Transfer-Encoding: chunked, else Content-Length, else (responses
+/// only) read-until-close. Multiple pipelined messages in one buffer are
+/// handled.
+///
+/// On malformed input the parser latches into an error state; callers
+/// (proxy, origin servers) translate that into a 400 or a dropped
+/// connection, mirroring what Apache does.
+class MessageParser {
+ public:
+  virtual ~MessageParser() = default;
+
+  MessageParser(const MessageParser&) = delete;
+  MessageParser& operator=(const MessageParser&) = delete;
+
+  /// Feed wire bytes.
+  void push(std::string_view bytes);
+
+  /// Signal connection close (completes read-until-close responses).
+  void on_close();
+
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] const std::string& error_message() const { return error_; }
+
+  /// Number of complete messages waiting to be popped.
+  [[nodiscard]] std::size_t pending() const { return complete_count_; }
+
+  /// Bytes buffered but not yet part of a complete message.
+  [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size(); }
+
+  /// Header-section size limit; guards against unbounded buffering.
+  static constexpr std::size_t kMaxHeaderBytes = 1 << 20;
+
+ protected:
+  MessageParser() = default;
+
+  // --- hooks implemented by Request/Response subclasses ---
+
+  /// Parse the start line; return false (after calling fail()) on bad input.
+  virtual bool handle_start_line(std::string_view line) = 0;
+
+  /// Hand the subclass each parsed header field.
+  virtual void handle_header(std::string name, std::string value) = 0;
+
+  /// Body framing decision once headers are complete.
+  struct Framing {
+    enum class Kind { kNone, kContentLength, kChunked, kToClose } kind{Kind::kNone};
+    std::uint64_t content_length{0};
+  };
+  virtual Framing decide_framing() = 0;
+
+  /// Append body bytes to the in-progress message.
+  virtual void handle_body(std::string_view bytes) = 0;
+
+  /// The in-progress message is complete.
+  virtual void handle_complete() = 0;
+
+  void fail(std::string message);
+
+  std::size_t complete_count_{0};
+
+ private:
+  enum class State {
+    kStartLine,
+    kHeaders,
+    kBodyIdentity,
+    kBodyChunkSize,
+    kBodyChunkData,
+    kBodyChunkCrlf,
+    kBodyTrailers,
+    kBodyToClose,
+    kFailed,
+  };
+
+  void process();
+  bool take_line(std::string& line);
+  void begin_body();
+  void finish_message();
+
+  State state_{State::kStartLine};
+  std::string buffer_;
+  std::size_t header_bytes_{0};
+  std::uint64_t remaining_{0};  // identity body or current chunk remaining
+  bool closed_{false};
+  bool failed_{false};
+  std::string error_;
+};
+
+/// Parses a stream of HTTP requests (server / proxy side).
+class RequestParser final : public MessageParser {
+ public:
+  [[nodiscard]] bool has_message() const { return !complete_.empty(); }
+  Request pop();
+
+ private:
+  bool handle_start_line(std::string_view line) override;
+  void handle_header(std::string name, std::string value) override;
+  Framing decide_framing() override;
+  void handle_body(std::string_view bytes) override;
+  void handle_complete() override;
+
+  Request current_;
+  std::deque<Request> complete_;
+};
+
+/// Parses a stream of HTTP responses (client / proxy side).
+///
+/// Response framing depends on the request method (HEAD responses carry no
+/// body), so callers must announce each request they send with
+/// notify_request(); announcements are consumed FIFO, one per response.
+class ResponseParser final : public MessageParser {
+ public:
+  void notify_request(Method method);
+
+  [[nodiscard]] bool has_message() const { return !complete_.empty(); }
+  Response pop();
+
+ private:
+  bool handle_start_line(std::string_view line) override;
+  void handle_header(std::string name, std::string value) override;
+  Framing decide_framing() override;
+  void handle_body(std::string_view bytes) override;
+  void handle_complete() override;
+
+  Response current_;
+  std::deque<Response> complete_;
+  std::deque<Method> request_methods_;
+};
+
+}  // namespace mahimahi::http

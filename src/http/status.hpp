@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string_view>
+
+namespace mahimahi::http {
+
+/// Standard reason phrase for a status code ("OK", "Not Found", ...).
+/// Unknown codes map to "Unknown".
+std::string_view reason_phrase(int status);
+
+/// Status classes.
+bool is_informational(int status);  // 1xx
+bool is_success(int status);        // 2xx
+bool is_redirect(int status);       // 3xx
+bool is_client_error(int status);   // 4xx
+bool is_server_error(int status);   // 5xx
+
+/// True when a response with this status never carries a body
+/// (1xx, 204 No Content, 304 Not Modified) per RFC 7230 §3.3.3.
+bool status_has_no_body(int status);
+
+}  // namespace mahimahi::http

@@ -1,0 +1,134 @@
+#include "http/url.hpp"
+
+#include "util/strings.hpp"
+
+namespace mahimahi::http {
+namespace {
+
+/// Parse "host[:port]"; returns false on bad port.
+bool parse_authority(std::string_view authority, std::string& host,
+                     std::uint16_t& port) {
+  const auto [host_part, port_part] = util::split_once(authority, ':');
+  if (host_part.empty()) {
+    return false;
+  }
+  host = std::string{host_part};
+  if (port_part.empty()) {
+    port = 0;
+    return true;
+  }
+  std::uint64_t value = 0;
+  if (!util::parse_u64(port_part, value) || value == 0 || value > 65535) {
+    return false;
+  }
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+void split_path_query(std::string_view target, std::string& path, std::string& query) {
+  const auto [path_part, query_part] = util::split_once(target, '?');
+  path = path_part.empty() ? std::string{"/"} : std::string{path_part};
+  query = std::string{query_part};
+}
+
+}  // namespace
+
+std::uint16_t Url::effective_port() const {
+  if (port != 0) {
+    return port;
+  }
+  return scheme == "https" ? 443 : 80;
+}
+
+std::string Url::request_target() const {
+  std::string target = path;
+  if (!query.empty()) {
+    target += '?';
+    target += query;
+  }
+  return target;
+}
+
+std::string Url::to_string() const {
+  if (host.empty()) {
+    return request_target();
+  }
+  std::string out = scheme.empty() ? std::string{"http"} : scheme;
+  out += "://";
+  out += host;
+  if (port != 0) {
+    out += ':';
+    out += std::to_string(port);
+  }
+  out += request_target();
+  return out;
+}
+
+std::optional<Url> parse_url(std::string_view text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  Url url;
+  if (text.front() == '/') {  // origin-form
+    split_path_query(text, url.path, url.query);
+    return url;
+  }
+  const std::size_t scheme_end = text.find("://");
+  if (scheme_end == std::string_view::npos) {
+    return std::nullopt;
+  }
+  url.scheme = util::to_lower(text.substr(0, scheme_end));
+  if (url.scheme != "http" && url.scheme != "https") {
+    return std::nullopt;
+  }
+  std::string_view rest = text.substr(scheme_end + 3);
+  const std::size_t path_start = rest.find('/');
+  std::string_view authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  std::string_view target =
+      path_start == std::string_view::npos ? std::string_view{"/"}
+                                           : rest.substr(path_start);
+  if (!parse_authority(authority, url.host, url.port)) {
+    return std::nullopt;
+  }
+  url.host = util::to_lower(url.host);
+  split_path_query(target, url.path, url.query);
+  return url;
+}
+
+Url resolve_reference(const Url& base, std::string_view ref) {
+  if (ref.empty()) {
+    return base;
+  }
+  if (util::starts_with(ref, "//")) {  // scheme-relative
+    std::string absolute = base.scheme.empty() ? "http" : base.scheme;
+    absolute += ':';
+    absolute += ref;
+    if (const auto url = parse_url(absolute)) {
+      return *url;
+    }
+    return base;
+  }
+  if (ref.find("://") != std::string_view::npos) {  // absolute
+    if (const auto url = parse_url(ref)) {
+      return *url;
+    }
+    return base;
+  }
+  Url out = base;
+  out.query.clear();
+  if (ref.front() == '/') {  // absolute path
+    split_path_query(ref, out.path, out.query);
+    return out;
+  }
+  // Relative path: resolve against the base path's directory.
+  const std::size_t last_slash = base.path.rfind('/');
+  const std::string dir =
+      last_slash == std::string::npos ? "/" : base.path.substr(0, last_slash + 1);
+  std::string target = dir;
+  target += ref;
+  split_path_query(target, out.path, out.query);
+  return out;
+}
+
+}  // namespace mahimahi::http

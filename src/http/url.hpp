@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mahimahi::http {
+
+/// Decomposed URL. Handles the two forms that appear on the wire:
+/// absolute-form ("http://host:port/path?query", as sent to proxies) and
+/// origin-form ("/path?query", as sent to origin servers).
+struct Url {
+  std::string scheme;  // "http" or "https"; empty for origin-form
+  std::string host;    // empty for origin-form
+  std::uint16_t port{0};  // 0 = scheme default
+  std::string path;    // always starts with '/' (never empty)
+  std::string query;   // without the '?'; empty if none
+
+  /// Effective port: explicit, else 443 for https, else 80.
+  [[nodiscard]] std::uint16_t effective_port() const;
+
+  /// "/path?query" (what goes in an origin-form request line).
+  [[nodiscard]] std::string request_target() const;
+
+  /// Full round-trip: "scheme://host[:port]/path[?query]" when host is
+  /// known, else the origin-form target.
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Url&) const = default;
+};
+
+/// Parse either absolute-form or origin-form. Returns nullopt on anything
+/// that is not a plausible http(s) URL.
+std::optional<Url> parse_url(std::string_view text);
+
+/// Resolve `ref` (absolute URL, scheme-relative "//h/p", absolute path, or
+/// relative path) against `base`. This is what the browser does with hrefs.
+Url resolve_reference(const Url& base, std::string_view ref);
+
+}  // namespace mahimahi::http

@@ -1,0 +1,53 @@
+#include "net/address.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace mahimahi::net {
+
+std::string Ipv4::to_string() const {
+  std::ostringstream out;
+  out << ((value_ >> 24) & 0xFF) << '.' << ((value_ >> 16) & 0xFF) << '.'
+      << ((value_ >> 8) & 0xFF) << '.' << (value_ & 0xFF);
+  return out.str();
+}
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) {
+    return std::nullopt;
+  }
+  std::uint32_t value = 0;
+  for (const auto part : parts) {
+    std::uint64_t octet = 0;
+    if (!util::parse_u64(part, octet) || octet > 255) {
+      return std::nullopt;
+    }
+    value = (value << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return Ipv4{value};
+}
+
+std::string Address::to_string() const {
+  return ip.to_string() + ':' + std::to_string(port);
+}
+
+std::optional<Address> Address::parse(std::string_view text) {
+  const auto [ip_part, port_part] = util::split_once(text, ':');
+  const auto ip = Ipv4::parse(ip_part);
+  if (!ip || port_part.empty()) {
+    return std::nullopt;
+  }
+  std::uint64_t port = 0;
+  if (!util::parse_u64(port_part, port) || port > 65535) {
+    return std::nullopt;
+  }
+  return Address{*ip, static_cast<std::uint16_t>(port)};
+}
+
+AddressAllocator::AddressAllocator(Ipv4 base) : next_{base.value()} {}
+
+Ipv4 AddressAllocator::next_ip() { return Ipv4{next_++}; }
+
+}  // namespace mahimahi::net

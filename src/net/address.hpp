@@ -1,0 +1,75 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mahimahi::net {
+
+/// IPv4 address as a host-order 32-bit value.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t value) : value_{value} {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d} {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse dotted-quad ("10.0.0.1").
+  static std::optional<Ipv4> parse(std::string_view text);
+
+  auto operator<=>(const Ipv4&) const = default;
+
+ private:
+  std::uint32_t value_{0};
+};
+
+/// Transport endpoint address (IP + port).
+struct Address {
+  Ipv4 ip;
+  std::uint16_t port{0};
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse "10.0.0.1:80".
+  static std::optional<Address> parse(std::string_view text);
+
+  auto operator<=>(const Address&) const = default;
+};
+
+/// Allocates unique addresses in a private subnet — the simulator's
+/// equivalent of mahimahi assigning 100.64/10 addresses to its virtual
+/// interfaces. Each Namespace owns one.
+class AddressAllocator {
+ public:
+  /// `base` is the first address handed out, e.g. 100.64.0.1.
+  explicit AddressAllocator(Ipv4 base = Ipv4{100, 64, 0, 1});
+
+  /// Next never-before-returned IP in the subnet.
+  Ipv4 next_ip();
+
+ private:
+  std::uint32_t next_;
+};
+
+}  // namespace mahimahi::net
+
+template <>
+struct std::hash<mahimahi::net::Ipv4> {
+  std::size_t operator()(const mahimahi::net::Ipv4& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value());
+  }
+};
+
+template <>
+struct std::hash<mahimahi::net::Address> {
+  std::size_t operator()(const mahimahi::net::Address& a) const noexcept {
+    return std::hash<std::uint64_t>{}((std::uint64_t{a.ip.value()} << 16) | a.port);
+  }
+};

@@ -1,0 +1,160 @@
+#include "net/dns.hpp"
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace mahimahi::net {
+namespace {
+
+// Query wire format: "q:<hostname>"; answer: "a:<hostname>:<dotted-quad>"
+// or "nx:<hostname>". Minimal, but real bytes over real packets.
+constexpr std::string_view kQueryPrefix = "q:";
+constexpr std::string_view kAnswerPrefix = "a:";
+constexpr std::string_view kNxPrefix = "nx:";
+
+}  // namespace
+
+void DnsTable::add(std::string hostname, Ipv4 ip) {
+  entries_[util::to_lower(hostname)] = ip;
+}
+
+std::optional<Ipv4> DnsTable::lookup(std::string_view hostname) const {
+  const auto it = entries_.find(util::to_lower(hostname));
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+// --- DnsServer ---------------------------------------------------------------
+
+DnsServer::DnsServer(Fabric& fabric, Address local, const DnsTable& table)
+    : fabric_{fabric}, local_{local}, table_{table} {
+  fabric_.bind(Side::kServer, local_,
+               [this](Packet&& p) { handle_packet(std::move(p)); });
+}
+
+DnsServer::~DnsServer() { fabric_.unbind(Side::kServer, local_); }
+
+void DnsServer::handle_packet(Packet&& packet) {
+  if (packet.protocol != Protocol::kUdp ||
+      !util::starts_with(packet.payload, kQueryPrefix)) {
+    return;
+  }
+  const std::string hostname{
+      std::string_view{packet.payload}.substr(kQueryPrefix.size())};
+  ++queries_served_;
+
+  Packet answer;
+  answer.protocol = Protocol::kUdp;
+  answer.src = local_;
+  answer.dst = packet.src;
+  if (const auto ip = table_.lookup(hostname)) {
+    answer.payload = std::string{kAnswerPrefix} + hostname + ':' + ip->to_string();
+  } else {
+    answer.payload = std::string{kNxPrefix} + hostname;
+  }
+  fabric_.send(Side::kServer, std::move(answer));
+}
+
+// --- DnsClient ---------------------------------------------------------------
+
+DnsClient::DnsClient(Fabric& fabric, Address server, Microseconds query_timeout,
+                     int max_retries)
+    : fabric_{fabric},
+      local_{fabric.allocate_client_address()},
+      server_{server},
+      query_timeout_{query_timeout},
+      max_retries_{max_retries} {
+  fabric_.bind(Side::kClient, local_,
+               [this](Packet&& p) { handle_packet(std::move(p)); });
+}
+
+DnsClient::~DnsClient() {
+  for (auto& [hostname, pending] : pending_) {
+    if (pending.timeout_event != 0) {
+      fabric_.loop().cancel(pending.timeout_event);
+    }
+  }
+  fabric_.unbind(Side::kClient, local_);
+}
+
+void DnsClient::resolve(const std::string& hostname, ResolveCallback callback) {
+  MAHI_ASSERT(callback != nullptr);
+  const std::string key = util::to_lower(hostname);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++cache_hits_;
+    callback(it->second);
+    return;
+  }
+  auto& pending = pending_[key];
+  pending.callbacks.push_back(std::move(callback));
+  if (pending.callbacks.size() > 1) {
+    return;  // query already in flight; coalesce
+  }
+  pending.retries_left = max_retries_;
+  send_query(key);
+}
+
+void DnsClient::send_query(const std::string& hostname) {
+  auto& pending = pending_.at(hostname);
+  Packet query;
+  query.protocol = Protocol::kUdp;
+  query.src = local_;
+  query.dst = server_;
+  query.payload = std::string{kQueryPrefix} + hostname;
+  ++queries_sent_;
+  fabric_.send(Side::kClient, std::move(query));
+  pending.timeout_event = fabric_.loop().schedule_in(
+      query_timeout_, [this, hostname] { on_timeout(hostname); });
+}
+
+void DnsClient::on_timeout(const std::string& hostname) {
+  const auto it = pending_.find(hostname);
+  if (it == pending_.end()) {
+    return;
+  }
+  it->second.timeout_event = 0;
+  if (it->second.retries_left-- > 0) {
+    send_query(hostname);
+    return;
+  }
+  complete(hostname, std::nullopt);
+}
+
+void DnsClient::handle_packet(Packet&& packet) {
+  if (packet.protocol != Protocol::kUdp) {
+    return;
+  }
+  std::string_view payload{packet.payload};
+  if (util::starts_with(payload, kAnswerPrefix)) {
+    payload.remove_prefix(kAnswerPrefix.size());
+    const auto [hostname, ip_text] = util::split_once(payload, ':');
+    const auto ip = Ipv4::parse(ip_text);
+    if (!ip) {
+      return;
+    }
+    const std::string key{hostname};
+    cache_[key] = *ip;
+    complete(key, *ip);
+  } else if (util::starts_with(payload, kNxPrefix)) {
+    complete(std::string{payload.substr(kNxPrefix.size())}, std::nullopt);
+  }
+}
+
+void DnsClient::complete(const std::string& hostname, std::optional<Ipv4> answer) {
+  const auto it = pending_.find(hostname);
+  if (it == pending_.end()) {
+    return;  // duplicate answer (retry raced the original)
+  }
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+  if (pending.timeout_event != 0) {
+    fabric_.loop().cancel(pending.timeout_event);
+  }
+  for (auto& callback : pending.callbacks) {
+    callback(answer);
+  }
+}
+
+}  // namespace mahimahi::net

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "util/time.hpp"
+
+namespace mahimahi::net {
+
+/// Hostname -> IP mapping for one namespace. ReplayShell fills this with
+/// one entry per recorded hostname (what mahimahi's dnsmasq serves);
+/// LiveWeb fills it with the "real" internet addresses.
+class DnsTable {
+ public:
+  void add(std::string hostname, Ipv4 ip);
+  [[nodiscard]] std::optional<Ipv4> lookup(std::string_view hostname) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<std::string, Ipv4> entries_;
+};
+
+/// Well-known DNS server port.
+inline constexpr std::uint16_t kDnsPort = 53;
+
+/// A DNS server endpoint on the server side of the fabric. Queries and
+/// answers are real packets that traverse the emulated chain, so DNS
+/// lookups pay the same delay/bandwidth the browser's HTTP traffic does —
+/// exactly as in mahimahi, where the browser inside mm-delay reaches
+/// dnsmasq through the emulated link.
+class DnsServer {
+ public:
+  DnsServer(Fabric& fabric, Address local, const DnsTable& table);
+  ~DnsServer();
+
+  DnsServer(const DnsServer&) = delete;
+  DnsServer& operator=(const DnsServer&) = delete;
+
+  [[nodiscard]] Address address() const { return local_; }
+  [[nodiscard]] std::uint64_t queries_served() const { return queries_served_; }
+
+ private:
+  void handle_packet(Packet&& packet);
+
+  Fabric& fabric_;
+  Address local_;
+  const DnsTable& table_;
+  std::uint64_t queries_served_{0};
+};
+
+/// Stub resolver with a cache and retry-on-timeout, used by the browser.
+class DnsClient {
+ public:
+  using ResolveCallback =
+      std::function<void(std::optional<Ipv4>)>;  // nullopt = NXDOMAIN/timeout
+
+  DnsClient(Fabric& fabric, Address server, Microseconds query_timeout = 3'000'000,
+            int max_retries = 2);
+  ~DnsClient();
+
+  DnsClient(const DnsClient&) = delete;
+  DnsClient& operator=(const DnsClient&) = delete;
+
+  /// Resolve a hostname. Cached answers complete synchronously.
+  void resolve(const std::string& hostname, ResolveCallback callback);
+
+  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::uint64_t queries_sent() const { return queries_sent_; }
+
+ private:
+  struct Pending {
+    std::vector<ResolveCallback> callbacks;
+    int retries_left{0};
+    EventLoop::EventId timeout_event{0};
+  };
+
+  void send_query(const std::string& hostname);
+  void handle_packet(Packet&& packet);
+  void on_timeout(const std::string& hostname);
+  void complete(const std::string& hostname, std::optional<Ipv4> answer);
+
+  Fabric& fabric_;
+  Address local_;
+  Address server_;
+  Microseconds query_timeout_;
+  int max_retries_;
+  std::unordered_map<std::string, Ipv4> cache_;
+  std::unordered_map<std::string, Pending> pending_;
+  std::uint64_t cache_hits_{0};
+  std::uint64_t queries_sent_{0};
+};
+
+}  // namespace mahimahi::net

@@ -1,0 +1,165 @@
+#include "net/element.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mahimahi::net {
+
+// --- DelayBox ---------------------------------------------------------------
+
+DelayBox::DelayBox(EventLoop& loop, Microseconds delay)
+    : loop_{loop}, delay_{delay} {
+  MAHI_ASSERT_MSG(delay >= 0, "negative delay");
+}
+
+void DelayBox::process(Packet&& packet, Direction direction) {
+  if (delay_ == 0) {
+    emit(std::move(packet), direction);
+    return;
+  }
+  loop_.schedule_in(delay_,
+                    [this, packet = std::move(packet), direction]() mutable {
+                      emit(std::move(packet), direction);
+                    });
+}
+
+// --- LossBox ----------------------------------------------------------------
+
+LossBox::LossBox(util::Rng rng, double uplink_loss, double downlink_loss)
+    : rng_{std::move(rng)}, loss_{uplink_loss, downlink_loss} {
+  MAHI_ASSERT(uplink_loss >= 0.0 && uplink_loss <= 1.0);
+  MAHI_ASSERT(downlink_loss >= 0.0 && downlink_loss <= 1.0);
+}
+
+void LossBox::process(Packet&& packet, Direction direction) {
+  const std::size_t i = direction == Direction::kUplink ? 0 : 1;
+  if (rng_.chance(loss_[i])) {
+    ++dropped_[i];
+    return;  // dropped
+  }
+  emit(std::move(packet), direction);
+}
+
+// --- MeterBox ---------------------------------------------------------------
+
+void MeterBox::process(Packet&& packet, Direction direction) {
+  ++packets_[idx(direction)];
+  bytes_[idx(direction)] += packet.wire_size();
+  emit(std::move(packet), direction);
+}
+
+// --- ProcessingDelayBox -------------------------------------------------------
+
+ProcessingDelayBox::ProcessingDelayBox(EventLoop& loop, Microseconds per_packet_cost)
+    : loop_{loop}, cost_{per_packet_cost} {
+  MAHI_ASSERT(per_packet_cost >= 0);
+}
+
+void ProcessingDelayBox::process(Packet&& packet, Direction direction) {
+  if (cost_ == 0) {
+    emit(std::move(packet), direction);
+    return;
+  }
+  const std::size_t i = direction == Direction::kUplink ? 0 : 1;
+  const Microseconds start = std::max(loop_.now(), busy_until_[i]);
+  const Microseconds done = start + cost_;
+  busy_until_[i] = done;
+  loop_.schedule_at(done, [this, packet = std::move(packet), direction]() mutable {
+    emit(std::move(packet), direction);
+  });
+}
+
+// --- ReorderBox ----------------------------------------------------------------
+
+ReorderBox::ReorderBox(EventLoop& loop, util::Rng rng, Microseconds max_extra)
+    : loop_{loop}, rng_{std::move(rng)}, max_extra_{max_extra} {
+  MAHI_ASSERT(max_extra >= 0);
+}
+
+void ReorderBox::process(Packet&& packet, Direction direction) {
+  const Microseconds extra =
+      max_extra_ == 0 ? 0 : rng_.uniform_int(0, max_extra_);
+  if (extra == 0) {
+    emit(std::move(packet), direction);
+    return;
+  }
+  loop_.schedule_in(extra,
+                    [this, packet = std::move(packet), direction]() mutable {
+                      emit(std::move(packet), direction);
+                    });
+}
+
+// --- Chain ------------------------------------------------------------------
+
+void Chain::push_back(std::unique_ptr<NetworkElement> element) {
+  MAHI_ASSERT(element != nullptr);
+  elements_.push_back(std::move(element));
+  rewire();
+}
+
+void Chain::set_outputs(NetworkElement::Forward uplink_out,
+                        NetworkElement::Forward downlink_out) {
+  uplink_out_ = std::move(uplink_out);
+  downlink_out_ = std::move(downlink_out);
+  rewire();
+}
+
+void Chain::rewire() {
+  if (elements_.empty()) {
+    return;
+  }
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    // Uplink egress of element i feeds element i+1, or exits the chain.
+    if (i + 1 < elements_.size()) {
+      NetworkElement* next = elements_[i + 1].get();
+      elements_[i]->set_forward(Direction::kUplink, [next](Packet&& p) {
+        next->process(std::move(p), Direction::kUplink);
+      });
+    } else {
+      // Copy the handler: rewire() runs again whenever the chain grows.
+      auto out = uplink_out_;
+      elements_[i]->set_forward(Direction::kUplink, [out](Packet&& p) {
+        if (out) {
+          out(std::move(p));
+        }
+      });
+    }
+    // Downlink egress of element i feeds element i-1, or exits the chain.
+    if (i > 0) {
+      NetworkElement* prev = elements_[i - 1].get();
+      elements_[i]->set_forward(Direction::kDownlink, [prev](Packet&& p) {
+        prev->process(std::move(p), Direction::kDownlink);
+      });
+    } else {
+      auto out = downlink_out_;
+      elements_[i]->set_forward(Direction::kDownlink, [out](Packet&& p) {
+        if (out) {
+          out(std::move(p));
+        }
+      });
+    }
+  }
+}
+
+void Chain::send_uplink(Packet&& packet) {
+  if (elements_.empty()) {
+    if (uplink_out_) {
+      uplink_out_(std::move(packet));
+    }
+    return;
+  }
+  elements_.front()->process(std::move(packet), Direction::kUplink);
+}
+
+void Chain::send_downlink(Packet&& packet) {
+  if (elements_.empty()) {
+    if (downlink_out_) {
+      downlink_out_(std::move(packet));
+    }
+    return;
+  }
+  elements_.back()->process(std::move(packet), Direction::kDownlink);
+}
+
+}  // namespace mahimahi::net

@@ -1,0 +1,88 @@
+#include "net/event_loop.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace mahimahi::net {
+
+EventLoop::EventId EventLoop::schedule_at(Microseconds at, Action action) {
+  MAHI_ASSERT_MSG(at >= now_, "scheduling into the past: " << at << " < " << now_);
+  MAHI_ASSERT(action != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, id, std::move(action)});
+  live_.insert(id);
+  return id;
+}
+
+EventLoop::EventId EventLoop::schedule_in(Microseconds delay, Action action) {
+  MAHI_ASSERT_MSG(delay >= 0, "negative delay: " << delay);
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+void EventLoop::cancel(EventId id) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) {
+    return;  // already ran, already cancelled, or never existed
+  }
+  live_.erase(it);
+  cancelled_.insert(id);
+}
+
+bool EventLoop::pop_one() {
+  while (!queue_.empty()) {
+    if (const auto it = cancelled_.find(queue_.top().id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    // priority_queue::top() is const; move the entry out before running
+    // because the action may schedule or cancel further events.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    live_.erase(entry.id);
+    now_ = entry.at;
+    entry.action();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::run() {
+  std::size_t executed = 0;
+  while (pop_one()) {
+    if (++executed > event_limit_) {
+      throw std::runtime_error{"EventLoop exceeded event limit (runaway simulation?)"};
+    }
+  }
+  return executed;
+}
+
+std::size_t EventLoop::run_until(Microseconds deadline) {
+  MAHI_ASSERT(deadline >= now_);
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    // Drop cancelled entries at the head so the deadline check sees a live
+    // event.
+    if (const auto it = cancelled_.find(queue_.top().id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().at > deadline) {
+      break;
+    }
+    pop_one();
+    if (++executed > event_limit_) {
+      throw std::runtime_error{"EventLoop exceeded event limit (runaway simulation?)"};
+    }
+  }
+  now_ = deadline;
+  return executed;
+}
+
+bool EventLoop::idle() const { return pending_events() == 0; }
+
+std::size_t EventLoop::pending_events() const { return live_.size(); }
+
+}  // namespace mahimahi::net

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace mahimahi::net {
+
+/// Discrete-event scheduler with a virtual clock.
+///
+/// Determinism: events at the same timestamp run in scheduling order
+/// (monotonic sequence number tie-break), so a simulation is a pure
+/// function of its inputs and seeds — the property the whole toolkit's
+/// "reproducible measurement" claim rests on.
+class EventLoop {
+ public:
+  using EventId = std::uint64_t;
+  using Action = std::function<void()>;
+
+  [[nodiscard]] Microseconds now() const { return now_; }
+
+  /// Schedule `action` at absolute time `at` (>= now). Returns an id
+  /// usable with cancel().
+  EventId schedule_at(Microseconds at, Action action);
+
+  /// Schedule `action` after a relative delay (>= 0).
+  EventId schedule_in(Microseconds delay, Action action);
+
+  /// Cancel a pending event. Cancelling an already-run or unknown id is a
+  /// no-op (timers race with the events that would cancel them).
+  void cancel(EventId id);
+
+  /// Run until the queue is empty. Returns the number of events executed.
+  std::size_t run();
+
+  /// Run events with time <= deadline; afterwards now() == deadline.
+  std::size_t run_until(Microseconds deadline);
+
+  /// True when no runnable events remain.
+  [[nodiscard]] bool idle() const;
+
+  [[nodiscard]] std::size_t pending_events() const;
+
+  /// Safety valve for tests: run() throws after this many events
+  /// (default: effectively unlimited).
+  void set_event_limit(std::size_t limit) { event_limit_ = limit; }
+
+ private:
+  struct Entry {
+    Microseconds at;
+    EventId id;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  bool pop_one();
+
+  Microseconds now_{0};
+  EventId next_id_{1};
+  std::size_t event_limit_{~0ULL};
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> live_;       // scheduled, not yet run/cancelled
+  std::unordered_set<EventId> cancelled_;  // cancelled but still in queue_
+};
+
+}  // namespace mahimahi::net

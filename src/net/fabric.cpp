@@ -1,0 +1,116 @@
+#include "net/fabric.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace mahimahi::net {
+namespace {
+
+constexpr std::size_t side_index(Side side) {
+  return side == Side::kClient ? 0 : 1;
+}
+
+}  // namespace
+
+Fabric::Fabric(EventLoop& loop) : loop_{loop} {
+  chain_.set_outputs(
+      // Uplink exit: deliver on the server side.
+      [this](Packet&& p) { deliver(Side::kServer, std::move(p)); },
+      // Downlink exit: deliver on the client side.
+      [this](Packet&& p) { deliver(Side::kClient, std::move(p)); });
+}
+
+void Fabric::bind(Side side, const Address& address, Handler handler) {
+  MAHI_ASSERT(handler != nullptr);
+  auto& table = endpoints_[side_index(side)];
+  if (table.contains(address)) {
+    throw std::invalid_argument{"address already bound: " + address.to_string()};
+  }
+  table.emplace(address, std::move(handler));
+}
+
+void Fabric::unbind(Side side, const Address& address) {
+  endpoints_[side_index(side)].erase(address);
+}
+
+bool Fabric::bound(Side side, const Address& address) const {
+  return endpoints_[side_index(side)].contains(address);
+}
+
+void Fabric::send(Side from, Packet&& packet) {
+  packet.id = next_packet_id();
+  // Injection always goes through the event queue: a packet can never be
+  // delivered before send() returns (as in a physical network). This bars
+  // endpoint re-entrancy even when the chain itself adds zero latency.
+  // Packets leaving a delayed server pay that origin's one-way delay here.
+  const Microseconds delay =
+      from == Side::kServer ? server_delay(packet.src.ip) : 0;
+  loop_.schedule_in(delay, [this, from, p = std::move(packet)]() mutable {
+    if (from == Side::kClient) {
+      chain_.send_uplink(std::move(p));
+    } else {
+      chain_.send_downlink(std::move(p));
+    }
+  });
+}
+
+void Fabric::set_server_default(Handler handler) {
+  server_default_ = std::move(handler);
+}
+
+void Fabric::redeliver(Side side, Packet&& packet) {
+  dispatch(side, std::move(packet), /*allow_default=*/false);
+}
+
+void Fabric::set_server_delay(Ipv4 ip, Microseconds one_way) {
+  MAHI_ASSERT(one_way >= 0);
+  server_delays_[ip] = one_way;
+}
+
+Microseconds Fabric::server_delay(Ipv4 ip) const {
+  const auto it = server_delays_.find(ip);
+  return it == server_delays_.end() ? 0 : it->second;
+}
+
+void Fabric::deliver(Side side, Packet&& packet) {
+  // Packets arriving at a delayed server pay that origin's one-way delay.
+  const Microseconds delay =
+      side == Side::kServer ? server_delay(packet.dst.ip) : 0;
+  if (delay > 0) {
+    loop_.schedule_in(delay, [this, side, p = std::move(packet)]() mutable {
+      dispatch(side, std::move(p), /*allow_default=*/true);
+    });
+    return;
+  }
+  dispatch(side, std::move(packet), /*allow_default=*/true);
+}
+
+void Fabric::dispatch(Side side, Packet&& packet, bool allow_default) {
+  auto& table = endpoints_[side_index(side)];
+  const auto it = table.find(packet.dst);
+  if (it == table.end()) {
+    if (side == Side::kServer && allow_default && server_default_) {
+      server_default_(std::move(packet));
+      return;
+    }
+    ++undeliverable_;
+    MAHI_DEBUG("fabric") << "undeliverable packet to " << packet.dst.to_string();
+    return;
+  }
+  ++delivered_[side_index(side)];
+  // The handler may unbind itself (connection close) — copy the handler
+  // out so erasure during the call stays safe.
+  const Handler handler = it->second;
+  handler(std::move(packet));
+}
+
+Address Fabric::allocate_client_address() {
+  MAHI_ASSERT_MSG(next_client_port_ != 0, "ephemeral ports exhausted");
+  return Address{client_ip_, next_client_port_++};
+}
+
+Ipv4 Fabric::allocate_server_ip() { return server_ips_.next_ip(); }
+
+}  // namespace mahimahi::net

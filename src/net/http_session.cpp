@@ -1,0 +1,277 @@
+#include "net/http_session.hpp"
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace mahimahi::net {
+
+// --- HttpServer ---------------------------------------------------------------
+
+HttpServer::HttpServer(Fabric& fabric, Address local, Handler handler,
+                       Microseconds processing_delay)
+    : fabric_{fabric},
+      handler_{std::move(handler)},
+      processing_delay_{processing_delay},
+      listener_{fabric, local,
+                [this](const std::shared_ptr<TcpConnection>& c) {
+                  return make_callbacks(c);
+                }} {
+  MAHI_ASSERT(handler_ != nullptr);
+  workers_spawned_ = pool_.initial_workers;
+}
+
+void HttpServer::set_worker_pool(const WorkerPool& pool) {
+  MAHI_ASSERT(pool.initial_workers >= 1);
+  MAHI_ASSERT(pool.max_workers >= pool.initial_workers);
+  MAHI_ASSERT(pool.spawn_interval > 0);
+  pool_ = pool;
+  workers_spawned_ = pool_.initial_workers;
+}
+
+TcpConnection::Callbacks HttpServer::make_callbacks(
+    const std::shared_ptr<TcpConnection>& connection) {
+  auto session = std::make_shared<Session>();
+  session->connection = connection;
+  TcpConnection::Callbacks callbacks;
+  callbacks.on_data = [this, session](std::string_view bytes) {
+    on_data(session, bytes);
+  };
+  callbacks.on_peer_close = [this, session] {
+    // Client half-closed; finish sending whatever is queued, then FIN,
+    // and return this connection's worker to the pool.
+    if (const auto conn = session->connection.lock()) {
+      conn->close();
+    }
+    release_worker(session);
+  };
+  callbacks.on_reset = [this, session] { release_worker(session); };
+  // A worker is claimed at accept time (Apache prefork: the process is
+  // bound to the connection for its lifetime, keep-alive included).
+  request_worker(session);
+  return callbacks;
+}
+
+void HttpServer::request_worker(const std::shared_ptr<Session>& session) {
+  if (workers_busy_ < workers_spawned_) {
+    ++workers_busy_;
+    session->has_worker = true;
+    return;
+  }
+  ++worker_waits_;
+  waiting_.push_back(session);
+  arm_spawn_timer();
+}
+
+void HttpServer::release_worker(const std::shared_ptr<Session>& session) {
+  if (session->worker_released) {
+    return;
+  }
+  session->worker_released = true;
+  if (!session->has_worker) {
+    // Still waiting: just drop it from the queue lazily (grant_workers
+    // skips released sessions).
+    return;
+  }
+  session->has_worker = false;
+  MAHI_ASSERT(workers_busy_ > 0);
+  --workers_busy_;
+  grant_workers();
+}
+
+void HttpServer::grant_workers() {
+  while (!waiting_.empty() && workers_busy_ < workers_spawned_) {
+    auto session = std::move(waiting_.front());
+    waiting_.pop_front();
+    if (session->worker_released || session->connection.expired()) {
+      continue;  // died while waiting
+    }
+    ++workers_busy_;
+    session->has_worker = true;
+    drain_requests(session);  // serve anything that arrived while waiting
+  }
+  if (!waiting_.empty()) {
+    arm_spawn_timer();
+  }
+}
+
+void HttpServer::arm_spawn_timer() {
+  if (spawn_event_ != 0 || workers_spawned_ >= pool_.max_workers) {
+    return;
+  }
+  spawn_event_ = fabric_.loop().schedule_in(pool_.spawn_interval, [this] {
+    spawn_event_ = 0;
+    if (workers_spawned_ < pool_.max_workers) {
+      ++workers_spawned_;
+    }
+    grant_workers();
+  });
+}
+
+void HttpServer::on_data(const std::shared_ptr<Session>& session,
+                         std::string_view bytes) {
+  session->parser.push(bytes);
+  if (session->has_worker) {
+    drain_requests(session);
+  }
+  // Without a worker, requests accumulate in the parser until one is
+  // granted — the kernel buffers, Apache just hasn't accepted yet.
+}
+
+void HttpServer::drain_requests(const std::shared_ptr<Session>& session) {
+  const auto connection = session->connection.lock();
+  if (!connection) {
+    return;
+  }
+  if (session->parser.failed()) {
+    if (!session->closing) {
+      session->closing = true;
+      MAHI_WARN("http-server") << "parse failure: "
+                               << session->parser.error_message();
+      http::Response bad;
+      bad.status = 400;
+      bad.reason = "Bad Request";
+      bad.headers.add("Connection", "close");
+      http::finalize_content_length(bad);
+      connection->send(http::to_bytes(bad));
+      connection->close();
+    }
+    return;
+  }
+  while (session->parser.has_message()) {
+    const http::Request request = session->parser.pop();
+    const bool keep_alive = request.keep_alive();
+    http::Response response = handler_(request);
+    http::finalize_content_length(response);
+    ++requests_served_;
+    if (observer_) {
+      observer_(request, response);
+    }
+    std::string wire = http::to_bytes(response);
+    if (processing_delay_ > 0) {
+      // Simulated server think time (first-byte latency); overlaps freely
+      // across requests.
+      const std::weak_ptr<TcpConnection> weak = session->connection;
+      fabric_.loop().schedule_in(
+          processing_delay_, [weak, wire = std::move(wire), keep_alive] {
+            if (const auto conn = weak.lock()) {
+              conn->send(wire);
+              if (!keep_alive) {
+                conn->close();
+              }
+            }
+          });
+    } else {
+      connection->send(std::move(wire));
+      if (!keep_alive) {
+        connection->close();
+      }
+    }
+  }
+}
+
+// --- HttpClientConnection -------------------------------------------------------
+
+HttpClientConnection::HttpClientConnection(Fabric& fabric, Address server,
+                                           ErrorCallback on_error,
+                                           TcpConnection::Config config)
+    : fabric_{fabric},
+      on_error_{std::move(on_error)},
+      client_{fabric, server,
+              TcpConnection::Callbacks{
+                  .on_connected = [this] { connected_ = true; maybe_send_next(); },
+                  .on_data = [this](std::string_view bytes) { on_data(bytes); },
+                  .on_peer_close =
+                      [this] {
+                        // Server closed: completes read-until-close bodies.
+                        parser_.on_close();
+                        on_data({});
+                        if (outstanding_ > 0 || !queue_.empty()) {
+                          fail("connection closed by server");
+                        } else {
+                          alive_ = false;
+                        }
+                      },
+                  .on_reset = [this] { fail("connection reset"); }},
+              config} {}
+
+void HttpClientConnection::fetch(http::Request request,
+                                 ResponseCallback callback) {
+  MAHI_ASSERT(callback != nullptr);
+  if (!alive_) {
+    if (on_error_) {
+      on_error_("fetch on dead connection");
+    }
+    return;
+  }
+  queue_.push_back(PendingRequest{std::move(request), std::move(callback)});
+  maybe_send_next();
+}
+
+void HttpClientConnection::close_when_idle() {
+  close_when_idle_ = true;
+  if (idle() && alive_) {
+    alive_ = false;
+    client_.connection().close();
+  }
+}
+
+void HttpClientConnection::maybe_send_next() {
+  if (!connected_ || !alive_ || outstanding_ > 0 || queue_.empty()) {
+    return;
+  }
+  PendingRequest next = std::move(queue_.front());
+  queue_.pop_front();
+  http::finalize_content_length(next.request);
+  parser_.notify_request(next.request.method);
+  in_flight_callbacks_.push_back(std::move(next.callback));
+  outstanding_ = 1;
+  client_.connection().send(http::to_bytes(next.request));
+}
+
+void HttpClientConnection::on_data(std::string_view bytes) {
+  if (!bytes.empty()) {
+    parser_.push(bytes);
+  }
+  if (parser_.failed()) {
+    fail("response parse failure: " + parser_.error_message());
+    return;
+  }
+  while (parser_.has_message()) {
+    http::Response response = parser_.pop();
+    MAHI_ASSERT_MSG(!in_flight_callbacks_.empty(),
+                    "response with no outstanding request");
+    ResponseCallback callback = std::move(in_flight_callbacks_.front());
+    in_flight_callbacks_.pop_front();
+    outstanding_ = 0;
+    const bool server_closing = !response.keep_alive();
+    callback(std::move(response));
+    if (server_closing) {
+      alive_ = false;
+      client_.connection().close();
+      if (!queue_.empty()) {
+        fail("server closed with requests queued");
+      }
+      return;
+    }
+    maybe_send_next();
+  }
+  if (close_when_idle_ && idle() && alive_) {
+    alive_ = false;
+    client_.connection().close();
+  }
+}
+
+void HttpClientConnection::fail(const std::string& reason) {
+  if (!alive_ && outstanding_ == 0 && queue_.empty()) {
+    return;
+  }
+  alive_ = false;
+  outstanding_ = 0;
+  queue_.clear();
+  in_flight_callbacks_.clear();
+  if (on_error_) {
+    on_error_(reason);
+  }
+}
+
+}  // namespace mahimahi::net

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "http/message.hpp"
+#include "http/parser.hpp"
+#include "net/tcp.hpp"
+
+namespace mahimahi::net {
+
+/// Prefork-style worker pool semantics for one server instance: each live
+/// connection holds a worker for its whole lifetime (Apache prefork with
+/// keep-alive); when the pool is exhausted, further connections wait while
+/// the server spawns workers at a bounded rate. Collapsing a 20-origin
+/// site onto one server funnels ~60+ simultaneous browser connections
+/// into one cold pool — the mechanism behind the paper's Table 2 and
+/// Figure 3 single-server penalty. A multi-origin replay gives each origin
+/// its own pool, and per-origin demand (<= 6 connections) never starves.
+struct WorkerPool {
+  int initial_workers{1024};  // effectively uncontended by default
+  int max_workers{4096};
+  /// One extra worker is spawned per interval while connections wait.
+  Microseconds spawn_interval{25'000};
+};
+
+/// An HTTP/1.1 origin server running over simulated TCP. Each accepted
+/// connection gets a RequestParser; complete requests are answered by the
+/// handler in arrival order, honouring keep-alive. Both RecordShell's
+/// upstream origins (LiveWeb) and ReplayShell's origin servers are built
+/// on this. `processing_delay` is pure per-request latency (think time);
+/// connection concurrency is governed by the WorkerPool.
+class HttpServer {
+ public:
+  /// Maps a request to its response. Runs once per complete request.
+  using Handler = std::function<http::Response(const http::Request&)>;
+
+  /// Called for every request after the response is computed — the hook
+  /// RecordShell's proxy uses to store request/response pairs.
+  using Observer =
+      std::function<void(const http::Request&, const http::Response&)>;
+
+  HttpServer(Fabric& fabric, Address local, Handler handler,
+             Microseconds processing_delay = 0);
+
+  /// Install prefork-style concurrency limits. Call before traffic arrives.
+  void set_worker_pool(const WorkerPool& pool);
+
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  [[nodiscard]] Address address() const { return listener_.local_address(); }
+  [[nodiscard]] std::uint64_t requests_served() const { return requests_served_; }
+  [[nodiscard]] std::size_t active_connections() const {
+    return listener_.active_connections();
+  }
+  [[nodiscard]] std::uint64_t total_accepted() const {
+    return listener_.total_accepted();
+  }
+  /// Connections that had to wait for a worker (starvation indicator).
+  [[nodiscard]] std::uint64_t worker_waits() const { return worker_waits_; }
+
+ private:
+  struct Session {
+    std::weak_ptr<TcpConnection> connection;
+    http::RequestParser parser;
+    bool closing{false};
+    bool has_worker{false};
+    bool worker_released{false};
+  };
+
+  TcpConnection::Callbacks make_callbacks(
+      const std::shared_ptr<TcpConnection>& connection);
+  void on_data(const std::shared_ptr<Session>& session, std::string_view bytes);
+  void drain_requests(const std::shared_ptr<Session>& session);
+  void request_worker(const std::shared_ptr<Session>& session);
+  void release_worker(const std::shared_ptr<Session>& session);
+  void grant_workers();
+  void arm_spawn_timer();
+
+  Fabric& fabric_;
+  Handler handler_;
+  Observer observer_;
+  Microseconds processing_delay_;
+  WorkerPool pool_;
+  int workers_spawned_{0};   // current pool size
+  int workers_busy_{0};
+  std::deque<std::shared_ptr<Session>> waiting_;
+  EventLoop::EventId spawn_event_{0};
+  std::uint64_t worker_waits_{0};
+  std::uint64_t requests_served_{0};
+  TcpListener listener_;  // must outlive nothing: declared last
+};
+
+/// One HTTP/1.1 client connection over simulated TCP with keep-alive and
+/// request queuing (no pipelining: the next request goes out when the
+/// previous response has fully arrived — matching 2014 browsers).
+class HttpClientConnection {
+ public:
+  using ResponseCallback = std::function<void(http::Response)>;
+  /// Connection failed or died before/while a request was outstanding.
+  using ErrorCallback = std::function<void(const std::string& reason)>;
+
+  HttpClientConnection(Fabric& fabric, Address server,
+                       ErrorCallback on_error = {},
+                       TcpConnection::Config config = {});
+
+  HttpClientConnection(const HttpClientConnection&) = delete;
+  HttpClientConnection& operator=(const HttpClientConnection&) = delete;
+
+  /// Queue a request; `callback` fires with the complete response.
+  void fetch(http::Request request, ResponseCallback callback);
+
+  /// Half-close after the queue drains (Connection: close semantics).
+  void close_when_idle();
+
+  [[nodiscard]] bool idle() const { return outstanding_ == 0 && queue_.empty(); }
+  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] std::size_t queued() const { return queue_.size() + outstanding_; }
+  [[nodiscard]] const TcpConnection& connection() const {
+    return client_.connection();
+  }
+
+ private:
+  struct PendingRequest {
+    http::Request request;
+    ResponseCallback callback;
+  };
+
+  void maybe_send_next();
+  void on_data(std::string_view bytes);
+  void fail(const std::string& reason);
+
+  Fabric& fabric_;
+  http::ResponseParser parser_;
+  std::deque<PendingRequest> queue_;
+  std::deque<ResponseCallback> in_flight_callbacks_;
+  std::size_t outstanding_{0};
+  bool connected_{false};
+  bool alive_{true};
+  bool close_when_idle_{false};
+  ErrorCallback on_error_;
+  TcpClient client_;  // declared last: its callbacks reference the above
+};
+
+}  // namespace mahimahi::net

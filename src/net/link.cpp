@@ -1,0 +1,114 @@
+#include "net/link.hpp"
+
+#include "util/assert.hpp"
+
+namespace mahimahi::net {
+
+LinkQueue::LinkQueue(EventLoop& loop, trace::PacketTrace trace,
+                     std::unique_ptr<PacketQueue> queue, Deliver deliver)
+    : loop_{loop},
+      trace_{std::move(trace)},
+      queue_{std::move(queue)},
+      deliver_{std::move(deliver)} {
+  MAHI_ASSERT(queue_ != nullptr);
+  MAHI_ASSERT(deliver_ != nullptr);
+}
+
+void LinkQueue::accept(Packet&& packet) {
+  const std::uint32_t bytes = static_cast<std::uint32_t>(packet.wire_size());
+  const std::uint64_t id = packet.id;
+  if (log_ != nullptr) {
+    log_->arrival(loop_.now(), bytes, id);
+  }
+  const std::uint64_t drops_before = queue_->drops();
+  queue_->enqueue(std::move(packet), loop_.now());
+  if (log_ != nullptr && queue_->drops() > drops_before) {
+    log_->drop(loop_.now(), bytes, id);
+  }
+  schedule_next_opportunity();
+}
+
+void LinkQueue::schedule_next_opportunity() {
+  if (pending_event_ != 0) {
+    return;  // an opportunity is already scheduled
+  }
+  if (!in_service_ && queue_->empty()) {
+    return;  // nothing to deliver; the link idles until the next arrival
+  }
+  // The next usable opportunity never moves backwards: an idle period
+  // cannot bank opportunities (mahimahi discards unused ones).
+  const std::uint64_t candidate =
+      trace_.first_opportunity_at_or_after(loop_.now());
+  if (candidate > next_opportunity_) {
+    next_opportunity_ = candidate;
+  }
+  const Microseconds at = trace_.opportunity_time(next_opportunity_);
+  pending_event_ = loop_.schedule_at(at, [this] {
+    pending_event_ = 0;
+    use_opportunity();
+  });
+}
+
+void LinkQueue::use_opportunity() {
+  ++next_opportunity_;  // this opportunity is consumed regardless of use
+  if (!in_service_) {
+    auto head = queue_->dequeue(loop_.now());
+    if (!head) {
+      return;  // AQM drained the queue; idle until the next arrival
+    }
+    in_service_ = std::move(head);
+    in_service_remaining_ = in_service_->wire_size();
+  }
+  const std::size_t delivered =
+      std::min<std::size_t>(in_service_remaining_, trace::kOpportunityBytes);
+  in_service_remaining_ -= delivered;
+  if (in_service_remaining_ == 0) {
+    delivered_bytes_ += in_service_->wire_size();
+    ++delivered_packets_;
+    if (log_ != nullptr) {
+      log_->departure(loop_.now(),
+                      static_cast<std::uint32_t>(in_service_->wire_size()),
+                      in_service_->id);
+    }
+    deliver_(std::move(*in_service_));
+    in_service_.reset();
+  }
+  schedule_next_opportunity();
+}
+
+TraceLink::TraceLink(EventLoop& loop, trace::PacketTrace uplink_trace,
+                     trace::PacketTrace downlink_trace, QueueSpec uplink_queue,
+                     QueueSpec downlink_queue) {
+  uplink_ = std::make_unique<LinkQueue>(
+      loop, std::move(uplink_trace), make_queue(uplink_queue),
+      [this](Packet&& p) { emit(std::move(p), Direction::kUplink); });
+  downlink_ = std::make_unique<LinkQueue>(
+      loop, std::move(downlink_trace), make_queue(downlink_queue),
+      [this](Packet&& p) { emit(std::move(p), Direction::kDownlink); });
+}
+
+void TraceLink::process(Packet&& packet, Direction direction) {
+  if (direction == Direction::kUplink) {
+    uplink_->accept(std::move(packet));
+  } else {
+    downlink_->accept(std::move(packet));
+  }
+}
+
+void TraceLink::enable_logging() {
+  for (auto& log : logs_) {
+    if (log == nullptr) {
+      log = std::make_unique<LinkLog>();
+    }
+  }
+  uplink_->set_log(logs_[0].get());
+  downlink_->set_log(logs_[1].get());
+}
+
+const LinkLog& TraceLink::log(Direction direction) const {
+  const auto& log = logs_[direction == Direction::kUplink ? 0 : 1];
+  MAHI_ASSERT_MSG(log != nullptr, "TraceLink logging not enabled");
+  return *log;
+}
+
+}  // namespace mahimahi::net

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/element.hpp"
+#include "util/statistics.hpp"
+#include "util/time.hpp"
+
+namespace mahimahi::net {
+
+/// One event in a link log — mahimahi's mm-link --uplink-log/--downlink-log
+/// records arrivals (+), departures (-) and drops (d) with millisecond
+/// timestamps and byte counts.
+struct LinkLogEvent {
+  enum class Kind : char { kArrival = '+', kDeparture = '-', kDrop = 'd' };
+  Microseconds at{0};
+  Kind kind{Kind::kArrival};
+  std::uint32_t bytes{0};
+  std::uint64_t packet_id{0};
+};
+
+/// In-memory per-direction link log with mahimahi-compatible text output.
+class LinkLog {
+ public:
+  void arrival(Microseconds at, std::uint32_t bytes, std::uint64_t id);
+  void departure(Microseconds at, std::uint32_t bytes, std::uint64_t id);
+  void drop(Microseconds at, std::uint32_t bytes, std::uint64_t id);
+
+  [[nodiscard]] const std::vector<LinkLogEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// mahimahi log format: one event per line, "<ms> <+|-|d> <bytes>".
+  [[nodiscard]] std::string to_text() const;
+
+  /// Parse the text format back (round-trip; packet ids are not stored).
+  static LinkLog parse(std::string_view text);
+
+ private:
+  void add(Microseconds at, LinkLogEvent::Kind kind, std::uint32_t bytes,
+           std::uint64_t id);
+  std::vector<LinkLogEvent> events_;
+};
+
+/// Summary statistics computed from a link log — what mm-throughput-graph
+/// and mm-delay-graph plot.
+struct LinkLogSummary {
+  std::uint64_t arrivals{0};
+  std::uint64_t departures{0};
+  std::uint64_t drops{0};
+  std::uint64_t bytes_delivered{0};
+  double average_throughput_bps{0};
+  /// Per-packet queueing delay (arrival -> departure) percentiles, ms.
+  double delay_p50_ms{0};
+  double delay_p95_ms{0};
+  double delay_max_ms{0};
+  /// Throughput per time bin (bps), for plotting.
+  std::vector<double> throughput_bins_bps;
+  Microseconds bin_width{0};
+};
+
+/// Analyze a log. Delays are matched arrival->departure by packet id when
+/// ids are present, else FIFO order (the disciplines shipped are FIFO).
+LinkLogSummary summarize_link_log(const LinkLog& log,
+                                  Microseconds bin_width = 500'000);
+
+/// A transparent element that logs everything crossing it, per direction —
+/// wrap it around a TraceLink to get mm-link's logs.
+class LoggingTap final : public NetworkElement {
+ public:
+  void process(Packet&& packet, Direction direction) override;
+
+  [[nodiscard]] const LinkLog& log(Direction direction) const {
+    return logs_[direction == Direction::kUplink ? 0 : 1];
+  }
+
+  /// Install a clock source (defaults to zero timestamps if unset).
+  void set_clock(const EventLoop* loop) { loop_ = loop; }
+
+ private:
+  const EventLoop* loop_{nullptr};
+  LinkLog logs_[2];
+};
+
+}  // namespace mahimahi::net

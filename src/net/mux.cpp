@@ -1,0 +1,288 @@
+#include "net/mux.hpp"
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace mahimahi::net::mux {
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 4 + 1 + 4;
+
+/// Keep at most this much unacknowledged response data in the TCP send
+/// buffer; the writer tops it up on send progress (epoll-writability).
+constexpr std::uint64_t kWriterHighWater = 64 * 1024;
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out += static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+}
+
+std::uint32_t read_u32(const char* bytes) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string encode_frame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  put_u32(out, frame.stream_id);
+  out += static_cast<char>(frame.type);
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out += frame.payload;
+  return out;
+}
+
+void FrameParser::push(std::string_view bytes) {
+  if (failed_) {
+    return;
+  }
+  buffer_.append(bytes);
+  while (buffer_.size() >= kFrameHeaderBytes) {
+    const std::uint32_t stream_id = read_u32(buffer_.data());
+    const auto type = static_cast<Frame::Type>(buffer_[4]);
+    const std::uint32_t length = read_u32(buffer_.data() + 5);
+    if (type != Frame::Type::kRequest && type != Frame::Type::kData &&
+        type != Frame::Type::kEnd) {
+      failed_ = true;
+      return;
+    }
+    if (length > kMaxPayload) {
+      failed_ = true;
+      return;
+    }
+    if (buffer_.size() < kFrameHeaderBytes + length) {
+      return;  // wait for the rest
+    }
+    Frame frame;
+    frame.stream_id = stream_id;
+    frame.type = type;
+    frame.payload = buffer_.substr(kFrameHeaderBytes, length);
+    buffer_.erase(0, kFrameHeaderBytes + length);
+    frames_.push_back(std::move(frame));
+  }
+}
+
+Frame FrameParser::pop() {
+  MAHI_ASSERT(!frames_.empty());
+  Frame frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+// --- MuxServer ------------------------------------------------------------------
+
+MuxServer::MuxServer(Fabric& fabric, Address local, Handler handler,
+                     Microseconds processing_delay, std::size_t chunk_bytes)
+    : fabric_{fabric},
+      handler_{std::move(handler)},
+      processing_delay_{processing_delay},
+      chunk_bytes_{chunk_bytes},
+      listener_{fabric, local,
+                [this](const std::shared_ptr<TcpConnection>& c) {
+                  return make_callbacks(c);
+                }} {
+  MAHI_ASSERT(handler_ != nullptr);
+  MAHI_ASSERT(chunk_bytes_ > 0);
+}
+
+TcpConnection::Callbacks MuxServer::make_callbacks(
+    const std::shared_ptr<TcpConnection>& connection) {
+  auto session = std::make_shared<Session>();
+  session->connection = connection;
+  TcpConnection::Callbacks callbacks;
+  callbacks.on_data = [this, session](std::string_view bytes) {
+    on_data(session, bytes);
+  };
+  callbacks.on_peer_close = [session] {
+    if (const auto conn = session->connection.lock()) {
+      conn->close();
+    }
+  };
+  callbacks.on_send_progress = [this, session] { pump_writer(session); };
+  return callbacks;
+}
+
+void MuxServer::on_data(const std::shared_ptr<Session>& session,
+                        std::string_view bytes) {
+  session->parser.push(bytes);
+  if (session->parser.failed()) {
+    MAHI_WARN("mux-server") << "frame parse failure; aborting connection";
+    if (const auto conn = session->connection.lock()) {
+      conn->abort();
+    }
+    return;
+  }
+  while (session->parser.has_frame()) {
+    const Frame frame = session->parser.pop();
+    if (frame.type != Frame::Type::kRequest) {
+      continue;  // clients only send requests
+    }
+    http::RequestParser request_parser;
+    request_parser.push(frame.payload);
+    if (request_parser.failed() || !request_parser.has_message()) {
+      MAHI_WARN("mux-server") << "bad request in stream " << frame.stream_id;
+      continue;
+    }
+    http::Response response = handler_(request_parser.pop());
+    http::finalize_content_length(response);
+    ++requests_served_;
+    if (processing_delay_ > 0) {
+      fabric_.loop().schedule_in(
+          processing_delay_,
+          [this, session, id = frame.stream_id,
+           r = std::move(response)]() mutable {
+            start_response(session, id, std::move(r));
+          });
+    } else {
+      start_response(session, frame.stream_id, std::move(response));
+    }
+  }
+}
+
+void MuxServer::start_response(const std::shared_ptr<Session>& session,
+                               std::uint32_t stream_id,
+                               http::Response response) {
+  session->pending_streams[stream_id] = http::to_bytes(response);
+  session->next_stream = session->pending_streams.begin();
+  pump_writer(session);
+}
+
+void MuxServer::pump_writer(const std::shared_ptr<Session>& session) {
+  const auto connection = session->connection.lock();
+  if (!connection || connection->closed()) {
+    return;
+  }
+  // Round-robin one chunk per active stream while the send buffer has
+  // room — this is what interleaves large and small responses.
+  while (!session->pending_streams.empty() &&
+         connection->unacked_send_bytes() < kWriterHighWater) {
+    if (session->next_stream == session->pending_streams.end()) {
+      session->next_stream = session->pending_streams.begin();
+    }
+    auto it = session->next_stream;
+    std::string& remaining = it->second;
+    const std::size_t take = std::min(chunk_bytes_, remaining.size());
+    Frame frame;
+    frame.stream_id = it->first;
+    frame.type = Frame::Type::kData;
+    frame.payload = remaining.substr(0, take);
+    connection->send(encode_frame(frame));
+    remaining.erase(0, take);
+    if (remaining.empty()) {
+      Frame end;
+      end.stream_id = it->first;
+      end.type = Frame::Type::kEnd;
+      connection->send(encode_frame(end));
+      session->next_stream = session->pending_streams.erase(it);
+    } else {
+      ++session->next_stream;
+    }
+  }
+}
+
+// --- MuxClientConnection ----------------------------------------------------------
+
+MuxClientConnection::MuxClientConnection(Fabric& fabric, Address server,
+                                         ErrorCallback on_error)
+    : fabric_{fabric},
+      on_error_{std::move(on_error)},
+      client_{fabric, server,
+              TcpConnection::Callbacks{
+                  .on_connected =
+                      [this] {
+                        connected_ = true;
+                        for (auto& frame : queued_frames_) {
+                          client_.connection().send(std::move(frame));
+                        }
+                        queued_frames_.clear();
+                      },
+                  .on_data = [this](std::string_view b) { on_data(b); },
+                  .on_peer_close =
+                      [this] {
+                        if (!streams_.empty()) {
+                          fail("connection closed with streams open");
+                        }
+                        alive_ = false;
+                      },
+                  .on_reset = [this] { fail("connection reset"); }}} {}
+
+void MuxClientConnection::fetch(http::Request request,
+                                ResponseCallback callback) {
+  MAHI_ASSERT(callback != nullptr);
+  if (!alive_) {
+    if (on_error_) {
+      on_error_("fetch on dead mux connection");
+    }
+    return;
+  }
+  const std::uint32_t id = next_stream_id_++;
+  auto& stream = streams_[id];
+  stream.callback = std::move(callback);
+  stream.parser.notify_request(request.method);
+
+  http::finalize_content_length(request);
+  Frame frame;
+  frame.stream_id = id;
+  frame.type = Frame::Type::kRequest;
+  frame.payload = http::to_bytes(request);
+  std::string wire = encode_frame(frame);
+  if (connected_) {
+    client_.connection().send(std::move(wire));
+  } else {
+    queued_frames_.push_back(std::move(wire));
+  }
+}
+
+void MuxClientConnection::on_data(std::string_view bytes) {
+  parser_.push(bytes);
+  if (parser_.failed()) {
+    fail("mux frame parse failure");
+    return;
+  }
+  while (parser_.has_frame()) {
+    const Frame frame = parser_.pop();
+    const auto it = streams_.find(frame.stream_id);
+    if (it == streams_.end()) {
+      continue;  // stale frame for a cancelled stream
+    }
+    Stream& stream = it->second;
+    if (frame.type == Frame::Type::kData) {
+      stream.parser.push(frame.payload);
+      if (stream.parser.failed()) {
+        fail("response parse failure on stream " +
+             std::to_string(frame.stream_id));
+        return;
+      }
+    } else if (frame.type == Frame::Type::kEnd) {
+      stream.parser.on_close();
+      if (!stream.parser.has_message()) {
+        fail("stream ended without a complete response");
+        return;
+      }
+      ResponseCallback callback = std::move(stream.callback);
+      http::Response response = stream.parser.pop();
+      streams_.erase(it);
+      callback(std::move(response));
+    }
+  }
+}
+
+void MuxClientConnection::fail(const std::string& reason) {
+  if (!alive_ && streams_.empty()) {
+    return;
+  }
+  alive_ = false;
+  streams_.clear();
+  if (on_error_) {
+    on_error_(reason);
+  }
+}
+
+}  // namespace mahimahi::net::mux

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "http/parser.hpp"
+#include "net/tcp.hpp"
+
+namespace mahimahi::net::mux {
+
+/// A SPDY-like multiplexing protocol over one TCP connection per origin —
+/// the kind of "new multiplexing protocol" the paper's introduction says
+/// the toolkit exists to evaluate.
+///
+/// Wire format (little-endian): stream_id u32 | type u8 | length u32 |
+/// payload. A kRequest frame carries one serialized HTTP request; the
+/// server answers with kData frames carrying the serialized HTTP response
+/// in chunks, interleaved round-robin across active streams and paced
+/// against the TCP send buffer, then a kEnd frame. Many streams share one
+/// connection: no per-request handshakes, no six-connection limit — and
+/// full exposure to TCP head-of-line blocking under loss.
+struct Frame {
+  enum class Type : std::uint8_t { kRequest = 1, kData = 2, kEnd = 3 };
+  std::uint32_t stream_id{0};
+  Type type{Type::kData};
+  std::string payload;
+
+  bool operator==(const Frame&) const = default;
+};
+
+std::string encode_frame(const Frame& frame);
+
+/// Incremental frame decoder (arbitrary fragmentation).
+class FrameParser {
+ public:
+  void push(std::string_view bytes);
+  [[nodiscard]] bool has_frame() const { return !frames_.empty(); }
+  Frame pop();
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  /// Frames above this payload size indicate a corrupt stream.
+  static constexpr std::uint32_t kMaxPayload = 8u << 20;
+
+ private:
+  std::string buffer_;
+  std::deque<Frame> frames_;
+  bool failed_{false};
+};
+
+/// Server side: binds an origin address and answers mux-framed HTTP
+/// requests with the same Handler signature HttpServer uses.
+class MuxServer {
+ public:
+  using Handler = std::function<http::Response(const http::Request&)>;
+
+  MuxServer(Fabric& fabric, Address local, Handler handler,
+            Microseconds processing_delay = 0,
+            std::size_t chunk_bytes = 16 * 1024);
+
+  [[nodiscard]] Address address() const { return listener_.local_address(); }
+  [[nodiscard]] std::uint64_t requests_served() const { return requests_served_; }
+  [[nodiscard]] std::uint64_t total_accepted() const {
+    return listener_.total_accepted();
+  }
+
+ private:
+  struct Session {
+    std::weak_ptr<TcpConnection> connection;
+    FrameParser parser;
+    /// Per-stream unsent response bytes, round-robin drained.
+    std::map<std::uint32_t, std::string> pending_streams;
+    std::map<std::uint32_t, std::string>::iterator next_stream;
+    bool writer_scheduled{false};
+
+    Session() : next_stream{pending_streams.end()} {}
+  };
+
+  TcpConnection::Callbacks make_callbacks(
+      const std::shared_ptr<TcpConnection>& connection);
+  void on_data(const std::shared_ptr<Session>& session, std::string_view bytes);
+  void start_response(const std::shared_ptr<Session>& session,
+                      std::uint32_t stream_id, http::Response response);
+  void pump_writer(const std::shared_ptr<Session>& session);
+
+  Fabric& fabric_;
+  Handler handler_;
+  Microseconds processing_delay_;
+  std::size_t chunk_bytes_;
+  std::uint64_t requests_served_{0};
+  TcpListener listener_;
+};
+
+/// Client side: one connection, many concurrent fetches.
+class MuxClientConnection {
+ public:
+  using ResponseCallback = std::function<void(http::Response)>;
+  using ErrorCallback = std::function<void(const std::string& reason)>;
+
+  MuxClientConnection(Fabric& fabric, Address server,
+                      ErrorCallback on_error = {});
+
+  MuxClientConnection(const MuxClientConnection&) = delete;
+  MuxClientConnection& operator=(const MuxClientConnection&) = delete;
+
+  /// Issue a request; unlike HTTP/1.1, any number may be outstanding.
+  void fetch(http::Request request, ResponseCallback callback);
+
+  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] std::size_t outstanding() const { return streams_.size(); }
+  [[nodiscard]] const TcpConnection& connection() const {
+    return client_.connection();
+  }
+
+ private:
+  struct Stream {
+    http::ResponseParser parser;
+    ResponseCallback callback;
+  };
+
+  void on_data(std::string_view bytes);
+  void fail(const std::string& reason);
+
+  Fabric& fabric_;
+  FrameParser parser_;
+  std::map<std::uint32_t, Stream> streams_;
+  std::uint32_t next_stream_id_{1};
+  bool connected_{false};
+  bool alive_{true};
+  std::deque<std::string> queued_frames_;  // sent once connected
+  ErrorCallback on_error_;
+  TcpClient client_;  // declared last: callbacks reference the above
+};
+
+}  // namespace mahimahi::net::mux

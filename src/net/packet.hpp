@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/address.hpp"
+#include "util/time.hpp"
+
+namespace mahimahi::net {
+
+/// Wire MTU used throughout (matches mahimahi's DATAGRAM_SIZE).
+inline constexpr std::size_t kMtuBytes = 1500;
+
+/// Bytes of IP + TCP header accounted per segment (20 IP + 32 TCP with
+/// timestamp options — what Linux actually puts on the wire).
+inline constexpr std::size_t kTcpHeaderBytes = 52;
+
+/// Bytes of IP + UDP header per datagram.
+inline constexpr std::size_t kUdpHeaderBytes = 28;
+
+/// Maximum TCP payload per segment.
+inline constexpr std::size_t kMss = kMtuBytes - kTcpHeaderBytes;  // 1448
+
+enum class Protocol : std::uint8_t { kTcp, kUdp };
+
+/// TCP segment fields. Segments are modelled structurally (no header-byte
+/// serialization) — the emulation elements only care about sizes and the
+/// endpoints only care about these fields.
+struct TcpSegment {
+  std::uint64_t seq{0};   // byte offset of first payload byte (SYN/FIN consume one)
+  std::uint64_t ack{0};   // next byte expected (valid when has_ack)
+  bool syn{false};
+  bool fin{false};
+  bool rst{false};
+  bool has_ack{false};
+  std::string payload;
+};
+
+/// One simulated IP packet.
+struct Packet {
+  Address src;
+  Address dst;
+  Protocol protocol{Protocol::kTcp};
+  TcpSegment tcp;       // valid when protocol == kTcp
+  std::string payload;  // valid when protocol == kUdp
+  std::uint64_t id{0};  // unique per fabric, for logs/tests
+  Microseconds queued_at{0};  // set by elements for queue-delay logging
+
+  /// Total bytes this packet occupies on the wire (headers included) —
+  /// what delivery opportunities are charged against.
+  [[nodiscard]] std::size_t wire_size() const {
+    if (protocol == Protocol::kTcp) {
+      return kTcpHeaderBytes + tcp.payload.size();
+    }
+    return kUdpHeaderBytes + payload.size();
+  }
+};
+
+/// Which way a packet is travelling through an element chain:
+/// uplink = away from the application (client), toward origin servers.
+enum class Direction : std::uint8_t { kUplink, kDownlink };
+
+constexpr Direction opposite(Direction d) {
+  return d == Direction::kUplink ? Direction::kDownlink : Direction::kUplink;
+}
+
+constexpr const char* direction_name(Direction d) {
+  return d == Direction::kUplink ? "uplink" : "downlink";
+}
+
+}  // namespace mahimahi::net

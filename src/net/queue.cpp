@@ -1,0 +1,190 @@
+#include "net/queue.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace mahimahi::net {
+
+// --- InfiniteQueue --------------------------------------------------------
+
+void InfiniteQueue::enqueue(Packet&& packet, Microseconds now) {
+  packet.queued_at = now;
+  bytes_ += packet.wire_size();
+  queue_.push_back(std::move(packet));
+}
+
+std::optional<Packet> InfiniteQueue::dequeue(Microseconds /*now*/) {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  Packet packet = std::move(queue_.front());
+  queue_.pop_front();
+  bytes_ -= packet.wire_size();
+  return packet;
+}
+
+// --- DropTailQueue ---------------------------------------------------------
+
+DropTailQueue::DropTailQueue(std::size_t max_packets, std::size_t max_bytes)
+    : max_packets_{max_packets}, max_bytes_{max_bytes} {
+  if (max_packets_ == 0 && max_bytes_ == 0) {
+    throw std::invalid_argument{"droptail queue needs a packet or byte bound"};
+  }
+}
+
+bool DropTailQueue::would_overflow(const Packet& packet) const {
+  if (max_packets_ != 0 && queue_.size() + 1 > max_packets_) {
+    return true;
+  }
+  return max_bytes_ != 0 && bytes_ + packet.wire_size() > max_bytes_;
+}
+
+void DropTailQueue::enqueue(Packet&& packet, Microseconds now) {
+  if (would_overflow(packet)) {
+    ++drops_;
+    return;
+  }
+  packet.queued_at = now;
+  bytes_ += packet.wire_size();
+  queue_.push_back(std::move(packet));
+}
+
+std::optional<Packet> DropTailQueue::dequeue(Microseconds /*now*/) {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  Packet packet = std::move(queue_.front());
+  queue_.pop_front();
+  bytes_ -= packet.wire_size();
+  return packet;
+}
+
+// --- DropHeadQueue ----------------------------------------------------------
+
+DropHeadQueue::DropHeadQueue(std::size_t max_packets, std::size_t max_bytes)
+    : max_packets_{max_packets}, max_bytes_{max_bytes} {
+  if (max_packets_ == 0 && max_bytes_ == 0) {
+    throw std::invalid_argument{"drophead queue needs a packet or byte bound"};
+  }
+}
+
+void DropHeadQueue::enqueue(Packet&& packet, Microseconds now) {
+  // Evict from the head until the new packet fits. A packet larger than
+  // the byte bound itself can never fit; count it dropped.
+  if (max_bytes_ != 0 && packet.wire_size() > max_bytes_) {
+    ++drops_;
+    return;
+  }
+  while ((max_packets_ != 0 && queue_.size() + 1 > max_packets_) ||
+         (max_bytes_ != 0 && bytes_ + packet.wire_size() > max_bytes_)) {
+    MAHI_ASSERT(!queue_.empty());
+    bytes_ -= queue_.front().wire_size();
+    queue_.pop_front();
+    ++drops_;
+  }
+  packet.queued_at = now;
+  bytes_ += packet.wire_size();
+  queue_.push_back(std::move(packet));
+}
+
+std::optional<Packet> DropHeadQueue::dequeue(Microseconds /*now*/) {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  Packet packet = std::move(queue_.front());
+  queue_.pop_front();
+  bytes_ -= packet.wire_size();
+  return packet;
+}
+
+// --- CoDelQueue -------------------------------------------------------------
+
+CoDelQueue::CoDelQueue(Microseconds target, Microseconds interval,
+                       std::size_t max_packets)
+    : target_{target}, interval_{interval}, max_packets_{max_packets} {
+  if (target_ <= 0 || interval_ <= 0) {
+    throw std::invalid_argument{"codel target/interval must be positive"};
+  }
+}
+
+void CoDelQueue::enqueue(Packet&& packet, Microseconds now) {
+  if (max_packets_ != 0 && queue_.size() >= max_packets_) {
+    ++drops_;
+    return;
+  }
+  packet.queued_at = now;
+  bytes_ += packet.wire_size();
+  queue_.push_back(std::move(packet));
+}
+
+bool CoDelQueue::should_drop(const Packet& packet, Microseconds now) {
+  const Microseconds sojourn = now - packet.queued_at;
+  if (sojourn < target_ || queue_.size() <= 1) {
+    first_above_time_ = 0;
+    return false;
+  }
+  if (first_above_time_ == 0) {
+    first_above_time_ = now + interval_;
+    return false;
+  }
+  return now >= first_above_time_;
+}
+
+std::optional<Packet> CoDelQueue::dequeue(Microseconds now) {
+  while (!queue_.empty()) {
+    Packet packet = std::move(queue_.front());
+    queue_.pop_front();
+    bytes_ -= packet.wire_size();
+
+    const bool above = should_drop(packet, now);
+    if (!dropping_) {
+      if (above && now >= drop_next_) {
+        // Enter dropping state; control law restarts (RFC 8289 §5.2).
+        dropping_ = true;
+        drop_count_ = drop_count_ > 2 ? drop_count_ - 2 : 1;
+        drop_next_ = now + static_cast<Microseconds>(
+                               static_cast<double>(interval_) /
+                               std::sqrt(static_cast<double>(drop_count_)));
+        ++drops_;
+        continue;  // drop this packet, try the next
+      }
+      return packet;
+    }
+    // In dropping state.
+    if (!above) {
+      dropping_ = false;
+      return packet;
+    }
+    if (now >= drop_next_) {
+      ++drop_count_;
+      drop_next_ += static_cast<Microseconds>(
+          static_cast<double>(interval_) /
+          std::sqrt(static_cast<double>(drop_count_)));
+      ++drops_;
+      continue;
+    }
+    return packet;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<PacketQueue> make_queue(const QueueSpec& spec) {
+  if (spec.discipline == "infinite") {
+    return std::make_unique<InfiniteQueue>();
+  }
+  if (spec.discipline == "droptail") {
+    return std::make_unique<DropTailQueue>(spec.max_packets, spec.max_bytes);
+  }
+  if (spec.discipline == "drophead") {
+    return std::make_unique<DropHeadQueue>(spec.max_packets, spec.max_bytes);
+  }
+  if (spec.discipline == "codel") {
+    return std::make_unique<CoDelQueue>(spec.codel_target, spec.codel_interval,
+                                        spec.max_packets);
+  }
+  throw std::invalid_argument{"unknown queue discipline: " + spec.discipline};
+}
+
+}  // namespace mahimahi::net

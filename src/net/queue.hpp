@@ -1,0 +1,140 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/packet.hpp"
+#include "util/time.hpp"
+
+namespace mahimahi::net {
+
+/// Packet queue discipline, as selected by mm-link's --uplink-queue= /
+/// --downlink-queue= options. Implementations decide what to do on
+/// overflow; dequeue order is FIFO for all shipped disciplines.
+class PacketQueue {
+ public:
+  virtual ~PacketQueue() = default;
+
+  /// Offer a packet at time `now`. The queue may drop it (or another
+  /// queued packet) according to its discipline.
+  virtual void enqueue(Packet&& packet, Microseconds now) = 0;
+
+  /// Remove the head packet, if any. `now` lets AQMs (CoDel) decide drops.
+  virtual std::optional<Packet> dequeue(Microseconds now) = 0;
+
+  [[nodiscard]] virtual std::size_t packet_count() const = 0;
+  [[nodiscard]] virtual std::size_t byte_count() const = 0;
+  [[nodiscard]] bool empty() const { return packet_count() == 0; }
+
+  /// Packets dropped so far (overflow or AQM).
+  [[nodiscard]] virtual std::uint64_t drops() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Unbounded FIFO — mm-link's default (and DelayShell's only) queue.
+class InfiniteQueue final : public PacketQueue {
+ public:
+  void enqueue(Packet&& packet, Microseconds now) override;
+  std::optional<Packet> dequeue(Microseconds now) override;
+  [[nodiscard]] std::size_t packet_count() const override { return queue_.size(); }
+  [[nodiscard]] std::size_t byte_count() const override { return bytes_; }
+  [[nodiscard]] std::uint64_t drops() const override { return 0; }
+  [[nodiscard]] std::string name() const override { return "infinite"; }
+
+ private:
+  std::deque<Packet> queue_;
+  std::size_t bytes_{0};
+};
+
+/// Bounded FIFO that drops arriving packets when full (tail drop).
+/// Capacity may be expressed in packets, bytes, or both (0 = unlimited,
+/// but at least one bound must be set).
+class DropTailQueue final : public PacketQueue {
+ public:
+  DropTailQueue(std::size_t max_packets, std::size_t max_bytes);
+
+  void enqueue(Packet&& packet, Microseconds now) override;
+  std::optional<Packet> dequeue(Microseconds now) override;
+  [[nodiscard]] std::size_t packet_count() const override { return queue_.size(); }
+  [[nodiscard]] std::size_t byte_count() const override { return bytes_; }
+  [[nodiscard]] std::uint64_t drops() const override { return drops_; }
+  [[nodiscard]] std::string name() const override { return "droptail"; }
+
+ private:
+  [[nodiscard]] bool would_overflow(const Packet& packet) const;
+
+  std::size_t max_packets_;
+  std::size_t max_bytes_;
+  std::deque<Packet> queue_;
+  std::size_t bytes_{0};
+  std::uint64_t drops_{0};
+};
+
+/// Bounded FIFO that evicts the *oldest* packet to admit a new one.
+class DropHeadQueue final : public PacketQueue {
+ public:
+  DropHeadQueue(std::size_t max_packets, std::size_t max_bytes);
+
+  void enqueue(Packet&& packet, Microseconds now) override;
+  std::optional<Packet> dequeue(Microseconds now) override;
+  [[nodiscard]] std::size_t packet_count() const override { return queue_.size(); }
+  [[nodiscard]] std::size_t byte_count() const override { return bytes_; }
+  [[nodiscard]] std::uint64_t drops() const override { return drops_; }
+  [[nodiscard]] std::string name() const override { return "drophead"; }
+
+ private:
+  std::size_t max_packets_;
+  std::size_t max_bytes_;
+  std::deque<Packet> queue_;
+  std::size_t bytes_{0};
+  std::uint64_t drops_{0};
+};
+
+/// CoDel AQM (RFC 8289) — mahimahi's mm-link --*-queue=codel. Drops at
+/// dequeue when packets have sat longer than `target` for at least an
+/// `interval`, with the standard sqrt-rate control law.
+class CoDelQueue final : public PacketQueue {
+ public:
+  explicit CoDelQueue(Microseconds target = 5'000 /* 5 ms */,
+                      Microseconds interval = 100'000 /* 100 ms */,
+                      std::size_t max_packets = 0 /* 0 = unbounded */);
+
+  void enqueue(Packet&& packet, Microseconds now) override;
+  std::optional<Packet> dequeue(Microseconds now) override;
+  [[nodiscard]] std::size_t packet_count() const override { return queue_.size(); }
+  [[nodiscard]] std::size_t byte_count() const override { return bytes_; }
+  [[nodiscard]] std::uint64_t drops() const override { return drops_; }
+  [[nodiscard]] std::string name() const override { return "codel"; }
+
+ private:
+  [[nodiscard]] bool should_drop(const Packet& packet, Microseconds now);
+
+  Microseconds target_;
+  Microseconds interval_;
+  std::size_t max_packets_;
+  std::deque<Packet> queue_;
+  std::size_t bytes_{0};
+  std::uint64_t drops_{0};
+  // CoDel state machine.
+  bool dropping_{false};
+  Microseconds first_above_time_{0};
+  Microseconds drop_next_{0};
+  std::uint32_t drop_count_{0};
+};
+
+/// Construct a queue from mm-link-style spec: "infinite", "droptail",
+/// "drophead" (with packet/byte limits), or "codel".
+struct QueueSpec {
+  std::string discipline{"infinite"};
+  std::size_t max_packets{0};
+  std::size_t max_bytes{0};
+  Microseconds codel_target{5'000};
+  Microseconds codel_interval{100'000};
+};
+
+std::unique_ptr<PacketQueue> make_queue(const QueueSpec& spec);
+
+}  // namespace mahimahi::net

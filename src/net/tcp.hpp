@@ -1,0 +1,234 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/fabric.hpp"
+#include "net/packet.hpp"
+#include "util/time.hpp"
+
+namespace mahimahi::net {
+
+/// Simulated TCP with the mechanisms that shape page-load time: three-way
+/// handshake, slow start (IW10), AIMD congestion avoidance, fast
+/// retransmit/recovery (Reno with NewReno partial-ack retransmission),
+/// RFC 6298 RTO estimation with exponential backoff, cumulative ACKs and
+/// out-of-order reassembly. Flow control (rwnd) is not modelled — the
+/// receiver is assumed able to keep up, which holds for page loads.
+///
+/// Segments are modelled structurally (see TcpSegment); payload bytes are
+/// real, so HTTP messages cross the emulated network byte-for-byte.
+class TcpConnection {
+ public:
+  struct Callbacks {
+    std::function<void()> on_connected;            // handshake complete
+    std::function<void(std::string_view)> on_data; // in-order payload bytes
+    std::function<void()> on_peer_close;           // peer's FIN arrived
+    std::function<void()> on_reset;                // RST or handshake failure
+    /// New data was acknowledged — the hook application-level writers use
+    /// to pace themselves against the send buffer (epoll-writability
+    /// equivalent). Optional.
+    std::function<void()> on_send_progress;
+  };
+
+  struct Config {
+    std::uint32_t initial_window_segments{10};  // IW10 (RFC 6928)
+    Microseconds min_rto{200'000};              // Linux's 200 ms floor
+    Microseconds initial_rto{1'000'000};        // RFC 6298 §2.1
+    Microseconds max_rto{60'000'000};
+    int max_syn_retries{6};
+    int max_rto_retries{8};  // consecutive timeouts before giving up
+  };
+
+  /// Constructs an idle connection. The caller's wrapper binds `local` in
+  /// the fabric, then calls start() (active open, client) or accept_syn()
+  /// (passive open, listener). See TcpClient / TcpListener below.
+  TcpConnection(Fabric& fabric, Side side, Address local, Address remote,
+                Callbacks callbacks, Config config);
+
+  ~TcpConnection();
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Active open: send the SYN. Call after the local address is bound.
+  void start();
+
+  /// Passive open: consume the peer's SYN and answer SYN-ACK.
+  void accept_syn(const TcpSegment& syn);
+
+  /// Install callbacks after construction (listener accept path).
+  void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  /// Queue application bytes for transmission.
+  void send(std::string data);
+
+  /// Close the send side once queued data is delivered (FIN).
+  void close();
+
+  /// Abort: send RST, drop all state.
+  void abort();
+
+  /// Feed an incoming packet (called by TcpClient/TcpListener demux).
+  void handle_packet(Packet&& packet);
+
+  [[nodiscard]] bool established() const { return state_ == State::kEstablished ||
+                                                  state_ == State::kCloseWait; }
+  [[nodiscard]] bool closed() const { return state_ == State::kClosed; }
+  [[nodiscard]] bool send_side_closed() const { return fin_queued_; }
+  [[nodiscard]] Address local_address() const { return local_; }
+  [[nodiscard]] Address remote_address() const { return remote_; }
+
+  /// Application bytes accepted by send() but not yet acknowledged by the
+  /// peer (send-buffer occupancy).
+  [[nodiscard]] std::uint64_t unacked_send_bytes() const {
+    return send_buffer_.size();
+  }
+
+  // --- introspection for tests and meters ---
+  [[nodiscard]] std::uint64_t bytes_sent_app() const { return bytes_sent_app_; }
+  [[nodiscard]] std::uint64_t bytes_received_app() const { return bytes_received_app_; }
+  [[nodiscard]] std::uint64_t segments_sent() const { return segments_sent_; }
+  [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+  [[nodiscard]] double cwnd_bytes() const { return cwnd_; }
+  [[nodiscard]] Microseconds smoothed_rtt() const { return srtt_; }
+
+  /// Called when this connection fully closes; wrappers use it to unbind.
+  std::function<void()> on_destroyed;
+
+ private:
+  enum class State {
+    kSynSent,
+    kSynReceived,
+    kEstablished,
+    kCloseWait,   // peer FIN received, we may still send
+    kFinSent,     // our FIN sent, waiting for its ACK
+    kClosed,
+  };
+
+  void emit_segment(TcpSegment segment);
+  void send_syn();
+  void send_pure_ack();
+  void try_send_data();
+  void send_data_segment(std::uint64_t seq, std::size_t length, bool retransmit);
+  void handle_ack(const TcpSegment& seg);
+  void handle_payload(const Packet& packet);
+  void deliver_in_order();
+  void enter_recovery();
+  void on_rto_expired();
+  void arm_retransmit_timer();
+  void disarm_retransmit_timer();
+  void rtt_sample(Microseconds sample);
+  void maybe_finish_close();
+  void become_closed();
+
+  [[nodiscard]] std::uint64_t flight_size() const { return snd_nxt_ - snd_una_; }
+  [[nodiscard]] Microseconds rto() const;
+
+  Fabric& fabric_;
+  EventLoop& loop_;
+  Side side_;
+  Address local_;
+  Address remote_;
+  Callbacks callbacks_;
+  Config config_;
+  State state_{State::kClosed};
+
+  // --- send side ---
+  // Sequence numbering: SYN consumes seq 0; application data starts at 1.
+  std::string send_buffer_;        // bytes [snd_buffer_base_, ...) queued/unacked
+  std::uint64_t send_buffer_base_{1};
+  std::uint64_t snd_una_{0};
+  std::uint64_t snd_nxt_{0};
+  bool fin_queued_{false};
+  bool fin_sent_{false};
+  std::uint64_t fin_seq_{0};
+  double cwnd_{0};
+  double ssthresh_{1e18};
+  // Fast retransmit / recovery.
+  int dup_acks_{0};
+  bool in_recovery_{false};
+  std::uint64_t recovery_point_{0};
+  // RTT estimation (Karn's algorithm via a single untimed-on-retransmit sample).
+  bool rtt_sample_pending_{false};
+  std::uint64_t rtt_sample_end_seq_{0};
+  Microseconds rtt_sample_sent_at_{0};
+  Microseconds syn_sent_at_{0};  // handshake RTT sample
+  Microseconds srtt_{0};
+  Microseconds rttvar_{0};
+  Microseconds backoff_rto_{0};  // nonzero while backing off
+  EventLoop::EventId rto_event_{0};
+  int syn_retries_{0};
+  int consecutive_rtos_{0};
+
+  // --- receive side ---
+  std::uint64_t rcv_nxt_{0};
+  std::map<std::uint64_t, std::string> out_of_order_;
+  bool delivering_{false};  // re-entrancy guard for deliver_in_order()
+  bool peer_fin_seen_{false};
+  std::uint64_t peer_fin_seq_{0};
+  bool our_fin_acked_{false};
+
+  // --- counters ---
+  std::uint64_t bytes_sent_app_{0};
+  std::uint64_t bytes_received_app_{0};
+  std::uint64_t segments_sent_{0};
+  std::uint64_t retransmissions_{0};
+};
+
+/// Client-side convenience: allocates an ephemeral address, binds it in the
+/// fabric, owns the connection, and unbinds on close.
+class TcpClient {
+ public:
+  TcpClient(Fabric& fabric, Address remote, TcpConnection::Callbacks callbacks,
+            TcpConnection::Config config = {});
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  [[nodiscard]] TcpConnection& connection() { return *connection_; }
+  [[nodiscard]] const TcpConnection& connection() const { return *connection_; }
+
+ private:
+  Fabric& fabric_;
+  Address local_;
+  std::unique_ptr<TcpConnection> connection_;
+};
+
+/// Server-side listener: binds a server address, accepts SYNs, demuxes
+/// packets to per-peer connections.
+class TcpListener {
+ public:
+  /// Called for each new connection, before the SYN-ACK goes out; returns
+  /// the callbacks to install — practically, the handler wires an HTTP
+  /// server session around the connection. The shared_ptr lets sessions
+  /// hold weak references that outlive nothing.
+  using AcceptHandler = std::function<TcpConnection::Callbacks(
+      const std::shared_ptr<TcpConnection>& connection)>;
+
+  TcpListener(Fabric& fabric, Address local, AcceptHandler on_accept,
+              TcpConnection::Config config = {});
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] Address local_address() const { return local_; }
+  [[nodiscard]] std::size_t active_connections() const { return connections_.size(); }
+  [[nodiscard]] std::uint64_t total_accepted() const { return total_accepted_; }
+
+ private:
+  void handle_packet(Packet&& packet);
+
+  Fabric& fabric_;
+  Address local_;
+  AcceptHandler on_accept_;
+  TcpConnection::Config config_;
+  std::map<Address, std::shared_ptr<TcpConnection>> connections_;
+  std::uint64_t total_accepted_{0};
+};
+
+}  // namespace mahimahi::net

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+#include "http/message.hpp"
+#include "net/address.hpp"
+#include "util/time.hpp"
+
+namespace mahimahi::record {
+
+/// One recorded request/response pair — what RecordShell writes to disk
+/// for every HTTP transaction it proxies (mahimahi stores one protobuf
+/// file per pair; we store one MahiTLV file per pair).
+struct RecordedExchange {
+  http::Request request;
+  http::Response response;
+  std::string scheme{"http"};     // "http" or "https"
+  net::Address server_address;    // the origin's real (IP, port)
+  Microseconds recorded_at{0};    // when the response completed, in
+                                  // record-session time
+
+  bool operator==(const RecordedExchange&) const = default;
+
+  /// Host (lowercased) this exchange belongs to, from the request.
+  [[nodiscard]] std::string host() const { return request.host(); }
+
+  /// Request path without the query string.
+  [[nodiscard]] std::string path() const;
+
+  /// Query string (may be empty).
+  [[nodiscard]] std::string query() const;
+};
+
+}  // namespace mahimahi::record

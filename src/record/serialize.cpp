@@ -1,0 +1,245 @@
+#include "record/serialize.hpp"
+
+#include <sstream>
+
+#include "http/status.hpp"
+#include "util/strings.hpp"
+
+namespace mahimahi::record {
+namespace {
+
+constexpr std::string_view kMagic = "MTLV";
+constexpr std::uint8_t kVersion = 1;
+
+// Field tags.
+enum class Tag : std::uint8_t {
+  kScheme = 1,
+  kServerAddress = 2,
+  kRecordedAt = 3,
+  kRequestMethod = 10,
+  kRequestTarget = 11,
+  kRequestVersion = 12,
+  kRequestHeader = 13,  // repeated; value is "name\0value"
+  kRequestBody = 14,
+  kResponseVersion = 20,
+  kResponseStatus = 21,
+  kResponseReason = 22,
+  kResponseHeader = 23,  // repeated
+  kResponseBody = 24,
+};
+
+class Writer {
+ public:
+  void field(Tag tag, std::string_view value) {
+    out_ += static_cast<char>(tag);
+    put_u32(static_cast<std::uint32_t>(value.size()));
+    out_.append(value);
+  }
+
+  void field_u64(Tag tag, std::uint64_t value) {
+    char buf[8];
+    for (int i = 0; i < 8; ++i) {
+      buf[i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+    }
+    field(tag, std::string_view{buf, 8});
+  }
+
+  void header_field(Tag tag, const http::HeaderField& header) {
+    std::string packed = header.name;
+    packed += '\0';
+    packed += header.value;
+    field(tag, packed);
+  }
+
+  std::string finish() && {
+    std::string result{kMagic};
+    result += static_cast<char>(kVersion);
+    result += out_;
+    return result;
+  }
+
+ private:
+  void put_u32(std::uint32_t value) {
+    for (int i = 0; i < 4; ++i) {
+      out_ += static_cast<char>((value >> (8 * i)) & 0xFF);
+    }
+  }
+
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_{bytes} {}
+
+  bool done() const { return offset_ >= bytes_.size(); }
+
+  std::pair<Tag, std::string_view> next() {
+    if (offset_ + 5 > bytes_.size()) {
+      throw SerializeError{"truncated field header"};
+    }
+    const Tag tag = static_cast<Tag>(bytes_[offset_]);
+    ++offset_;
+    std::uint32_t length = 0;
+    for (int i = 0; i < 4; ++i) {
+      length |= static_cast<std::uint32_t>(
+                    static_cast<unsigned char>(bytes_[offset_ + static_cast<std::size_t>(i)]))
+                << (8 * i);
+    }
+    offset_ += 4;
+    if (offset_ + length > bytes_.size()) {
+      throw SerializeError{"field length exceeds buffer"};
+    }
+    const std::string_view value = bytes_.substr(offset_, length);
+    offset_ += length;
+    return {tag, value};
+  }
+
+ private:
+  std::string_view bytes_;
+  std::size_t offset_{0};
+};
+
+std::uint64_t read_u64(std::string_view value) {
+  if (value.size() != 8) {
+    throw SerializeError{"bad u64 field size"};
+  }
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(value[static_cast<std::size_t>(i)]))
+           << (8 * i);
+  }
+  return out;
+}
+
+http::HeaderField unpack_header(std::string_view value) {
+  const std::size_t nul = value.find('\0');
+  if (nul == std::string_view::npos) {
+    throw SerializeError{"header field missing separator"};
+  }
+  return http::HeaderField{std::string{value.substr(0, nul)},
+                           std::string{value.substr(nul + 1)}};
+}
+
+}  // namespace
+
+std::string encode_exchange(const RecordedExchange& exchange) {
+  Writer writer;
+  writer.field(Tag::kScheme, exchange.scheme);
+  writer.field(Tag::kServerAddress, exchange.server_address.to_string());
+  writer.field_u64(Tag::kRecordedAt,
+                   static_cast<std::uint64_t>(exchange.recorded_at));
+
+  writer.field(Tag::kRequestMethod, http::method_name(exchange.request.method));
+  writer.field(Tag::kRequestTarget, exchange.request.target);
+  writer.field(Tag::kRequestVersion, exchange.request.version);
+  for (const auto& header : exchange.request.headers) {
+    writer.header_field(Tag::kRequestHeader, header);
+  }
+  writer.field(Tag::kRequestBody, exchange.request.body);
+
+  writer.field(Tag::kResponseVersion, exchange.response.version);
+  writer.field_u64(Tag::kResponseStatus,
+                   static_cast<std::uint64_t>(exchange.response.status));
+  writer.field(Tag::kResponseReason, exchange.response.reason);
+  for (const auto& header : exchange.response.headers) {
+    writer.header_field(Tag::kResponseHeader, header);
+  }
+  writer.field(Tag::kResponseBody, exchange.response.body);
+  return std::move(writer).finish();
+}
+
+RecordedExchange decode_exchange(std::string_view bytes) {
+  if (bytes.size() < kMagic.size() + 1 ||
+      bytes.substr(0, kMagic.size()) != kMagic) {
+    throw SerializeError{"bad magic (not a MahiTLV file)"};
+  }
+  const auto version = static_cast<std::uint8_t>(bytes[kMagic.size()]);
+  if (version != kVersion) {
+    throw SerializeError{"unsupported MahiTLV version " + std::to_string(version)};
+  }
+  Reader reader{bytes.substr(kMagic.size() + 1)};
+  RecordedExchange exchange;
+  bool saw_method = false;
+  bool saw_status = false;
+  while (!reader.done()) {
+    const auto [tag, value] = reader.next();
+    switch (tag) {
+      case Tag::kScheme:
+        exchange.scheme = std::string{value};
+        break;
+      case Tag::kServerAddress: {
+        const auto address = net::Address::parse(value);
+        if (!address) {
+          throw SerializeError{"bad server address: " + std::string{value}};
+        }
+        exchange.server_address = *address;
+        break;
+      }
+      case Tag::kRecordedAt:
+        exchange.recorded_at = static_cast<Microseconds>(read_u64(value));
+        break;
+      case Tag::kRequestMethod: {
+        const auto method = http::parse_method(value);
+        if (!method) {
+          throw SerializeError{"bad method: " + std::string{value}};
+        }
+        exchange.request.method = *method;
+        saw_method = true;
+        break;
+      }
+      case Tag::kRequestTarget:
+        exchange.request.target = std::string{value};
+        break;
+      case Tag::kRequestVersion:
+        exchange.request.version = std::string{value};
+        break;
+      case Tag::kRequestHeader: {
+        const auto header = unpack_header(value);
+        exchange.request.headers.add(header.name, header.value);
+        break;
+      }
+      case Tag::kRequestBody:
+        exchange.request.body = std::string{value};
+        break;
+      case Tag::kResponseVersion:
+        exchange.response.version = std::string{value};
+        break;
+      case Tag::kResponseStatus:
+        exchange.response.status = static_cast<int>(read_u64(value));
+        saw_status = true;
+        break;
+      case Tag::kResponseReason:
+        exchange.response.reason = std::string{value};
+        break;
+      case Tag::kResponseHeader: {
+        const auto header = unpack_header(value);
+        exchange.response.headers.add(header.name, header.value);
+        break;
+      }
+      case Tag::kResponseBody:
+        exchange.response.body = std::string{value};
+        break;
+      default:
+        // Unknown tags are skipped (forward compatibility).
+        break;
+    }
+  }
+  if (!saw_method || !saw_status) {
+    throw SerializeError{"incomplete exchange (missing method or status)"};
+  }
+  return exchange;
+}
+
+std::string describe_exchange(const RecordedExchange& exchange) {
+  std::ostringstream out;
+  out << exchange.scheme << "://" << exchange.host() << exchange.request.target
+      << " @ " << exchange.server_address.to_string() << "\n  "
+      << http::method_name(exchange.request.method) << " -> "
+      << exchange.response.status << ' ' << exchange.response.reason << " ("
+      << util::format_bytes(exchange.response.body.size()) << ")";
+  return out.str();
+}
+
+}  // namespace mahimahi::record

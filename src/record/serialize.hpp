@@ -1,0 +1,29 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "record/exchange.hpp"
+
+namespace mahimahi::record {
+
+/// Serialization error (truncated/corrupt stored files).
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Encode an exchange in MahiTLV: a little-endian tag-length-value format
+/// standing in for the protobuf schema mahimahi uses on disk. The format
+/// is versioned and self-framing, so stores survive library upgrades and
+/// corrupt files fail loudly rather than silently.
+std::string encode_exchange(const RecordedExchange& exchange);
+
+/// Decode; throws SerializeError on any malformation.
+RecordedExchange decode_exchange(std::string_view bytes);
+
+/// Human-readable dump (debugging aid, mirrors `mm-dump`-style output).
+std::string describe_exchange(const RecordedExchange& exchange);
+
+}  // namespace mahimahi::record

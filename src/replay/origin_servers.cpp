@@ -1,0 +1,83 @@
+#include "replay/origin_servers.hpp"
+
+#include <set>
+
+#include "util/logging.hpp"
+
+namespace mahimahi::replay {
+
+OriginServerSet::OriginServerSet(net::Fabric& fabric,
+                                 const record::RecordStore& store,
+                                 Options options)
+    : matcher_{store} {
+  // Every server shares one handler: match against the whole corpus.
+  const auto handler = [this](const http::Request& request) {
+    return matcher_.respond(request);
+  };
+
+  const auto spawn = [&](const net::Address& address) {
+    if (options.multiplexed) {
+      mux_servers_.push_back(std::make_unique<net::mux::MuxServer>(
+          fabric, address, handler, options.processing_delay));
+    } else {
+      servers_.push_back(std::make_unique<net::HttpServer>(
+          fabric, address, handler, options.processing_delay));
+      servers_.back()->set_worker_pool(options.worker_pool);
+    }
+  };
+
+  if (options.single_server) {
+    // One IP; one listener per distinct recorded port (80, 443, ...).
+    std::set<std::uint16_t> ports;
+    for (const auto& address : store.distinct_servers()) {
+      ports.insert(address.port);
+    }
+    if (ports.empty()) {
+      ports.insert(80);
+    }
+    for (const auto port : ports) {
+      spawn(net::Address{options.single_server_ip, port});
+    }
+    for (const auto& [host, ip] : store.host_bindings()) {
+      (void)ip;  // every name resolves to the single server
+      dns_.add(host, options.single_server_ip);
+    }
+    MAHI_INFO("replay") << "single-server mode: " << server_count()
+                        << " listener(s), " << dns_.size() << " DNS names";
+    return;
+  }
+
+  // Multi-origin mode: mirror the recorded server topology exactly.
+  for (const auto& address : store.distinct_servers()) {
+    spawn(address);
+  }
+  for (const auto& [host, ip] : store.host_bindings()) {
+    dns_.add(host, ip);
+  }
+  MAHI_INFO("replay") << "multi-origin mode: " << server_count()
+                      << " servers, " << dns_.size() << " DNS names";
+}
+
+std::uint64_t OriginServerSet::requests_served() const {
+  std::uint64_t total = 0;
+  for (const auto& server : servers_) {
+    total += server->requests_served();
+  }
+  for (const auto& server : mux_servers_) {
+    total += server->requests_served();
+  }
+  return total;
+}
+
+std::uint64_t OriginServerSet::connections_accepted() const {
+  std::uint64_t total = 0;
+  for (const auto& server : servers_) {
+    total += server->total_accepted();
+  }
+  for (const auto& server : mux_servers_) {
+    total += server->total_accepted();
+  }
+  return total;
+}
+
+}  // namespace mahimahi::replay

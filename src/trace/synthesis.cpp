@@ -1,0 +1,109 @@
+#include "trace/synthesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mahimahi::trace {
+namespace {
+
+/// Microseconds between MTU-sized opportunities at `bps`.
+double opportunity_spacing_us(double bps) {
+  return static_cast<double>(kOpportunityBytes) * 8.0 / bps * 1e6;
+}
+
+}  // namespace
+
+PacketTrace constant_rate(double bits_per_second, Microseconds duration) {
+  if (bits_per_second <= 0 || duration <= 0) {
+    throw std::invalid_argument{"constant_rate needs positive rate and duration"};
+  }
+  const double spacing = opportunity_spacing_us(bits_per_second);
+  std::vector<Microseconds> opportunities;
+  opportunities.reserve(static_cast<std::size_t>(duration / spacing) + 2);
+  // Opportunities at spacing, 2*spacing, ... — not at t=0, so a packet
+  // arriving at t=0 waits (on average) half a spacing, like a real link.
+  for (double t = spacing; t <= static_cast<double>(duration); t += spacing) {
+    opportunities.push_back(static_cast<Microseconds>(std::llround(t)));
+  }
+  if (opportunities.empty() || opportunities.back() == 0) {
+    // Rate so low that no opportunity falls inside duration: single
+    // opportunity at the spacing (trace period = spacing).
+    opportunities = {static_cast<Microseconds>(std::llround(spacing))};
+  }
+  return PacketTrace{std::move(opportunities)};
+}
+
+PacketTrace cellular_like(util::Rng& rng, Microseconds duration, double min_bps,
+                          double max_bps, Microseconds step) {
+  if (min_bps <= 0 || max_bps < min_bps || duration <= 0 || step <= 0) {
+    throw std::invalid_argument{"cellular_like parameter out of range"};
+  }
+  std::vector<Microseconds> opportunities;
+  double rate = rng.uniform(min_bps, max_bps);
+  double next_opportunity = 0.0;
+  for (Microseconds window = 0; window < duration; window += step) {
+    // Multiplicative random walk, clamped — matches the bursty ramps seen
+    // in cellular captures better than an additive walk.
+    rate *= std::exp(rng.normal(0.0, 0.25));
+    rate = std::clamp(rate, min_bps, max_bps);
+    const double spacing = opportunity_spacing_us(rate);
+    if (next_opportunity < static_cast<double>(window)) {
+      next_opportunity = static_cast<double>(window);
+    }
+    const double window_end =
+        static_cast<double>(std::min<Microseconds>(window + step, duration));
+    while (next_opportunity < window_end) {
+      next_opportunity += spacing;
+      opportunities.push_back(
+          static_cast<Microseconds>(std::llround(next_opportunity)));
+    }
+  }
+  if (opportunities.empty()) {
+    opportunities = {duration};
+  }
+  return PacketTrace{std::move(opportunities)};
+}
+
+PacketTrace poisson_rate(util::Rng& rng, double bits_per_second,
+                         Microseconds duration) {
+  if (bits_per_second <= 0 || duration <= 0) {
+    throw std::invalid_argument{"poisson_rate needs positive rate and duration"};
+  }
+  const double mean_spacing = opportunity_spacing_us(bits_per_second);
+  std::vector<Microseconds> opportunities;
+  double t = rng.exponential(1.0 / mean_spacing);
+  while (t <= static_cast<double>(duration)) {
+    opportunities.push_back(static_cast<Microseconds>(std::llround(t)));
+    t += rng.exponential(1.0 / mean_spacing);
+  }
+  if (opportunities.empty() || opportunities.back() == 0) {
+    opportunities.push_back(duration);
+  }
+  return PacketTrace{std::move(opportunities)};
+}
+
+PacketTrace on_off(double bits_per_second, Microseconds duration,
+                   Microseconds on_period, Microseconds off_period) {
+  if (bits_per_second <= 0 || duration <= 0 || on_period <= 0 || off_period < 0) {
+    throw std::invalid_argument{"on_off parameter out of range"};
+  }
+  const double spacing = opportunity_spacing_us(bits_per_second);
+  std::vector<Microseconds> opportunities;
+  Microseconds cycle_start = 0;
+  while (cycle_start < duration) {
+    const double on_end = static_cast<double>(
+        std::min<Microseconds>(cycle_start + on_period, duration));
+    for (double t = static_cast<double>(cycle_start) + spacing; t <= on_end;
+         t += spacing) {
+      opportunities.push_back(static_cast<Microseconds>(std::llround(t)));
+    }
+    cycle_start += on_period + off_period;
+  }
+  if (opportunities.empty() || opportunities.back() == 0) {
+    opportunities.push_back(duration);
+  }
+  return PacketTrace{std::move(opportunities)};
+}
+
+}  // namespace mahimahi::trace

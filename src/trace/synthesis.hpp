@@ -1,0 +1,31 @@
+#pragma once
+
+#include "trace/trace.hpp"
+#include "util/random.hpp"
+#include "util/time.hpp"
+
+namespace mahimahi::trace {
+
+/// Constant-bitrate trace, e.g. 1000 Mbit/s for the paper's Figure 2
+/// LinkShell overhead experiment. Opportunities are spaced uniformly at
+/// MTU*8/rate; the trace spans `duration` and then repeats.
+PacketTrace constant_rate(double bits_per_second, Microseconds duration);
+
+/// Time-varying "cellular-like" trace: the delivery rate follows a bounded
+/// random walk between min_bps and max_bps, changing every `step`, like the
+/// Verizon LTE traces shipped with mahimahi. Deterministic given `rng`.
+PacketTrace cellular_like(util::Rng& rng, Microseconds duration,
+                          double min_bps = 1e6, double max_bps = 24e6,
+                          Microseconds step = 100'000);
+
+/// Poisson arrivals of delivery opportunities at the given average rate —
+/// useful as a stress case (bursty service) in tests and ablations.
+PacketTrace poisson_rate(util::Rng& rng, double bits_per_second,
+                         Microseconds duration);
+
+/// Periodic on/off trace: full `bits_per_second` while on, nothing while
+/// off (mahimahi's mm-onoff, an intermittent connectivity ablation).
+PacketTrace on_off(double bits_per_second, Microseconds duration,
+                   Microseconds on_period, Microseconds off_period);
+
+}  // namespace mahimahi::trace

@@ -1,0 +1,116 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace mahimahi::trace {
+namespace {
+using namespace mahimahi::literals;
+}
+
+PacketTrace::PacketTrace(std::vector<Microseconds> opportunities)
+    : opportunities_{std::move(opportunities)} {
+  if (opportunities_.empty()) {
+    throw std::invalid_argument{"packet trace must contain at least one opportunity"};
+  }
+  for (std::size_t i = 0; i < opportunities_.size(); ++i) {
+    if (opportunities_[i] < 0) {
+      throw std::invalid_argument{"packet trace timestamps must be non-negative"};
+    }
+    if (i > 0 && opportunities_[i] < opportunities_[i - 1]) {
+      throw std::invalid_argument{"packet trace timestamps must be non-decreasing"};
+    }
+  }
+  // The repeat period is the last timestamp (mahimahi semantics). A trace
+  // whose last opportunity is at t=0 would repeat infinitely fast.
+  period_ = opportunities_.back();
+  if (period_ == 0) {
+    throw std::invalid_argument{"packet trace must span a non-zero duration"};
+  }
+}
+
+PacketTrace PacketTrace::parse(std::string_view text) {
+  std::vector<Microseconds> opportunities;
+  for (const auto raw_line : util::split(text, '\n')) {
+    const auto line = util::trim(util::split_once(raw_line, '#').first);
+    if (line.empty()) {
+      continue;
+    }
+    std::uint64_t ms = 0;
+    if (!util::parse_u64(line, ms)) {
+      throw std::invalid_argument{"bad trace line: " + std::string{raw_line}};
+    }
+    opportunities.push_back(static_cast<Microseconds>(ms) * 1000);
+  }
+  return PacketTrace{std::move(opportunities)};
+}
+
+PacketTrace PacketTrace::load(const std::filesystem::path& file) {
+  std::ifstream in{file};
+  if (!in) {
+    throw std::runtime_error{"cannot open trace file: " + file.string()};
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return parse(contents.str());
+}
+
+std::string PacketTrace::to_text() const {
+  std::ostringstream out;
+  for (const auto t : opportunities_) {
+    out << (t / 1000) << '\n';
+  }
+  return out.str();
+}
+
+void PacketTrace::save(const std::filesystem::path& file) const {
+  std::ofstream out{file};
+  if (!out) {
+    throw std::runtime_error{"cannot write trace file: " + file.string()};
+  }
+  out << to_text();
+}
+
+Microseconds PacketTrace::opportunity_time(std::uint64_t index) const {
+  const std::uint64_t lap = index / opportunities_.size();
+  const std::uint64_t within = index % opportunities_.size();
+  return static_cast<Microseconds>(lap) * period_ + opportunities_[within];
+}
+
+std::uint64_t PacketTrace::first_opportunity_at_or_after(Microseconds time) const {
+  if (time <= opportunities_.front()) {
+    return 0;
+  }
+  // A timestamp exactly on a lap boundary belongs to the *previous* lap's
+  // final opportunity, so start the search one lap early.
+  std::uint64_t lap = static_cast<std::uint64_t>(time / period_);
+  if (lap > 0) {
+    --lap;
+  }
+  while (true) {
+    const Microseconds base = static_cast<Microseconds>(lap) * period_;
+    if (time <= base + opportunities_.front()) {
+      return lap * opportunities_.size();
+    }
+    const Microseconds offset = time - base;
+    const auto it =
+        std::lower_bound(opportunities_.begin(), opportunities_.end(), offset);
+    if (it != opportunities_.end()) {
+      return lap * opportunities_.size() +
+             static_cast<std::uint64_t>(it - opportunities_.begin());
+    }
+    ++lap;  // answer lies in a later lap
+  }
+}
+
+double PacketTrace::average_bits_per_second() const {
+  const double bits =
+      static_cast<double>(opportunities_.size()) * kOpportunityBytes * 8.0;
+  return bits / (static_cast<double>(period_) / 1e6);
+}
+
+}  // namespace mahimahi::trace

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace mahimahi::trace {
+
+/// Bytes one delivery opportunity can carry — mahimahi's DATAGRAM_SIZE
+/// (an MTU-sized packet).
+inline constexpr std::uint64_t kOpportunityBytes = 1500;
+
+/// A packet-delivery trace in mahimahi's format: one non-negative integer
+/// per line, the time in *milliseconds* at which an MTU-sized packet can be
+/// delivered. Timestamps must be non-decreasing; the file must contain at
+/// least one opportunity and span a non-zero duration. When emulation runs
+/// past the end, the trace repeats (each lap shifts by its total duration).
+class PacketTrace {
+ public:
+  /// Build from opportunity timestamps (validates the invariants above).
+  /// Throws std::invalid_argument on violation.
+  explicit PacketTrace(std::vector<Microseconds> opportunities);
+
+  /// Parse mahimahi's on-disk format. Lines are integer milliseconds;
+  /// blank lines and '#' comments are ignored.
+  static PacketTrace parse(std::string_view text);
+  static PacketTrace load(const std::filesystem::path& file);
+
+  /// Serialize back to the on-disk format (millisecond lines).
+  [[nodiscard]] std::string to_text() const;
+  void save(const std::filesystem::path& file) const;
+
+  [[nodiscard]] std::size_t opportunity_count() const { return opportunities_.size(); }
+
+  /// Duration of one lap through the trace. Repeating uses this period.
+  [[nodiscard]] Microseconds period() const { return period_; }
+
+  /// Timestamp of opportunity `index` (index may exceed one lap; the trace
+  /// wraps by adding whole periods).
+  [[nodiscard]] Microseconds opportunity_time(std::uint64_t index) const;
+
+  /// Index of the first opportunity at or after `time`.
+  [[nodiscard]] std::uint64_t first_opportunity_at_or_after(Microseconds time) const;
+
+  /// Long-run average throughput implied by the trace, in bits/second.
+  [[nodiscard]] double average_bits_per_second() const;
+
+  [[nodiscard]] const std::vector<Microseconds>& opportunities() const {
+    return opportunities_;
+  }
+
+ private:
+  std::vector<Microseconds> opportunities_;
+  Microseconds period_;
+};
+
+}  // namespace mahimahi::trace

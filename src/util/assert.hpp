@@ -1,0 +1,48 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mahimahi {
+
+/// Thrown when an internal invariant is violated. Distinct from
+/// std::invalid_argument (caller error) so tests can tell them apart.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream out;
+  out << file << ':' << line << ": assertion `" << expr << "` failed";
+  if (!msg.empty()) {
+    out << ": " << msg;
+  }
+  throw InternalError{out.str()};
+}
+
+}  // namespace detail
+}  // namespace mahimahi
+
+/// Always-on invariant check (throws InternalError; never compiled out —
+/// these guard simulator correctness, not hot paths).
+#define MAHI_ASSERT(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::mahimahi::detail::assert_fail(#expr, __FILE__, __LINE__, {});      \
+    }                                                                      \
+  } while (false)
+
+#define MAHI_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream mahi_assert_out_;                                 \
+      mahi_assert_out_ << msg;                                             \
+      ::mahimahi::detail::assert_fail(#expr, __FILE__, __LINE__,           \
+                                      mahi_assert_out_.str());             \
+    }                                                                      \
+  } while (false)

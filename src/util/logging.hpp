@@ -1,0 +1,50 @@
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace mahimahi::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded. Defaults to kWarn
+/// so library users are not spammed; benches/examples raise or lower it.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr as "[level] component: message".
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component)
+      : level_{level}, component_{component} {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, component_, out_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    out_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream out_;
+};
+
+}  // namespace detail
+}  // namespace mahimahi::util
+
+#define MAHI_LOG(level, component)                                   \
+  if (::mahimahi::util::log_level() <= ::mahimahi::util::LogLevel::level) \
+  ::mahimahi::util::detail::LogStream{::mahimahi::util::LogLevel::level, component}
+
+#define MAHI_DEBUG(component) MAHI_LOG(kDebug, component)
+#define MAHI_INFO(component) MAHI_LOG(kInfo, component)
+#define MAHI_WARN(component) MAHI_LOG(kWarn, component)
+#define MAHI_ERROR(component) MAHI_LOG(kError, component)

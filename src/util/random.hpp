@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mahimahi::util {
+
+/// Deterministic pseudo-random generator (xoshiro256**). Used instead of
+/// std::mt19937 so that results are bit-identical across standard-library
+/// implementations — reproducibility is this toolkit's reason to exist.
+///
+/// Satisfies UniformRandomBitGenerator, so it also plugs into <random>
+/// distributions where exact cross-platform value sequences do not matter.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derive an independent named stream from this generator. Streams with
+  /// different names never correlate; deriving does not disturb `*this`.
+  /// This is how experiments hand out per-component randomness.
+  [[nodiscard]] Rng fork(std::string_view stream_name) const;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Lognormal: exp(N(mu, sigma)). Note mu/sigma parameterize the
+  /// *underlying* normal, matching std::lognormal_distribution.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with rate lambda (> 0).
+  double exponential(double lambda);
+
+  /// Bernoulli trial with probability p in [0, 1].
+  bool chance(double p);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// 64-bit FNV-1a — stable string hashing for stream derivation and
+/// content-addressed file names in the record store.
+std::uint64_t fnv1a(std::string_view bytes);
+
+}  // namespace mahimahi::util

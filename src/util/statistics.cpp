@@ -1,0 +1,140 @@
+#include "util/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace mahimahi::util {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return min_; }
+
+double RunningStats::max() const { return max_; }
+
+Samples::Samples(std::vector<double> values) : values_{std::move(values)} {}
+
+void Samples::add(double x) {
+  values_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Samples::mean() const {
+  MAHI_ASSERT(!values_.empty());
+  double sum = 0.0;
+  for (const double v : values_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  MAHI_ASSERT(!values_.empty());
+  RunningStats stats;
+  for (const double v : values_) {
+    stats.add(v);
+  }
+  return stats.stddev();
+}
+
+double Samples::min() const {
+  ensure_sorted();
+  MAHI_ASSERT(!sorted_.empty());
+  return sorted_.front();
+}
+
+double Samples::max() const {
+  ensure_sorted();
+  MAHI_ASSERT(!sorted_.empty());
+  return sorted_.back();
+}
+
+double Samples::percentile(double p) const {
+  MAHI_ASSERT_MSG(p >= 0.0 && p <= 100.0, "percentile out of range: " << p);
+  ensure_sorted();
+  MAHI_ASSERT(!sorted_.empty());
+  if (sorted_.size() == 1) {
+    return sorted_.front();
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double Samples::cdf_at(double x) const {
+  ensure_sorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>> Samples::cdf_points() const {
+  ensure_sorted();
+  std::vector<std::pair<double, double>> points;
+  points.reserve(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    points.emplace_back(sorted_[i],
+                        static_cast<double>(i + 1) / static_cast<double>(sorted_.size()));
+  }
+  return points;
+}
+
+std::string render_table(const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows) {
+    if (row.size() > widths.size()) {
+      widths.resize(row.size(), 0);
+    }
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+double percent_difference(double a, double b) {
+  MAHI_ASSERT(a != 0.0);
+  return 100.0 * (b - a) / a;
+}
+
+}  // namespace mahimahi::util

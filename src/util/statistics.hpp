@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mahimahi::util {
+
+/// Streaming mean / variance (Welford). Numerically stable; O(1) space.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  std::size_t count_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// A batch of samples with percentile / CDF queries. Keeps every sample;
+/// intended for experiment post-processing, not hot paths.
+class Samples {
+ public:
+  Samples() = default;
+  explicit Samples(std::vector<double> values);
+
+  void add(double x);
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Percentile p in [0, 100], linear interpolation between order statistics.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// Empirical CDF evaluated at x: fraction of samples <= x.
+  [[nodiscard]] double cdf_at(double x) const;
+
+  /// (value, cumulative proportion) pairs at each sample point, for
+  /// gnuplot-style CDF output like the paper's Figures 2 and 3.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_points() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_{false};
+};
+
+/// Render a fixed-width table (rows of cells) — used by the bench harness
+/// to print paper-style tables.
+std::string render_table(const std::vector<std::vector<std::string>>& rows);
+
+/// Percent difference of b relative to a: 100 * (b - a) / a.
+double percent_difference(double a, double b);
+
+}  // namespace mahimahi::util

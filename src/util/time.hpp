@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mahimahi {
+
+/// Simulated time. All simulator clocks count microseconds from the start
+/// of the experiment; 64 bits covers ~292k years, so overflow is not a
+/// practical concern.
+using Microseconds = std::int64_t;
+
+namespace literals {
+
+constexpr Microseconds operator""_us(unsigned long long v) {
+  return static_cast<Microseconds>(v);
+}
+constexpr Microseconds operator""_ms(unsigned long long v) {
+  return static_cast<Microseconds>(v) * 1000;
+}
+constexpr Microseconds operator""_s(unsigned long long v) {
+  return static_cast<Microseconds>(v) * 1'000'000;
+}
+
+}  // namespace literals
+
+/// Convert microseconds to floating-point milliseconds (for reporting).
+constexpr double to_ms(Microseconds us) { return static_cast<double>(us) / 1000.0; }
+
+/// Convert floating-point milliseconds to microseconds (round to nearest).
+constexpr Microseconds from_ms(double ms) {
+  return static_cast<Microseconds>(ms * 1000.0 + (ms >= 0 ? 0.5 : -0.5));
+}
+
+}  // namespace mahimahi

@@ -1,0 +1,483 @@
+#include "web/browser.hpp"
+
+#include <algorithm>
+
+#include "http/status.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace mahimahi::web {
+namespace {
+
+/// Approximate wire overhead of response headers (for byte accounting).
+constexpr std::uint64_t kHeaderOverheadBytes = 180;
+
+}  // namespace
+
+/// One origin's connection pool. HTTP/1.1: up to
+/// max_connections_per_origin keep-alive connections, each carrying one
+/// request at a time (no pipelining — 2014 browser behaviour).
+/// Multiplexed: a single mux connection carrying any number of streams.
+struct Browser::OriginPool {
+  net::Address server;
+  std::deque<FetchTask> waiting;
+
+  struct Entry {
+    std::unique_ptr<net::HttpClientConnection> connection;
+    bool busy{false};
+    http::Url current;  // valid while busy (error attribution)
+  };
+  // shared_ptr so deferred request-issue events can hold weak references
+  // that survive pool teardown (stall timeout mid-load).
+  std::vector<std::shared_ptr<Entry>> entries;
+
+  // Multiplexed mode only.
+  std::unique_ptr<net::mux::MuxClientConnection> mux;
+};
+
+Browser::Browser(net::Fabric& fabric, net::Address dns_server,
+                 BrowserConfig config, util::Rng rng)
+    : fabric_{fabric},
+      loop_{fabric.loop()},
+      dns_{fabric, dns_server},
+      config_{config},
+      rng_{std::move(rng)} {}
+
+Browser::~Browser() {
+  if (stall_event_ != 0) {
+    loop_.cancel(stall_event_);
+  }
+  if (finish_event_ != 0) {
+    loop_.cancel(finish_event_);
+  }
+}
+
+void Browser::load(const std::string& url_text, LoadCallback on_done) {
+  MAHI_ASSERT_MSG(!loading_, "Browser::load while a load is in progress");
+  MAHI_ASSERT(on_done != nullptr);
+  const auto url = http::parse_url(url_text);
+  if (!url || url->host.empty()) {
+    PageLoadResult failed;
+    failed.errors.push_back("unparseable URL: " + url_text);
+    on_done(std::move(failed));
+    return;
+  }
+  loading_ = true;
+  on_done_ = std::move(on_done);
+  started_at_ = loop_.now();
+  outstanding_objects_ = 0;
+  in_flight_requests_ = 0;
+  main_thread_busy_until_ = loop_.now();
+  seen_urls_.clear();
+  pools_.clear();
+  result_ = PageLoadResult{};
+  arm_stall_timer();
+  schedule_fetch(*url);
+}
+
+void Browser::schedule_fetch(const http::Url& url) {
+  if (!seen_urls_.insert(url.to_string()).second) {
+    return;  // already fetched or in flight
+  }
+  ++outstanding_objects_;
+  dns_.resolve(url.host, [this, url](std::optional<net::Ipv4> ip) {
+    on_resolved(url, ip);
+  });
+}
+
+void Browser::on_resolved(const http::Url& url, std::optional<net::Ipv4> ip) {
+  if (!loading_) {
+    return;  // load already aborted
+  }
+  if (!ip) {
+    object_finished(false, "DNS failure for " + url.host);
+    return;
+  }
+  OriginPool& pool = pool_for(url, *ip);
+  pool.waiting.push_back(FetchTask{url});
+  pump(pool);
+}
+
+Browser::OriginPool& Browser::pool_for(const http::Url& url, net::Ipv4 ip) {
+  // Pools are keyed per hostname:port, like Chrome's socket pools — the
+  // per-origin six-connection limit applies to names, not resolved IPs.
+  const std::string key = url.host + ':' + std::to_string(url.effective_port());
+  const auto it = pools_.find(key);
+  if (it != pools_.end()) {
+    return *it->second;
+  }
+  auto pool = std::make_unique<OriginPool>();
+  pool->server = net::Address{ip, url.effective_port()};
+  auto& ref = *pool;
+  pools_.emplace(key, std::move(pool));
+  result_.origins_contacted = pools_.size();
+  return ref;
+}
+
+void Browser::pump_all() {
+  for (auto& [key, pool] : pools_) {
+    pump(*pool);
+    if (in_flight_requests_ >= config_.max_concurrent_requests) {
+      return;
+    }
+  }
+}
+
+void Browser::pump(OriginPool& pool) {
+  if (config_.protocol == AppProtocol::kMultiplexed) {
+    pump_mux(pool);
+    return;
+  }
+  while (!pool.waiting.empty() &&
+         in_flight_requests_ < config_.max_concurrent_requests) {
+    // Prefer an idle live connection.
+    OriginPool::Entry* idle = nullptr;
+    std::size_t live = 0;
+    for (const auto& entry : pool.entries) {
+      if (!entry->connection->alive()) {
+        continue;
+      }
+      ++live;
+      if (!entry->busy && idle == nullptr) {
+        idle = entry.get();
+      }
+    }
+    if (idle == nullptr) {
+      // Open a new connection if the per-origin and global caps allow.
+      std::size_t total_live = 0;
+      for (const auto& [key, p] : pools_) {
+        for (const auto& entry : p->entries) {
+          if (entry->connection->alive()) {
+            ++total_live;
+          }
+        }
+      }
+      if (live >= static_cast<std::size_t>(config_.max_connections_per_origin) ||
+          total_live >= config_.max_total_connections) {
+        return;  // wait for a connection to free up
+      }
+      auto entry = std::make_shared<OriginPool::Entry>();
+      OriginPool::Entry* raw = entry.get();
+      entry->connection = std::make_unique<net::HttpClientConnection>(
+          fabric_, pool.server, [this, raw](const std::string& reason) {
+            // Connection died; fail its in-flight object, if any.
+            if (raw->busy) {
+              raw->busy = false;
+              MAHI_ASSERT(in_flight_requests_ > 0);
+              --in_flight_requests_;
+              object_finished(false, reason);
+            }
+            if (loading_) {
+              pump_all();
+            }
+          });
+      pool.entries.push_back(std::move(entry));
+      ++result_.connections_opened;
+      idle = raw;
+    }
+    FetchTask task = std::move(pool.waiting.front());
+    pool.waiting.pop_front();
+    issue(pool, *idle->connection, std::move(task));
+  }
+}
+
+void Browser::pump_mux(OriginPool& pool) {
+  if (pool.mux == nullptr || !pool.mux->alive()) {
+    if (pool.mux != nullptr && !pool.waiting.empty()) {
+      // Connection died with work queued: fail those objects.
+      while (!pool.waiting.empty()) {
+        pool.waiting.pop_front();
+        object_finished(false, "mux connection to " +
+                                   pool.server.to_string() + " is dead");
+      }
+      return;
+    }
+    if (pool.mux == nullptr) {
+      pool.mux = std::make_unique<net::mux::MuxClientConnection>(
+          fabric_, pool.server, [this, &pool](const std::string& reason) {
+            // All outstanding streams on this origin just died.
+            (void)pool;
+            MAHI_WARN("browser") << "mux error: " << reason;
+          });
+      ++result_.connections_opened;
+    }
+  }
+  while (!pool.waiting.empty() &&
+         in_flight_requests_ < config_.max_concurrent_requests) {
+    FetchTask task = std::move(pool.waiting.front());
+    pool.waiting.pop_front();
+
+    http::Request request;
+    request.method = http::Method::kGet;
+    request.target = task.url.request_target();
+    std::string host_value = task.url.host;
+    if (task.url.port != 0) {
+      host_value += ':' + std::to_string(task.url.port);
+    }
+    request.headers.add("Host", std::move(host_value));
+    request.headers.add("User-Agent", "mahimahi-model-browser/1.0");
+    request.headers.add("Accept", "*/*");
+
+    ++in_flight_requests_;
+    const http::Url url = task.url;
+    // The issue cost applies as in HTTP/1.1; mux just removes the
+    // connection bookkeeping.
+    auto send = [this, &pool, url, request = std::move(request)]() mutable {
+      if (!loading_ || pool.mux == nullptr) {
+        return;
+      }
+      pool.mux->fetch(std::move(request), [this, url](http::Response response) {
+        MAHI_ASSERT(in_flight_requests_ > 0);
+        --in_flight_requests_;
+        on_response(url, std::move(response));
+        if (loading_) {
+          pump_all();
+        }
+      });
+    };
+    if (config_.request_issue_cost > 0) {
+      const Microseconds at = std::max(loop_.now(), main_thread_busy_until_) +
+                              config_.request_issue_cost;
+      main_thread_busy_until_ = at;
+      loop_.schedule_at(at, std::move(send));
+    } else {
+      send();
+    }
+  }
+}
+
+void Browser::issue(OriginPool& pool, net::HttpClientConnection& connection,
+                    FetchTask task) {
+  OriginPool::Entry* entry = nullptr;
+  for (const auto& e : pool.entries) {
+    if (e->connection.get() == &connection) {
+      entry = e.get();
+      break;
+    }
+  }
+  MAHI_ASSERT(entry != nullptr);
+  entry->busy = true;
+  entry->current = task.url;
+
+  http::Request request;
+  request.method = http::Method::kGet;
+  request.target = task.url.request_target();
+  std::string host_value = task.url.host;
+  if (task.url.port != 0) {
+    host_value += ':' + std::to_string(task.url.port);
+  }
+  request.headers.add("Host", std::move(host_value));
+  request.headers.add("User-Agent", "mahimahi-model-browser/1.0");
+  request.headers.add("Accept", "*/*");
+
+  const http::Url url = task.url;
+  std::shared_ptr<OriginPool::Entry> shared;
+  for (const auto& e : pool.entries) {
+    if (e.get() == entry) {
+      shared = e;
+      break;
+    }
+  }
+  MAHI_ASSERT(shared != nullptr);
+  ++in_flight_requests_;
+  auto send = [this, weak = std::weak_ptr<OriginPool::Entry>{shared}, url,
+               request = std::move(request)]() mutable {
+    const auto e = weak.lock();
+    if (!e || !loading_) {
+      return;  // load torn down before the issue event fired
+    }
+    OriginPool::Entry* raw = e.get();
+    e->connection->fetch(
+        std::move(request), [this, raw, url](http::Response response) {
+          raw->busy = false;
+          MAHI_ASSERT(in_flight_requests_ > 0);
+          --in_flight_requests_;
+          on_response(url, std::move(response));
+          if (loading_) {
+            pump_all();
+          }
+        });
+  };
+  if (config_.request_issue_cost > 0) {
+    // Issuing a request costs main-thread time; a post-parse burst of
+    // discoveries goes out staggered, not as one packet storm.
+    const Microseconds at =
+        std::max(loop_.now(), main_thread_busy_until_) + config_.request_issue_cost;
+    main_thread_busy_until_ = at;
+    loop_.schedule_at(at, std::move(send));
+  } else {
+    send();
+  }
+}
+
+void Browser::on_response(const http::Url& url, http::Response response) {
+  if (!loading_) {
+    return;
+  }
+  result_.bytes_downloaded += response.body.size() + kHeaderOverheadBytes;
+
+  if (http::is_redirect(response.status)) {
+    if (const auto location = response.headers.get("Location")) {
+      schedule_fetch(http::resolve_reference(url, *location));
+    }
+    object_finished(true);
+    return;
+  }
+  if (!http::is_success(response.status)) {
+    object_finished(false,
+                    url.to_string() + " -> " + std::to_string(response.status));
+    return;
+  }
+
+  // Determine the resource kind: Content-Type header, else extension.
+  const auto content_type = response.headers.get("Content-Type");
+  const http::ResourceKind kind =
+      content_type ? http::classify_content_type(*content_type)
+                   : http::classify_content_type(
+                         http::content_type_for_path(url.path));
+
+  // Charge compute; discovery happens when the task finishes, which is how
+  // real parsers serialize resource discovery behind parse/execute work.
+  // HTML/CSS/JS contend for the single main thread; images, fonts and data
+  // decode in parallel off-thread.
+  const Microseconds cost = compute_cost(kind, response.body.size());
+  const bool main_thread = kind == http::ResourceKind::kHtml ||
+                           kind == http::ResourceKind::kCss ||
+                           kind == http::ResourceKind::kJavaScript;
+  Microseconds done;
+  if (main_thread) {
+    const Microseconds start = std::max(loop_.now(), main_thread_busy_until_);
+    done = start + cost;
+    main_thread_busy_until_ = done;
+  } else {
+    done = loop_.now() + cost;
+  }
+  loop_.schedule_at(done, [this, url, kind, body = std::move(response.body)]() {
+    on_object_computed(url, kind, std::move(body));
+  });
+}
+
+void Browser::on_object_computed(const http::Url& url, http::ResourceKind kind,
+                                 std::string body) {
+  if (!loading_) {
+    return;
+  }
+  for (const auto& sub : discover_subresources(kind, url, body)) {
+    schedule_fetch(sub);
+  }
+  object_finished(true);
+}
+
+Microseconds Browser::compute_cost(http::ResourceKind kind, std::size_t bytes) {
+  double per_byte = config_.other_us_per_byte;
+  Microseconds overhead = config_.parallel_object_overhead;
+  switch (kind) {
+    case http::ResourceKind::kHtml:
+      per_byte = config_.html_parse_us_per_byte;
+      overhead = config_.per_object_overhead;
+      break;
+    case http::ResourceKind::kCss:
+      per_byte = config_.css_parse_us_per_byte;
+      overhead = config_.per_object_overhead;
+      break;
+    case http::ResourceKind::kJavaScript:
+      per_byte = config_.js_exec_us_per_byte;
+      overhead = config_.per_object_overhead;
+      break;
+    case http::ResourceKind::kImage:
+      per_byte = config_.image_decode_us_per_byte;
+      break;
+    case http::ResourceKind::kJson:
+      per_byte = config_.css_parse_us_per_byte;
+      break;
+    case http::ResourceKind::kFont:
+    case http::ResourceKind::kOther:
+      break;
+  }
+  const double jitter =
+      config_.compute_jitter_sigma > 0
+          ? rng_.lognormal(0.0, config_.compute_jitter_sigma)
+          : 1.0;
+  const double cost = (per_byte * static_cast<double>(bytes) +
+                       static_cast<double>(overhead)) *
+                      jitter;
+  return static_cast<Microseconds>(cost);
+}
+
+void Browser::object_finished(bool ok, const std::string& error) {
+  if (!loading_) {
+    return;
+  }
+  if (ok) {
+    ++result_.objects_loaded;
+  } else {
+    ++result_.objects_failed;
+    if (result_.errors.size() < 16) {
+      result_.errors.push_back(error);
+    }
+  }
+  MAHI_ASSERT(outstanding_objects_ > 0);
+  --outstanding_objects_;
+  arm_stall_timer();
+  maybe_finish();
+}
+
+void Browser::maybe_finish() {
+  if (outstanding_objects_ > 0) {
+    return;
+  }
+  // All objects delivered and computed: finish after the final layout.
+  const Microseconds at =
+      std::max(loop_.now(), main_thread_busy_until_) + config_.final_layout_cost;
+  if (finish_event_ != 0) {
+    loop_.cancel(finish_event_);
+  }
+  finish_event_ = loop_.schedule_at(at, [this] {
+    finish_event_ = 0;
+    finish();
+  });
+}
+
+void Browser::finish() {
+  if (!loading_) {
+    return;
+  }
+  loading_ = false;
+  if (stall_event_ != 0) {
+    loop_.cancel(stall_event_);
+    stall_event_ = 0;
+  }
+  result_.success = result_.objects_failed == 0 && result_.objects_loaded > 0;
+  result_.page_load_time = loop_.now() - started_at_;
+  // Tear down this load's connections (a fresh load is a fresh browser).
+  pools_.clear();
+  LoadCallback done = std::move(on_done_);
+  on_done_ = nullptr;
+  done(std::move(result_));
+}
+
+void Browser::arm_stall_timer() {
+  if (stall_event_ != 0) {
+    loop_.cancel(stall_event_);
+  }
+  stall_event_ = loop_.schedule_in(config_.stall_timeout, [this] {
+    stall_event_ = 0;
+    if (!loading_) {
+      return;
+    }
+    MAHI_WARN("browser") << "page load stalled with " << outstanding_objects_
+                         << " objects outstanding";
+    result_.errors.push_back("stall timeout");
+    result_.objects_failed += outstanding_objects_;
+    outstanding_objects_ = 0;
+    loading_ = false;
+    result_.success = false;
+    result_.page_load_time = loop_.now() - started_at_;
+    pools_.clear();
+    LoadCallback done = std::move(on_done_);
+    on_done_ = nullptr;
+    done(std::move(result_));
+  });
+}
+
+}  // namespace mahimahi::web

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/dns.hpp"
+#include "net/http_session.hpp"
+#include "net/mux.hpp"
+#include "util/random.hpp"
+#include "web/discovery.hpp"
+
+namespace mahimahi::web {
+
+/// Application protocol the browser speaks to origins.
+enum class AppProtocol {
+  kHttp11,        // six keep-alive connections per origin, no pipelining
+  kMultiplexed,   // SPDY-like: one connection per origin, many streams
+};
+
+/// Tunables of the page-load model. Defaults approximate a 2014 desktop
+/// Chrome on commodity hardware; EXPERIMENTS.md documents the calibration
+/// against the paper's Table 1 page-load times.
+struct BrowserConfig {
+  AppProtocol protocol{AppProtocol::kHttp11};
+  /// HTTP/1.1 connection pool: per-origin parallelism (Chrome uses 6).
+  /// This limit is the mechanism behind the paper's multi-origin result:
+  /// one origin = 6 total connections; twenty origins = up to 120.
+  int max_connections_per_origin{6};
+  /// Total socket cap across origins (Chrome's pool is effectively ~256).
+  std::size_t max_total_connections{256};
+  /// Global in-flight request throttle — Chrome's resource scheduler keeps
+  /// roughly this many requests outstanding at once and queues the rest.
+  std::size_t max_concurrent_requests{24};
+
+  // --- compute model. HTML/CSS/JS serialize on the main thread (parsing
+  // and script execution block each other, as in a real browser); images,
+  // fonts and data decode off-thread, in parallel.
+  double html_parse_us_per_byte{0.50};
+  double css_parse_us_per_byte{0.30};
+  double js_exec_us_per_byte{2.20};
+  double image_decode_us_per_byte{0.05};
+  double other_us_per_byte{0.02};
+  /// Fixed main-thread cost per HTML/CSS/JS object (style/layout churn).
+  Microseconds per_object_overhead{5'000};
+  /// Fixed off-thread cost per image/font/data object.
+  Microseconds parallel_object_overhead{800};
+  /// Main-thread cost to issue one request (cache lookup, socket setup).
+  /// Spaces out the request storm that follows HTML parsing, as a real
+  /// browser's resource scheduler does.
+  Microseconds request_issue_cost{300};
+  /// Final layout + paint after the last object.
+  Microseconds final_layout_cost{40'000};
+  /// Multiplicative lognormal jitter applied to every compute task —
+  /// models scheduling noise; the source of run-to-run PLT variance on a
+  /// single machine (paper Table 1 reports ~1% coefficient of variation).
+  double compute_jitter_sigma{0.03};
+
+  /// Give up on a page when nothing completes for this long.
+  Microseconds stall_timeout{60'000'000};
+};
+
+/// Outcome of one page load.
+struct PageLoadResult {
+  bool success{false};
+  Microseconds page_load_time{0};
+  std::size_t objects_loaded{0};
+  std::size_t objects_failed{0};
+  std::uint64_t bytes_downloaded{0};
+  std::size_t origins_contacted{0};
+  std::size_t connections_opened{0};
+  std::vector<std::string> errors;
+};
+
+/// The measurement application: a model browser that performs page loads
+/// over the simulated network. It resolves names through the namespace's
+/// DNS, opens per-origin HTTP/1.1 keep-alive connection pools, discovers
+/// subresources by scanning delivered bytes (HTML src/href, CSS url(),
+/// script fetch markers), charges main-thread compute for parsing and
+/// script execution, and reports page load time — the metric every
+/// experiment in the paper is built on.
+class Browser {
+ public:
+  using LoadCallback = std::function<void(PageLoadResult)>;
+
+  Browser(net::Fabric& fabric, net::Address dns_server, BrowserConfig config,
+          util::Rng rng);
+  ~Browser();
+
+  Browser(const Browser&) = delete;
+  Browser& operator=(const Browser&) = delete;
+
+  /// Begin loading `url`. One load at a time per Browser.
+  void load(const std::string& url, LoadCallback on_done);
+
+  [[nodiscard]] bool loading() const { return loading_; }
+
+ private:
+  struct OriginPool;
+  struct FetchTask {
+    http::Url url;
+  };
+
+  void schedule_fetch(const http::Url& url);
+  void on_resolved(const http::Url& url, std::optional<net::Ipv4> ip);
+  OriginPool& pool_for(const http::Url& url, net::Ipv4 ip);
+  void pump(OriginPool& pool);
+  void pump_mux(OriginPool& pool);
+  void pump_all();
+  void issue(OriginPool& pool, net::HttpClientConnection& connection,
+             FetchTask task);
+  void on_response(const http::Url& url, http::Response response);
+  void on_object_computed(const http::Url& url, http::ResourceKind kind,
+                          std::string body);
+  void object_finished(bool ok, const std::string& error = {});
+  void maybe_finish();
+  void finish();
+  void arm_stall_timer();
+
+  [[nodiscard]] Microseconds compute_cost(http::ResourceKind kind,
+                                          std::size_t bytes);
+
+  net::Fabric& fabric_;
+  net::EventLoop& loop_;
+  net::DnsClient dns_;
+  BrowserConfig config_;
+  util::Rng rng_;
+
+  // --- per-load state ---
+  bool loading_{false};
+  LoadCallback on_done_;
+  Microseconds started_at_{0};
+  std::size_t outstanding_objects_{0};
+  std::size_t in_flight_requests_{0};
+  Microseconds main_thread_busy_until_{0};
+  std::set<std::string> seen_urls_;
+  std::map<std::string, std::unique_ptr<OriginPool>> pools_;
+  PageLoadResult result_;
+  net::EventLoop::EventId stall_event_{0};
+  net::EventLoop::EventId finish_event_{0};
+};
+
+}  // namespace mahimahi::web

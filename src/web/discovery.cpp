@@ -1,0 +1,77 @@
+#include "web/discovery.hpp"
+
+#include <set>
+
+namespace mahimahi::web {
+namespace {
+
+/// Collect every occurrence of `opener`...`closer` in `body`, returning
+/// the text between them. Tolerates unterminated trailing fragments.
+void scan_between(std::string_view body, std::string_view opener, char closer,
+                  std::vector<std::string>& out) {
+  std::size_t pos = 0;
+  while (true) {
+    pos = body.find(opener, pos);
+    if (pos == std::string_view::npos) {
+      return;
+    }
+    pos += opener.size();
+    const std::size_t end = body.find(closer, pos);
+    if (end == std::string_view::npos) {
+      return;
+    }
+    if (end > pos) {
+      out.emplace_back(body.substr(pos, end - pos));
+    }
+    pos = end + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> extract_references(http::ResourceKind kind,
+                                            std::string_view body) {
+  std::vector<std::string> refs;
+  switch (kind) {
+    case http::ResourceKind::kHtml:
+      scan_between(body, "src=\"", '"', refs);
+      scan_between(body, "href=\"", '"', refs);
+      break;
+    case http::ResourceKind::kCss:
+      scan_between(body, "url(", ')', refs);
+      break;
+    case http::ResourceKind::kJavaScript:
+      scan_between(body, "loadSubresource(\"", '"', refs);
+      break;
+    case http::ResourceKind::kImage:
+    case http::ResourceKind::kFont:
+    case http::ResourceKind::kJson:
+    case http::ResourceKind::kOther:
+      break;
+  }
+  return refs;
+}
+
+std::vector<http::Url> discover_subresources(http::ResourceKind kind,
+                                             const http::Url& base,
+                                             std::string_view body) {
+  std::vector<http::Url> urls;
+  std::set<std::string> seen;
+  for (const auto& ref : extract_references(kind, body)) {
+    // Skip fragments, javascript: pseudo-URLs, and data URIs.
+    if (ref.empty() || ref.front() == '#' || ref.starts_with("javascript:") ||
+        ref.starts_with("data:")) {
+      continue;
+    }
+    const http::Url url = http::resolve_reference(base, ref);
+    if (url.host.empty()) {
+      continue;
+    }
+    if (seen.insert(url.to_string()).second) {
+      urls.push_back(url);
+    }
+  }
+  return urls;
+}
+
+}  // namespace mahimahi::web

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/mime.hpp"
+#include "http/url.hpp"
+
+namespace mahimahi::web {
+
+/// Extract subresource references from a response body, the way a browser's
+/// parser discovers work:
+///   HTML      : src="..." and href="..." attributes
+///   CSS       : url(...) references
+///   JavaScript: loadSubresource("...") calls (the marker our corpus's
+///               generated scripts use for dynamically-fetched resources)
+/// Other kinds reference nothing. References are returned in document
+/// order, unresolved (raw attribute text).
+std::vector<std::string> extract_references(http::ResourceKind kind,
+                                            std::string_view body);
+
+/// extract + resolve against the containing document's URL, drop anything
+/// that fails to resolve, and deduplicate (first occurrence wins).
+std::vector<http::Url> discover_subresources(http::ResourceKind kind,
+                                             const http::Url& base,
+                                             std::string_view body);
+
+}  // namespace mahimahi::web

@@ -1,0 +1,147 @@
+// Property sweeps over shell compositions: page load time must respond
+// monotonically to each emulation knob, and composition must be additive.
+
+#include <gtest/gtest.h>
+
+#include "core/sessions.hpp"
+#include "corpus/site_generator.hpp"
+
+namespace mahimahi::core {
+namespace {
+
+using namespace mahimahi::literals;
+
+const corpus::GeneratedSite& shared_site() {
+  static const corpus::GeneratedSite site = [] {
+    corpus::SiteSpec spec;
+    spec.name = "prop";
+    spec.seed = 41;
+    spec.server_count = 8;
+    spec.object_count = 40;
+    return corpus::generate_site(spec);
+  }();
+  return site;
+}
+
+const record::RecordStore& shared_store() {
+  static const record::RecordStore store = [] {
+    SessionConfig config;
+    config.seed = 4;
+    RecordSession recorder{shared_site(), corpus::LiveWebConfig{}, config};
+    return recorder.record();
+  }();
+  return store;
+}
+
+SessionConfig base_config() {
+  SessionConfig config;
+  config.seed = 4;
+  config.browser.per_object_overhead = 500;
+  config.browser.final_layout_cost = 1'000;
+  config.browser.compute_jitter_sigma = 0.0;  // pure network response
+  return config;
+}
+
+Microseconds plt_under(const std::vector<ShellSpec>& shells) {
+  auto config = base_config();
+  config.shells = shells;
+  ReplaySession session{shared_store(), config};
+  const auto result = session.load_once(shared_site().primary_url(), 0);
+  EXPECT_TRUE(result.success);
+  return result.page_load_time;
+}
+
+class DelayMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(DelayMonotonicity, MoreDelayNeverFaster) {
+  const Microseconds lo = GetParam() * 1'000;
+  const Microseconds hi = lo + 20'000;
+  EXPECT_LT(plt_under({DelayShellSpec{lo}}), plt_under({DelayShellSpec{hi}}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DelayMonotonicity,
+                         ::testing::Values(0, 10, 40, 100, 250));
+
+class RateMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(RateMonotonicity, MoreBandwidthNeverSlower) {
+  const double lo_mbps = GetParam();
+  const double hi_mbps = lo_mbps * 4;
+  const auto slow = plt_under({DelayShellSpec{20_ms},
+                               LinkShellSpec::constant_rate_mbps(lo_mbps, lo_mbps)});
+  const auto fast = plt_under({DelayShellSpec{20_ms},
+                               LinkShellSpec::constant_rate_mbps(hi_mbps, hi_mbps)});
+  EXPECT_GT(slow, fast);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RateMonotonicity, ::testing::Values(1, 2, 5, 10));
+
+TEST(ShellProperties, DelayComposesAdditively) {
+  // Two nested delay shells equal one shell with the summed delay, up to
+  // per-shell forwarding overhead.
+  auto config_a = base_config();
+  config_a.host.delay_shell_packet_cost = 0;
+  config_a.shells = {DelayShellSpec{30_ms}, DelayShellSpec{20_ms}};
+  ReplaySession nested{shared_store(), config_a};
+
+  auto config_b = base_config();
+  config_b.host.delay_shell_packet_cost = 0;
+  config_b.shells = {DelayShellSpec{50_ms}};
+  ReplaySession flat{shared_store(), config_b};
+
+  const auto nested_plt =
+      nested.load_once(shared_site().primary_url(), 0).page_load_time;
+  const auto flat_plt =
+      flat.load_once(shared_site().primary_url(), 0).page_load_time;
+  EXPECT_EQ(nested_plt, flat_plt);
+}
+
+TEST(ShellProperties, LinkBottleneckDominates) {
+  // A fast link nested inside a slow link behaves like the slow link.
+  const auto slow_only =
+      plt_under({LinkShellSpec::constant_rate_mbps(2, 2)});
+  const auto fast_inside_slow =
+      plt_under({LinkShellSpec::constant_rate_mbps(2, 2),
+                 LinkShellSpec::constant_rate_mbps(100, 100)});
+  // Equal within the fast link's forwarding overhead (a few percent).
+  const double ratio = static_cast<double>(fast_inside_slow) /
+                       static_cast<double>(slow_only);
+  EXPECT_GT(ratio, 0.98);
+  EXPECT_LT(ratio, 1.10);
+}
+
+TEST(ShellProperties, LossDegradesMonotonically) {
+  // Rates kept moderate: above ~10%, a DNS exchange (3 tries of 2 packets
+  // each) can legitimately die, which is a failure-injection scenario, not
+  // a monotonicity one (tests/integration covers it).
+  auto config = base_config();
+  config.browser.stall_timeout = 120'000'000;
+  Microseconds previous = 0;
+  for (const double loss : {0.0, 0.03, 0.08}) {
+    config.shells = {DelayShellSpec{10_ms}, LossShellSpec{loss, loss}};
+    ReplaySession session{shared_store(), config};
+    const auto result = session.load_once(shared_site().primary_url(), 0);
+    EXPECT_TRUE(result.success) << "loss " << loss;
+    EXPECT_GT(result.page_load_time, previous) << "loss " << loss;
+    previous = result.page_load_time;
+  }
+}
+
+TEST(ShellProperties, SeedChangesJitterNotOutcome) {
+  // Different seeds give different PLTs (jitter) but identical object
+  // counts and byte totals (the page itself is deterministic).
+  auto config = base_config();
+  config.browser.compute_jitter_sigma = 0.05;
+  ReplaySession a{shared_store(), config};
+  auto config_b = config;
+  config_b.seed = 5;
+  ReplaySession b{shared_store(), config_b};
+  const auto ra = a.load_once(shared_site().primary_url(), 0);
+  const auto rb = b.load_once(shared_site().primary_url(), 0);
+  EXPECT_NE(ra.page_load_time, rb.page_load_time);
+  EXPECT_EQ(ra.objects_loaded, rb.objects_loaded);
+  EXPECT_EQ(ra.bytes_downloaded, rb.bytes_downloaded);
+}
+
+}  // namespace
+}  // namespace mahimahi::core

@@ -1,0 +1,140 @@
+#include "core/shells.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/event_loop.hpp"
+#include "trace/synthesis.hpp"
+
+namespace mahimahi::core {
+namespace {
+
+using namespace mahimahi::literals;
+
+net::Packet probe(std::uint64_t id) {
+  net::Packet p;
+  p.id = id;
+  p.src = net::Address{net::Ipv4{100, 64, 0, 2}, 50000};
+  p.dst = net::Address{net::Ipv4{10, 0, 0, 1}, 80};
+  p.tcp.payload = std::string(100, 'x');
+  return p;
+}
+
+struct ShellHarness {
+  net::EventLoop loop;
+  net::Fabric fabric{loop};
+  std::vector<Microseconds> deliveries;
+
+  explicit ShellHarness(const std::vector<ShellSpec>& shells,
+                        HostProfile host = {}) {
+    util::Rng rng{5};
+    apply_shells(fabric, shells, host, rng);
+    fabric.bind(net::Side::kServer, net::Address{net::Ipv4{10, 0, 0, 1}, 80},
+                [this](net::Packet&&) { deliveries.push_back(loop.now()); });
+  }
+
+  void send_probe(std::uint64_t id) {
+    fabric.send(net::Side::kClient, probe(id));
+  }
+};
+
+TEST(ApplyShells, EmptyStackForwardsWithNoDelay) {
+  ShellHarness h{{}};
+  h.send_probe(1);
+  h.loop.run();
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_EQ(h.deliveries[0], 0);
+}
+
+TEST(ApplyShells, DelayShellAddsOneWayDelayPlusForwardingCost) {
+  HostProfile host;
+  host.delay_shell_packet_cost = 3;
+  ShellHarness h{{DelayShellSpec{30_ms}}, host};
+  h.send_probe(1);
+  h.loop.run();
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_EQ(h.deliveries[0], 30_ms + 3);
+}
+
+TEST(ApplyShells, NestedDelaysCompose) {
+  HostProfile host;
+  host.delay_shell_packet_cost = 0;
+  ShellHarness h{{DelayShellSpec{10_ms}, DelayShellSpec{20_ms}}, host};
+  h.send_probe(1);
+  h.loop.run();
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_EQ(h.deliveries[0], 30_ms);
+}
+
+TEST(ApplyShells, ZeroDelayShellStillChargesForwardingCost) {
+  // The Figure 2 experiment: DelayShell 0 ms is not free.
+  HostProfile host;
+  host.delay_shell_packet_cost = 5;
+  ShellHarness h{{DelayShellSpec{0}}, host};
+  h.send_probe(1);
+  h.loop.run();
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_EQ(h.deliveries[0], 5);
+}
+
+TEST(ApplyShells, LinkShellQuantizesToOpportunities) {
+  HostProfile host;
+  host.link_shell_packet_cost = 0;
+  LinkShellSpec link;
+  link.uplink = std::make_shared<const trace::PacketTrace>(
+      trace::PacketTrace{{10_ms, 20_ms}});
+  link.downlink = link.uplink;
+  ShellHarness h{{link}, host};
+  h.send_probe(1);
+  h.loop.run();
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_EQ(h.deliveries[0], 10_ms);  // waits for the first opportunity
+}
+
+TEST(ApplyShells, LossShellDropsDeterministically) {
+  HostProfile host;
+  host.loss_shell_packet_cost = 0;
+  ShellHarness h{{LossShellSpec{1.0, 0.0}}, host};  // 100% uplink loss
+  for (int i = 0; i < 10; ++i) {
+    h.send_probe(static_cast<std::uint64_t>(i));
+  }
+  h.loop.run();
+  EXPECT_TRUE(h.deliveries.empty());
+}
+
+TEST(ApplyShells, CommandLineOrderMeansLastIsInnermost) {
+  // {delay 10ms, link{50ms opportunities}}: app -> link -> delay.
+  // A packet sent at t=0 reaches the link first (waits to 50ms), then the
+  // delay (adds 10ms) => arrives 60ms. If the order were reversed the
+  // packet would hit delay first (10ms), then wait for the 50ms
+  // opportunity => 50ms. Distinguishes the two.
+  HostProfile host;
+  host.delay_shell_packet_cost = 0;
+  host.link_shell_packet_cost = 0;
+  LinkShellSpec link;
+  link.uplink = std::make_shared<const trace::PacketTrace>(
+      trace::PacketTrace{{50_ms, 100_ms}});
+  link.downlink = link.uplink;
+  ShellHarness h{{DelayShellSpec{10_ms}, link}, host};
+  h.send_probe(1);
+  h.loop.run();
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_EQ(h.deliveries[0], 60_ms);
+}
+
+TEST(LinkShellSpec, ConstantRateFactory) {
+  const auto spec = LinkShellSpec::constant_rate_mbps(8.0, 1.0);
+  ASSERT_NE(spec.uplink, nullptr);
+  ASSERT_NE(spec.downlink, nullptr);
+  EXPECT_NEAR(spec.uplink->average_bits_per_second(), 8e6, 8e4);
+  EXPECT_NEAR(spec.downlink->average_bits_per_second(), 1e6, 1e4);
+}
+
+TEST(HostProfile, MachinesDifferButSlightly) {
+  const auto m1 = HostProfile::machine1();
+  const auto m2 = HostProfile::machine2();
+  EXPECT_NE(m1.seed_salt, m2.seed_salt);
+  EXPECT_NEAR(m2.compute_scale, m1.compute_scale, 0.01);  // <1% apart
+}
+
+}  // namespace
+}  // namespace mahimahi::core

@@ -1,0 +1,135 @@
+#include "corpus/site_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+#include <set>
+
+#include "web/discovery.hpp"
+
+namespace mahimahi::corpus {
+namespace {
+
+SiteSpec small_spec() {
+  SiteSpec spec;
+  spec.name = "unit";
+  spec.seed = 99;
+  spec.server_count = 8;
+  spec.object_count = 40;
+  return spec;
+}
+
+TEST(SiteGenerator, HostnameCountMatchesSpec) {
+  const auto site = generate_site(small_spec());
+  EXPECT_EQ(site.hostnames.size(), 8u);
+  std::set<std::string> unique{site.hostnames.begin(), site.hostnames.end()};
+  EXPECT_EQ(unique.size(), 8u);
+  EXPECT_EQ(site.hostnames[0], "www.unit.test");
+}
+
+TEST(SiteGenerator, ObjectCountMatchesSpec) {
+  const auto site = generate_site(small_spec());
+  EXPECT_EQ(site.objects.size(), 40u);
+  EXPECT_EQ(site.objects[0].kind, http::ResourceKind::kHtml);
+  EXPECT_EQ(site.objects[0].url.host, "www.unit.test");
+}
+
+TEST(SiteGenerator, EveryHostServesAtLeastOneObject) {
+  const auto site = generate_site(small_spec());
+  std::set<std::string> serving;
+  for (const auto& object : site.objects) {
+    serving.insert(object.url.host);
+  }
+  EXPECT_EQ(serving.size(), site.hostnames.size());
+}
+
+TEST(SiteGenerator, DeterministicForSameSpec) {
+  const auto a = generate_site(small_spec());
+  const auto b = generate_site(small_spec());
+  ASSERT_EQ(a.objects.size(), b.objects.size());
+  for (std::size_t i = 0; i < a.objects.size(); ++i) {
+    EXPECT_EQ(a.objects[i].url, b.objects[i].url);
+    EXPECT_EQ(a.objects[i].body, b.objects[i].body);
+  }
+}
+
+TEST(SiteGenerator, DifferentSeedsDiffer) {
+  auto spec_b = small_spec();
+  spec_b.seed = 100;
+  const auto a = generate_site(small_spec());
+  const auto b = generate_site(spec_b);
+  EXPECT_NE(a.objects[0].body, b.objects[0].body);
+}
+
+TEST(SiteGenerator, AllObjectsReachableFromRootWithinDepth3) {
+  const auto site = generate_site(small_spec());
+  // Walk the real discovery path: parse bodies the way the browser does.
+  std::map<std::string, const GeneratedObject*> by_url;
+  for (const auto& object : site.objects) {
+    by_url[object.url.to_string()] = &object;
+  }
+  std::set<std::string> visited;
+  std::queue<std::pair<const GeneratedObject*, int>> frontier;
+  frontier.emplace(&site.objects[0], 0);
+  visited.insert(site.objects[0].url.to_string());
+  int max_depth = 0;
+  while (!frontier.empty()) {
+    const auto [object, depth] = frontier.front();
+    frontier.pop();
+    max_depth = std::max(max_depth, depth);
+    for (const auto& url :
+         web::discover_subresources(object->kind, object->url, object->body)) {
+      const auto it = by_url.find(url.to_string());
+      ASSERT_NE(it, by_url.end()) << "dangling reference " << url.to_string();
+      if (visited.insert(url.to_string()).second) {
+        frontier.emplace(it->second, depth + 1);
+      }
+    }
+  }
+  EXPECT_EQ(visited.size(), site.objects.size()) << "unreachable objects";
+  EXPECT_LE(max_depth, 3);
+}
+
+TEST(SiteGenerator, BodiesApproximateTargetSizes) {
+  const auto site = generate_site(small_spec());
+  for (const auto& object : site.objects) {
+    EXPECT_GE(object.body.size(), 60u) << object.url.to_string();
+    EXPECT_LE(object.body.size(), 5'000'000u);
+  }
+  EXPECT_GT(site.total_bytes(), 100'000u);
+}
+
+TEST(SiteGenerator, FindLocatesObjectsByHostAndTarget) {
+  const auto site = generate_site(small_spec());
+  const auto& object = site.objects[5];
+  const auto* found =
+      site.find(object.url.host, object.url.request_target());
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found, &object);
+  EXPECT_EQ(site.find("nosuch.test", "/"), nullptr);
+}
+
+TEST(SiteGenerator, SingleServerSiteIsValid) {
+  SiteSpec spec = small_spec();
+  spec.server_count = 1;
+  spec.object_count = 5;
+  const auto site = generate_site(spec);
+  EXPECT_EQ(site.hostnames.size(), 1u);
+  for (const auto& object : site.objects) {
+    EXPECT_EQ(object.url.host, site.hostnames[0]);
+  }
+}
+
+TEST(SiteGenerator, NamedProfilesHavePaperScale) {
+  const auto cnbc = generate_site(cnbc_like_spec());
+  const auto wikihow = generate_site(wikihow_like_spec());
+  const auto nytimes = generate_site(nytimes_like_spec());
+  // CNBC is the heaviest page (its Table 1 PLT is the largest).
+  EXPECT_GT(cnbc.total_bytes(), wikihow.total_bytes());
+  EXPECT_GT(cnbc.spec.server_count, wikihow.spec.server_count);
+  EXPECT_GT(nytimes.spec.server_count, 20);
+}
+
+}  // namespace
+}  // namespace mahimahi::corpus

@@ -1,0 +1,85 @@
+#include "http/headers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mahimahi::http {
+namespace {
+
+TEST(HeaderMap, GetIsCaseInsensitive) {
+  HeaderMap h;
+  h.add("Content-Type", "text/html");
+  EXPECT_EQ(h.get("content-type"), "text/html");
+  EXPECT_EQ(h.get("CONTENT-TYPE"), "text/html");
+  EXPECT_FALSE(h.get("content-length").has_value());
+}
+
+TEST(HeaderMap, PreservesInsertionOrderAndSpelling) {
+  HeaderMap h;
+  h.add("X-b", "2");
+  h.add("X-A", "1");
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.fields()[0].name, "X-b");
+  EXPECT_EQ(h.fields()[1].name, "X-A");
+}
+
+TEST(HeaderMap, GetAllReturnsDuplicatesInOrder) {
+  HeaderMap h;
+  h.add("Set-Cookie", "a=1");
+  h.add("Other", "x");
+  h.add("set-cookie", "b=2");
+  const auto all = h.get_all("Set-Cookie");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], "a=1");
+  EXPECT_EQ(all[1], "b=2");
+}
+
+TEST(HeaderMap, SetReplacesFirstAndDropsRest) {
+  HeaderMap h;
+  h.add("Cache-Control", "no-cache");
+  h.add("cache-control", "private");
+  h.set("Cache-Control", "max-age=60");
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.get("cache-control"), "max-age=60");
+}
+
+TEST(HeaderMap, SetAddsWhenAbsent) {
+  HeaderMap h;
+  h.set("Host", "example.com");
+  EXPECT_EQ(h.get("host"), "example.com");
+}
+
+TEST(HeaderMap, RemoveReturnsCount) {
+  HeaderMap h;
+  h.add("A", "1");
+  h.add("a", "2");
+  h.add("B", "3");
+  EXPECT_EQ(h.remove("A"), 2u);
+  EXPECT_EQ(h.remove("A"), 0u);
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(HeaderMap, GetOrFallback) {
+  HeaderMap h;
+  EXPECT_EQ(h.get_or("Connection", "keep-alive"), "keep-alive");
+  h.add("Connection", "close");
+  EXPECT_EQ(h.get_or("Connection", "keep-alive"), "close");
+}
+
+TEST(HeaderMap, EqualityIsExact) {
+  HeaderMap a{{"X", "1"}};
+  HeaderMap b{{"x", "1"}};  // different spelling -> not equal values
+  EXPECT_NE(a, b);
+  HeaderMap c{{"X", "1"}};
+  EXPECT_EQ(a, c);
+}
+
+TEST(ValueHasToken, CommaListCaseInsensitive) {
+  EXPECT_TRUE(value_has_token("keep-alive, Upgrade", "upgrade"));
+  EXPECT_TRUE(value_has_token("close", "CLOSE"));
+  EXPECT_FALSE(value_has_token("keep-alive", "close"));
+  EXPECT_TRUE(value_has_token(" chunked ", "chunked"));
+  EXPECT_FALSE(value_has_token("notchunked", "chunked"));
+}
+
+}  // namespace
+}  // namespace mahimahi::http

@@ -1,0 +1,63 @@
+#include "http/mime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mahimahi::http {
+namespace {
+
+TEST(ContentTypeForPath, CommonExtensions) {
+  EXPECT_EQ(content_type_for_path("/index.html"), "text/html");
+  EXPECT_EQ(content_type_for_path("/a/b/style.css"), "text/css");
+  EXPECT_EQ(content_type_for_path("/app.js"), "application/javascript");
+  EXPECT_EQ(content_type_for_path("/pic.JPG"), "image/jpeg");
+  EXPECT_EQ(content_type_for_path("/font.woff2"), "font/woff2");
+}
+
+TEST(ContentTypeForPath, NoExtensionDefaultsToHtml) {
+  EXPECT_EQ(content_type_for_path("/"), "text/html");
+  EXPECT_EQ(content_type_for_path("/page"), "text/html");
+  // Dot in a directory name must not count as an extension.
+  EXPECT_EQ(content_type_for_path("/v1.2/page"), "text/html");
+}
+
+TEST(ContentTypeForPath, StripsQuery) {
+  EXPECT_EQ(content_type_for_path("/lib.js?v=1.css"), "application/javascript");
+}
+
+TEST(ContentTypeForPath, UnknownExtensionIsOctetStream) {
+  EXPECT_EQ(content_type_for_path("/file.xyz"), "application/octet-stream");
+}
+
+TEST(ClassifyContentType, IgnoresParametersAndCase) {
+  EXPECT_EQ(classify_content_type("text/HTML; charset=utf-8"), ResourceKind::kHtml);
+  EXPECT_EQ(classify_content_type("text/css"), ResourceKind::kCss);
+  EXPECT_EQ(classify_content_type("application/javascript"),
+            ResourceKind::kJavaScript);
+  EXPECT_EQ(classify_content_type("text/javascript"), ResourceKind::kJavaScript);
+  EXPECT_EQ(classify_content_type("image/png"), ResourceKind::kImage);
+  EXPECT_EQ(classify_content_type("font/woff2"), ResourceKind::kFont);
+  EXPECT_EQ(classify_content_type("application/json"), ResourceKind::kJson);
+  EXPECT_EQ(classify_content_type("video/mp4"), ResourceKind::kOther);
+}
+
+TEST(KindTables, RoundTripThroughContentType) {
+  for (const auto kind :
+       {ResourceKind::kHtml, ResourceKind::kCss, ResourceKind::kJavaScript,
+        ResourceKind::kImage, ResourceKind::kFont, ResourceKind::kJson}) {
+    EXPECT_EQ(classify_content_type(content_type_for_kind(kind)), kind)
+        << resource_kind_name(kind);
+  }
+}
+
+TEST(KindTables, ExtensionConsistentWithContentType) {
+  for (const auto kind :
+       {ResourceKind::kHtml, ResourceKind::kCss, ResourceKind::kJavaScript,
+        ResourceKind::kImage, ResourceKind::kFont, ResourceKind::kJson}) {
+    const std::string path = std::string{"/x"} + std::string{extension_for_kind(kind)};
+    EXPECT_EQ(classify_content_type(content_type_for_path(path)), kind)
+        << resource_kind_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace mahimahi::http

@@ -1,0 +1,229 @@
+// Property tests: serialize -> fragment -> parse must round-trip any
+// well-formed message, for every framing mode and fragmentation pattern.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "http/message.hpp"
+#include "http/parser.hpp"
+#include "util/random.hpp"
+
+namespace mahimahi::http {
+namespace {
+
+enum class BodyMode { kNone, kContentLength, kChunked };
+
+std::string chunk_encode(std::string_view body, std::size_t chunk_size,
+                         util::Rng& rng) {
+  std::string out;
+  std::size_t offset = 0;
+  while (offset < body.size()) {
+    const std::size_t take =
+        std::min<std::size_t>(chunk_size + static_cast<std::size_t>(rng.uniform_int(0, 7)),
+                              body.size() - offset);
+    char size_line[32];
+    std::snprintf(size_line, sizeof size_line, "%zx\r\n", take);
+    out += size_line;
+    out.append(body.substr(offset, take));
+    out += "\r\n";
+    offset += take;
+  }
+  out += "0\r\n\r\n";
+  return out;
+}
+
+std::string random_token(util::Rng& rng, std::size_t len) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_";
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng.uniform_int(0, sizeof kAlphabet - 2)];
+  }
+  return out;
+}
+
+std::string random_body(util::Rng& rng, std::size_t len) {
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    // Full byte range: bodies are binary-safe.
+    out += static_cast<char>(rng.uniform_int(0, 255));
+  }
+  return out;
+}
+
+// (seed, fragment size, body mode)
+using ParamTuple = std::tuple<int, int, BodyMode>;
+
+class RequestRoundTrip : public ::testing::TestWithParam<ParamTuple> {};
+
+TEST_P(RequestRoundTrip, SerializeFragmentParse) {
+  const auto [seed, fragment, mode] = GetParam();
+  util::Rng rng{static_cast<std::uint64_t>(seed) * 7919 + 13};
+
+  Request original;
+  original.method = Method::kPost;
+  original.target = "/" + random_token(rng, 1 + rng.uniform_int(0, 40));
+  const int header_count = static_cast<int>(rng.uniform_int(0, 12));
+  original.headers.add("Host", random_token(rng, 10) + ".test");
+  for (int i = 0; i < header_count; ++i) {
+    original.headers.add("X-" + random_token(rng, 6), random_token(rng, 24));
+  }
+  const std::size_t body_len =
+      mode == BodyMode::kNone ? 0
+                              : static_cast<std::size_t>(rng.uniform_int(1, 5000));
+  const std::string body = random_body(rng, body_len);
+
+  std::string wire;
+  switch (mode) {
+    case BodyMode::kNone:
+      wire = to_bytes(original);
+      break;
+    case BodyMode::kContentLength:
+      original.body = body;
+      finalize_content_length(original);
+      wire = to_bytes(original);
+      break;
+    case BodyMode::kChunked: {
+      original.headers.add("Transfer-Encoding", "chunked");
+      Request headers_only = original;
+      headers_only.body.clear();
+      wire = to_bytes(headers_only);
+      wire += chunk_encode(body, 97, rng);
+      original.body = body;
+      break;
+    }
+  }
+
+  RequestParser parser;
+  for (std::size_t offset = 0; offset < wire.size();
+       offset += static_cast<std::size_t>(fragment)) {
+    parser.push(std::string_view{wire}.substr(offset, static_cast<std::size_t>(fragment)));
+  }
+  ASSERT_FALSE(parser.failed()) << parser.error_message();
+  ASSERT_TRUE(parser.has_message());
+  const Request parsed = parser.pop();
+
+  EXPECT_EQ(parsed.method, original.method);
+  EXPECT_EQ(parsed.target, original.target);
+  EXPECT_EQ(parsed.body, original.body);
+  // Every original header must be present with identical value.
+  for (const auto& field : original.headers) {
+    EXPECT_EQ(parsed.headers.get(field.name), field.value) << field.name;
+  }
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RequestRoundTrip,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(1, 7, 64, 1 << 20),
+                       ::testing::Values(BodyMode::kNone, BodyMode::kContentLength,
+                                         BodyMode::kChunked)));
+
+class ResponseRoundTrip : public ::testing::TestWithParam<ParamTuple> {};
+
+TEST_P(ResponseRoundTrip, SerializeFragmentParse) {
+  const auto [seed, fragment, mode] = GetParam();
+  util::Rng rng{static_cast<std::uint64_t>(seed) * 104729 + 7};
+
+  Response original;
+  original.status = 200;
+  original.reason = "OK";
+  const int header_count = static_cast<int>(rng.uniform_int(0, 12));
+  for (int i = 0; i < header_count; ++i) {
+    original.headers.add("X-" + random_token(rng, 6), random_token(rng, 24));
+  }
+  const std::size_t body_len =
+      mode == BodyMode::kNone ? 0
+                              : static_cast<std::size_t>(rng.uniform_int(1, 5000));
+  const std::string body = random_body(rng, body_len);
+
+  std::string wire;
+  bool close_to_finish = false;
+  switch (mode) {
+    case BodyMode::kNone:
+      // Exercise read-to-close framing: body with no length header.
+      original.body = body;
+      wire = to_bytes(original);
+      close_to_finish = true;
+      break;
+    case BodyMode::kContentLength:
+      original.body = body;
+      finalize_content_length(original);
+      wire = to_bytes(original);
+      break;
+    case BodyMode::kChunked: {
+      original.headers.add("Transfer-Encoding", "chunked");
+      Response headers_only = original;
+      headers_only.body.clear();
+      wire = to_bytes(headers_only);
+      wire += chunk_encode(body, 53, rng);
+      original.body = body;
+      break;
+    }
+  }
+
+  ResponseParser parser;
+  parser.notify_request(Method::kGet);
+  for (std::size_t offset = 0; offset < wire.size();
+       offset += static_cast<std::size_t>(fragment)) {
+    parser.push(std::string_view{wire}.substr(offset, static_cast<std::size_t>(fragment)));
+  }
+  if (close_to_finish) {
+    parser.on_close();
+  }
+  ASSERT_FALSE(parser.failed()) << parser.error_message();
+  ASSERT_TRUE(parser.has_message());
+  const Response parsed = parser.pop();
+
+  EXPECT_EQ(parsed.status, original.status);
+  EXPECT_EQ(parsed.body, original.body);
+  for (const auto& field : original.headers) {
+    EXPECT_EQ(parsed.headers.get(field.name), field.value) << field.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ResponseRoundTrip,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(1, 7, 64, 1 << 20),
+                       ::testing::Values(BodyMode::kNone, BodyMode::kContentLength,
+                                         BodyMode::kChunked)));
+
+// Pipelining property: N serialized requests pushed as one buffer parse
+// back as exactly N messages in order.
+class PipelineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineProperty, NRequestsRoundTrip) {
+  const int n = GetParam();
+  util::Rng rng{static_cast<std::uint64_t>(n) + 1000};
+  std::string wire;
+  std::vector<std::string> targets;
+  for (int i = 0; i < n; ++i) {
+    Request r;
+    r.target = "/obj-" + std::to_string(i) + "-" + random_token(rng, 5);
+    r.headers.add("Host", "pipeline.test");
+    if (rng.chance(0.5)) {
+      r.body = random_body(rng, static_cast<std::size_t>(rng.uniform_int(1, 200)));
+      finalize_content_length(r);
+    }
+    targets.push_back(r.target);
+    wire += to_bytes(r);
+  }
+  RequestParser parser;
+  parser.push(wire);
+  ASSERT_FALSE(parser.failed()) << parser.error_message();
+  ASSERT_EQ(parser.pending(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(parser.pop().target, targets[static_cast<std::size_t>(i)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PipelineProperty, ::testing::Values(1, 2, 5, 20, 100));
+
+}  // namespace
+}  // namespace mahimahi::http

@@ -1,0 +1,53 @@
+#include "http/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mahimahi::http {
+namespace {
+
+TEST(StatusClasses, BoundariesAreExact) {
+  EXPECT_TRUE(is_informational(100));
+  EXPECT_TRUE(is_informational(199));
+  EXPECT_FALSE(is_informational(200));
+  EXPECT_TRUE(is_success(200));
+  EXPECT_TRUE(is_success(299));
+  EXPECT_FALSE(is_success(300));
+  EXPECT_TRUE(is_redirect(301));
+  EXPECT_FALSE(is_redirect(400));
+  EXPECT_TRUE(is_client_error(404));
+  EXPECT_FALSE(is_client_error(500));
+  EXPECT_TRUE(is_server_error(503));
+  EXPECT_FALSE(is_server_error(600));
+}
+
+TEST(StatusClasses, ExactlyOneClassPerCode) {
+  for (int code = 100; code < 600; ++code) {
+    const int classes = (is_informational(code) ? 1 : 0) +
+                        (is_success(code) ? 1 : 0) + (is_redirect(code) ? 1 : 0) +
+                        (is_client_error(code) ? 1 : 0) +
+                        (is_server_error(code) ? 1 : 0);
+    EXPECT_EQ(classes, 1) << code;
+  }
+}
+
+TEST(ReasonPhrase, KnownAndUnknownCodes) {
+  EXPECT_EQ(reason_phrase(200), "OK");
+  EXPECT_EQ(reason_phrase(304), "Not Modified");
+  EXPECT_EQ(reason_phrase(404), "Not Found");
+  EXPECT_EQ(reason_phrase(503), "Service Unavailable");
+  EXPECT_EQ(reason_phrase(299), "Unknown");
+  EXPECT_EQ(reason_phrase(0), "Unknown");
+}
+
+TEST(StatusHasNoBody, MatchesRfc7230) {
+  EXPECT_TRUE(status_has_no_body(100));
+  EXPECT_TRUE(status_has_no_body(101));
+  EXPECT_TRUE(status_has_no_body(204));
+  EXPECT_TRUE(status_has_no_body(304));
+  EXPECT_FALSE(status_has_no_body(200));
+  EXPECT_FALSE(status_has_no_body(206));
+  EXPECT_FALSE(status_has_no_body(404));
+}
+
+}  // namespace
+}  // namespace mahimahi::http

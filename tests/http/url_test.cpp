@@ -1,0 +1,109 @@
+#include "http/url.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mahimahi::http {
+namespace {
+
+TEST(ParseUrl, AbsoluteForm) {
+  const auto url = parse_url("http://www.example.com/index.html?a=1");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->scheme, "http");
+  EXPECT_EQ(url->host, "www.example.com");
+  EXPECT_EQ(url->port, 0);
+  EXPECT_EQ(url->effective_port(), 80);
+  EXPECT_EQ(url->path, "/index.html");
+  EXPECT_EQ(url->query, "a=1");
+}
+
+TEST(ParseUrl, ExplicitPortAndHttps) {
+  const auto url = parse_url("https://cdn.example.com:8443/x");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->port, 8443);
+  EXPECT_EQ(url->effective_port(), 8443);
+  const auto bare = parse_url("https://cdn.example.com/x");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->effective_port(), 443);
+}
+
+TEST(ParseUrl, HostOnlyGetsRootPath) {
+  const auto url = parse_url("http://example.com");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->path, "/");
+  EXPECT_EQ(url->request_target(), "/");
+}
+
+TEST(ParseUrl, OriginForm) {
+  const auto url = parse_url("/a/b.css?v=2");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_TRUE(url->host.empty());
+  EXPECT_EQ(url->path, "/a/b.css");
+  EXPECT_EQ(url->query, "v=2");
+}
+
+TEST(ParseUrl, LowercasesHostAndScheme) {
+  const auto url = parse_url("HTTP://WWW.Example.COM/Path");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->scheme, "http");
+  EXPECT_EQ(url->host, "www.example.com");
+  EXPECT_EQ(url->path, "/Path");  // path case is preserved
+}
+
+TEST(ParseUrl, RejectsGarbage) {
+  EXPECT_FALSE(parse_url("").has_value());
+  EXPECT_FALSE(parse_url("ftp://example.com/").has_value());
+  EXPECT_FALSE(parse_url("example.com/path").has_value());
+  EXPECT_FALSE(parse_url("http://:80/").has_value());
+  EXPECT_FALSE(parse_url("http://host:0/").has_value());
+  EXPECT_FALSE(parse_url("http://host:99999/").has_value());
+  EXPECT_FALSE(parse_url("http://host:abc/").has_value());
+}
+
+TEST(Url, ToStringRoundTrip) {
+  const auto url = parse_url("https://h.example:444/p/q?x=y");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->to_string(), "https://h.example:444/p/q?x=y");
+  const auto again = parse_url(url->to_string());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, *url);
+}
+
+TEST(ResolveReference, AbsoluteRefWins) {
+  const auto base = parse_url("http://a.com/dir/page.html");
+  const auto out = resolve_reference(*base, "https://b.com/x.js");
+  EXPECT_EQ(out.host, "b.com");
+  EXPECT_EQ(out.scheme, "https");
+  EXPECT_EQ(out.path, "/x.js");
+}
+
+TEST(ResolveReference, SchemeRelative) {
+  const auto base = parse_url("https://a.com/dir/");
+  const auto out = resolve_reference(*base, "//cdn.com/lib.js");
+  EXPECT_EQ(out.scheme, "https");
+  EXPECT_EQ(out.host, "cdn.com");
+  EXPECT_EQ(out.path, "/lib.js");
+}
+
+TEST(ResolveReference, AbsolutePathKeepsOrigin) {
+  const auto base = parse_url("http://a.com:8080/dir/page.html?q=1");
+  const auto out = resolve_reference(*base, "/img/logo.png");
+  EXPECT_EQ(out.host, "a.com");
+  EXPECT_EQ(out.port, 8080);
+  EXPECT_EQ(out.path, "/img/logo.png");
+  EXPECT_EQ(out.query, "");
+}
+
+TEST(ResolveReference, RelativePathAgainstDirectory) {
+  const auto base = parse_url("http://a.com/dir/page.html");
+  const auto out = resolve_reference(*base, "style.css?v=3");
+  EXPECT_EQ(out.path, "/dir/style.css");
+  EXPECT_EQ(out.query, "v=3");
+}
+
+TEST(ResolveReference, EmptyRefReturnsBase) {
+  const auto base = parse_url("http://a.com/p");
+  EXPECT_EQ(resolve_reference(*base, ""), *base);
+}
+
+}  // namespace
+}  // namespace mahimahi::http

@@ -1,0 +1,159 @@
+// Failure injection across the stack: hostile inputs and hostile networks
+// must degrade loudly and gracefully, never hang or corrupt.
+
+#include <gtest/gtest.h>
+
+#include "core/sessions.hpp"
+#include "corpus/site_generator.hpp"
+#include "net/sim_fixture.hpp"
+#include "trace/synthesis.hpp"
+
+namespace mahimahi::core {
+namespace {
+
+using net::testing::SimNet;
+using namespace mahimahi::literals;
+
+corpus::SiteSpec tiny_spec() {
+  corpus::SiteSpec spec;
+  spec.name = "fail";
+  spec.seed = 23;
+  spec.server_count = 4;
+  spec.object_count = 15;
+  return spec;
+}
+
+SessionConfig quick_config() {
+  SessionConfig config;
+  config.seed = 31;
+  config.browser.per_object_overhead = 500;
+  config.browser.final_layout_cost = 1'000;
+  config.browser.stall_timeout = 5'000'000;  // fail fast in tests
+  return config;
+}
+
+record::RecordStore recorded_site(const corpus::GeneratedSite& site) {
+  RecordSession recorder{site, corpus::LiveWebConfig{}, quick_config()};
+  return recorder.record();
+}
+
+TEST(FailureInjection, TotalUplinkLossStallsButTerminates) {
+  const auto site = corpus::generate_site(tiny_spec());
+  const auto store = recorded_site(site);
+  auto config = quick_config();
+  config.shells = {LossShellSpec{1.0, 0.0}};  // nothing gets out
+  ReplaySession session{store, config};
+  const auto result = session.load_once(site.primary_url(), 0);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.objects_loaded, 0u);
+  EXPECT_FALSE(result.errors.empty());
+}
+
+TEST(FailureInjection, HeavyBidirectionalLossEventuallySucceeds) {
+  const auto site = corpus::generate_site(tiny_spec());
+  const auto store = recorded_site(site);
+  auto config = quick_config();
+  config.browser.stall_timeout = 60'000'000;
+  config.shells = {DelayShellSpec{5_ms}, LossShellSpec{0.25, 0.25}};
+  ReplaySession session{store, config};
+  const auto result = session.load_once(site.primary_url(), 0);
+  EXPECT_TRUE(result.success)
+      << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_EQ(result.objects_loaded, site.objects.size());
+}
+
+TEST(FailureInjection, IntermittentLinkDeliversEventually) {
+  // mm-onoff style: 200 ms on, 800 ms off. TCP rides through the gaps.
+  const auto site = corpus::generate_site(tiny_spec());
+  const auto store = recorded_site(site);
+  auto config = quick_config();
+  config.browser.stall_timeout = 120'000'000;
+  LinkShellSpec link;
+  link.uplink = std::make_shared<const trace::PacketTrace>(
+      trace::on_off(10e6, 5_s, 200_ms, 800_ms));
+  link.downlink = link.uplink;
+  config.shells = {link};
+  ReplaySession session{store, config};
+  const auto result = session.load_once(site.primary_url(), 0);
+  EXPECT_TRUE(result.success);
+  // An 80%-off link must stretch the load well past the bare time.
+  EXPECT_GT(result.page_load_time, 1_s);
+}
+
+TEST(FailureInjection, EmptyStoreYieldsCleanFailure) {
+  const record::RecordStore empty;
+  ReplaySession session{empty, quick_config()};
+  const auto result = session.load_once("http://www.fail.test/", 0);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.objects_loaded, 0u);
+}
+
+TEST(FailureInjection, PartialStoreReportsMissingObjects) {
+  const auto site = corpus::generate_site(tiny_spec());
+  const auto full = recorded_site(site);
+  // Keep only the first half of the exchanges (truncated recording).
+  record::RecordStore half;
+  for (std::size_t i = 0; i < full.size() / 2; ++i) {
+    half.add(full.exchanges()[i]);
+  }
+  ReplaySession session{half, quick_config()};
+  const auto result = session.load_once(site.primary_url(), 0);
+  EXPECT_FALSE(result.success);
+  EXPECT_GT(result.objects_loaded, 0u);
+  EXPECT_GT(result.objects_failed, 0u);
+  // Failures are 404s / DNS misses, not hangs: loaded+failed covers all
+  // *discovered* objects (undiscovered children of missing parents aside).
+  EXPECT_LE(result.objects_loaded + result.objects_failed,
+            site.objects.size());
+}
+
+TEST(FailureInjection, ReplayHealsCorruptStoredFraming) {
+  // A stored response whose Content-Length lies about the body size would
+  // wedge a keep-alive connection if replayed verbatim. The replay server
+  // recomputes framing from the stored body, so the page still loads and
+  // the delivered bytes match the stored ones.
+  record::RecordStore store;
+  {
+    record::RecordedExchange root;
+    root.request = http::make_get("http://www.fail.test/");
+    root.response = http::make_ok(
+        "<html><img src=\"/good.jpg\"><img src=\"/bad.jpg\"></html>");
+    root.server_address = net::Address{net::Ipv4{10, 5, 0, 1}, 80};
+    store.add(root);
+
+    record::RecordedExchange good;
+    good.request = http::make_get("http://www.fail.test/good.jpg");
+    good.response = http::make_ok(std::string(500, 'g'), "image/jpeg");
+    good.server_address = net::Address{net::Ipv4{10, 5, 0, 1}, 80};
+    store.add(good);
+
+    record::RecordedExchange bad;
+    bad.request = http::make_get("http://www.fail.test/bad.jpg");
+    bad.response = http::make_ok(std::string(500, 'b'), "image/jpeg");
+    // Framing lie: claims more bytes than the stored body has.
+    bad.response.headers.set("Content-Length", "9999");
+    bad.server_address = net::Address{net::Ipv4{10, 5, 0, 1}, 80};
+    store.add(bad);
+  }
+  ReplaySession session{store, quick_config()};
+  const auto result = session.load_once("http://www.fail.test/", 0);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.objects_loaded, 3u);
+  EXPECT_EQ(result.objects_failed, 0u);
+}
+
+TEST(FailureInjection, ZeroObjectPageLoadsNothingGracefully) {
+  record::RecordStore store;
+  record::RecordedExchange root;
+  root.request = http::make_get("http://www.fail.test/");
+  root.response = http::make_ok("<html>empty</html>");
+  root.server_address = net::Address{net::Ipv4{10, 5, 0, 1}, 80};
+  store.add(root);
+  ReplaySession session{store, quick_config()};
+  const auto result = session.load_once("http://www.fail.test/", 0);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.objects_loaded, 1u);
+}
+
+}  // namespace
+}  // namespace mahimahi::core

@@ -1,0 +1,67 @@
+#include "net/address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace mahimahi::net {
+namespace {
+
+TEST(Ipv4, FormatAndParseRoundTrip) {
+  const Ipv4 ip{10, 0, 0, 1};
+  EXPECT_EQ(ip.to_string(), "10.0.0.1");
+  const auto parsed = Ipv4::parse("10.0.0.1");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, ip);
+}
+
+TEST(Ipv4, ParseRejectsBadInput) {
+  EXPECT_FALSE(Ipv4::parse("").has_value());
+  EXPECT_FALSE(Ipv4::parse("10.0.0").has_value());
+  EXPECT_FALSE(Ipv4::parse("10.0.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4::parse("10.0.0.256").has_value());
+  EXPECT_FALSE(Ipv4::parse("a.b.c.d").has_value());
+}
+
+TEST(Ipv4, OrderingFollowsValue) {
+  EXPECT_LT(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2));
+  EXPECT_LT(Ipv4(9, 255, 255, 255), Ipv4(10, 0, 0, 0));
+}
+
+TEST(Address, FormatAndParseRoundTrip) {
+  const Address addr{Ipv4{192, 168, 1, 10}, 8080};
+  EXPECT_EQ(addr.to_string(), "192.168.1.10:8080");
+  const auto parsed = Address::parse("192.168.1.10:8080");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, addr);
+}
+
+TEST(Address, ParseRejectsBadInput) {
+  EXPECT_FALSE(Address::parse("192.168.1.10").has_value());
+  EXPECT_FALSE(Address::parse("192.168.1.10:").has_value());
+  EXPECT_FALSE(Address::parse("192.168.1.10:70000").has_value());
+  EXPECT_FALSE(Address::parse(":80").has_value());
+}
+
+TEST(Address, HashDistinguishesPortAndIp) {
+  std::unordered_set<Address> set;
+  set.insert(Address{Ipv4{1, 2, 3, 4}, 80});
+  set.insert(Address{Ipv4{1, 2, 3, 4}, 81});
+  set.insert(Address{Ipv4{1, 2, 3, 5}, 80});
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(AddressAllocator, HandsOutDistinctSequentialIps) {
+  AddressAllocator alloc{Ipv4{10, 0, 0, 1}};
+  const Ipv4 a = alloc.next_ip();
+  const Ipv4 b = alloc.next_ip();
+  EXPECT_EQ(a.to_string(), "10.0.0.1");
+  EXPECT_EQ(b.to_string(), "10.0.0.2");
+  // Octet rollover works (value-based increment).
+  AddressAllocator alloc2{Ipv4{10, 0, 0, 255}};
+  (void)alloc2.next_ip();
+  EXPECT_EQ(alloc2.next_ip().to_string(), "10.0.1.0");
+}
+
+}  // namespace
+}  // namespace mahimahi::net

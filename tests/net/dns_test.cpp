@@ -1,0 +1,126 @@
+#include "net/dns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/sim_fixture.hpp"
+#include "util/random.hpp"
+
+namespace mahimahi::net {
+namespace {
+
+using testing::SimNet;
+using namespace mahimahi::literals;
+
+const Address kDnsAddr{Ipv4{10, 0, 0, 53}, kDnsPort};
+
+struct DnsHarness {
+  SimNet net;
+  DnsTable table;
+  std::unique_ptr<DnsServer> server;
+  std::unique_ptr<DnsClient> client;
+
+  explicit DnsHarness(Microseconds delay = 0) {
+    if (delay > 0) {
+      net.add_delay(delay);
+    }
+    table.add("www.example.com", Ipv4{93, 184, 216, 34});
+    table.add("cdn.example.com", Ipv4{93, 184, 216, 35});
+    server = std::make_unique<DnsServer>(net.fabric, kDnsAddr, table);
+    client = std::make_unique<DnsClient>(net.fabric, kDnsAddr);
+  }
+};
+
+TEST(DnsTable, LookupIsCaseInsensitive) {
+  DnsTable table;
+  table.add("WWW.Example.COM", Ipv4{1, 2, 3, 4});
+  const auto hit = table.lookup("www.example.com");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, (Ipv4{1, 2, 3, 4}));
+  EXPECT_FALSE(table.lookup("other.com").has_value());
+}
+
+TEST(Dns, ResolveThroughDelayTakesOneRtt) {
+  DnsHarness h{25_ms};
+  std::optional<Ipv4> answer;
+  Microseconds answered_at = 0;
+  h.client->resolve("www.example.com", [&](std::optional<Ipv4> ip) {
+    answer = ip;
+    answered_at = h.net.loop.now();
+  });
+  h.net.loop.run();
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(*answer, (Ipv4{93, 184, 216, 34}));
+  EXPECT_EQ(answered_at, 50_ms);  // query one way, answer back
+}
+
+TEST(Dns, SecondLookupIsCachedAndSynchronous) {
+  DnsHarness h{25_ms};
+  h.client->resolve("www.example.com", [](std::optional<Ipv4>) {});
+  h.net.loop.run();
+  bool answered = false;
+  h.client->resolve("www.example.com", [&](std::optional<Ipv4> ip) {
+    answered = true;
+    EXPECT_TRUE(ip.has_value());
+  });
+  EXPECT_TRUE(answered);  // no event loop turn needed
+  EXPECT_EQ(h.client->cache_hits(), 1u);
+  EXPECT_EQ(h.client->queries_sent(), 1u);
+}
+
+TEST(Dns, ConcurrentLookupsCoalesceIntoOneQuery) {
+  DnsHarness h{10_ms};
+  int answers = 0;
+  for (int i = 0; i < 5; ++i) {
+    h.client->resolve("cdn.example.com",
+                      [&](std::optional<Ipv4> ip) { answers += ip ? 1 : 0; });
+  }
+  h.net.loop.run();
+  EXPECT_EQ(answers, 5);
+  EXPECT_EQ(h.client->queries_sent(), 1u);
+  EXPECT_EQ(h.server->queries_served(), 1u);
+}
+
+TEST(Dns, UnknownNameYieldsNxdomain) {
+  DnsHarness h;
+  bool called = false;
+  h.client->resolve("nosuch.example.com", [&](std::optional<Ipv4> ip) {
+    called = true;
+    EXPECT_FALSE(ip.has_value());
+  });
+  h.net.loop.run();
+  EXPECT_TRUE(called);
+}
+
+TEST(Dns, RetriesThroughLossyChain) {
+  SimNet net;
+  net.add_delay(5_ms);
+  // Deterministic seed that drops some queries: retry must cover it.
+  net.add_loss(util::Rng{5}, 0.5, 0.5);
+  DnsTable table;
+  table.add("www.example.com", Ipv4{9, 9, 9, 9});
+  DnsServer server{net.fabric, kDnsAddr, table};
+  DnsClient client{net.fabric, kDnsAddr, /*query_timeout=*/100'000,
+                   /*max_retries=*/10};
+  std::optional<Ipv4> answer;
+  client.resolve("www.example.com",
+                 [&](std::optional<Ipv4> ip) { answer = ip; });
+  net.loop.run();
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(*answer, (Ipv4{9, 9, 9, 9}));
+}
+
+TEST(Dns, TimeoutWithoutServerReportsFailure) {
+  SimNet net;
+  DnsClient client{net.fabric, kDnsAddr, /*query_timeout=*/50'000,
+                   /*max_retries=*/2};
+  bool failed = false;
+  client.resolve("www.example.com", [&](std::optional<Ipv4> ip) {
+    failed = !ip.has_value();
+  });
+  net.loop.run();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(client.queries_sent(), 3u);  // initial + 2 retries
+}
+
+}  // namespace
+}  // namespace mahimahi::net

@@ -1,0 +1,188 @@
+#include "net/element.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "util/random.hpp"
+
+namespace mahimahi::net {
+namespace {
+
+Packet make_packet(std::uint64_t id, std::size_t payload = 100) {
+  Packet p;
+  p.id = id;
+  p.tcp.payload = std::string(payload, 'x');
+  return p;
+}
+
+struct Collector {
+  std::vector<std::pair<std::uint64_t, Microseconds>> uplink;
+  std::vector<std::pair<std::uint64_t, Microseconds>> downlink;
+
+  NetworkElement::Forward up_sink(EventLoop& loop) {
+    return [this, &loop](Packet&& p) { uplink.emplace_back(p.id, loop.now()); };
+  }
+  NetworkElement::Forward down_sink(EventLoop& loop) {
+    return [this, &loop](Packet&& p) { downlink.emplace_back(p.id, loop.now()); };
+  }
+};
+
+TEST(DelayBox, DelaysExactlyAndPreservesOrder) {
+  EventLoop loop;
+  Chain chain;
+  chain.push_back(std::make_unique<DelayBox>(loop, 30'000));
+  Collector sink;
+  chain.set_outputs(sink.up_sink(loop), sink.down_sink(loop));
+
+  loop.schedule_at(0, [&] { chain.send_uplink(make_packet(1)); });
+  loop.schedule_at(0, [&] { chain.send_uplink(make_packet(2)); });
+  loop.schedule_at(5'000, [&] { chain.send_downlink(make_packet(3)); });
+  loop.run();
+
+  ASSERT_EQ(sink.uplink.size(), 2u);
+  EXPECT_EQ(sink.uplink[0], (std::pair<std::uint64_t, Microseconds>{1, 30'000}));
+  EXPECT_EQ(sink.uplink[1], (std::pair<std::uint64_t, Microseconds>{2, 30'000}));
+  ASSERT_EQ(sink.downlink.size(), 1u);
+  EXPECT_EQ(sink.downlink[0], (std::pair<std::uint64_t, Microseconds>{3, 35'000}));
+}
+
+TEST(DelayBox, ZeroDelayIsSynchronous) {
+  EventLoop loop;
+  Chain chain;
+  chain.push_back(std::make_unique<DelayBox>(loop, 0));
+  Collector sink;
+  chain.set_outputs(sink.up_sink(loop), sink.down_sink(loop));
+  chain.send_uplink(make_packet(7));
+  EXPECT_EQ(sink.uplink.size(), 1u);  // no event needed
+}
+
+TEST(LossBox, ZeroAndTotalLoss) {
+  EventLoop loop;
+  Chain chain;
+  chain.push_back(std::make_unique<LossBox>(util::Rng{1}, 0.0, 1.0));
+  Collector sink;
+  chain.set_outputs(sink.up_sink(loop), sink.down_sink(loop));
+  for (int i = 0; i < 50; ++i) {
+    chain.send_uplink(make_packet(static_cast<std::uint64_t>(i)));
+    chain.send_downlink(make_packet(static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(sink.uplink.size(), 50u);    // 0% uplink loss
+  EXPECT_EQ(sink.downlink.size(), 0u);   // 100% downlink loss
+}
+
+TEST(LossBox, StatisticalRate) {
+  EventLoop loop;
+  Chain chain;
+  auto box = std::make_unique<LossBox>(util::Rng{42}, 0.3, 0.0);
+  LossBox& loss = *box;
+  chain.push_back(std::move(box));
+  Collector sink;
+  chain.set_outputs(sink.up_sink(loop), sink.down_sink(loop));
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    chain.send_uplink(make_packet(static_cast<std::uint64_t>(i)));
+  }
+  const double observed =
+      static_cast<double>(loss.dropped(Direction::kUplink)) / n;
+  EXPECT_NEAR(observed, 0.3, 0.02);
+  EXPECT_EQ(sink.uplink.size() + loss.dropped(Direction::kUplink),
+            static_cast<std::size_t>(n));
+}
+
+TEST(MeterBox, CountsPerDirection) {
+  EventLoop loop;
+  Chain chain;
+  auto box = std::make_unique<MeterBox>();
+  MeterBox& meter = *box;
+  chain.push_back(std::move(box));
+  Collector sink;
+  chain.set_outputs(sink.up_sink(loop), sink.down_sink(loop));
+  chain.send_uplink(make_packet(1, 100));
+  chain.send_uplink(make_packet(2, 200));
+  chain.send_downlink(make_packet(3, 50));
+  EXPECT_EQ(meter.packets(Direction::kUplink), 2u);
+  EXPECT_EQ(meter.bytes(Direction::kUplink), 300 + 2 * kTcpHeaderBytes);
+  EXPECT_EQ(meter.packets(Direction::kDownlink), 1u);
+  EXPECT_EQ(meter.bytes(Direction::kDownlink), 50 + kTcpHeaderBytes);
+}
+
+TEST(ProcessingDelayBox, SerializesBackToBackPackets) {
+  EventLoop loop;
+  Chain chain;
+  chain.push_back(std::make_unique<ProcessingDelayBox>(loop, 100));
+  Collector sink;
+  chain.set_outputs(sink.up_sink(loop), sink.down_sink(loop));
+  // Three packets arrive simultaneously: single-server queue means they
+  // exit at 100, 200, 300 us.
+  loop.schedule_at(0, [&] {
+    chain.send_uplink(make_packet(1));
+    chain.send_uplink(make_packet(2));
+    chain.send_uplink(make_packet(3));
+  });
+  loop.run();
+  ASSERT_EQ(sink.uplink.size(), 3u);
+  EXPECT_EQ(sink.uplink[0].second, 100);
+  EXPECT_EQ(sink.uplink[1].second, 200);
+  EXPECT_EQ(sink.uplink[2].second, 300);
+}
+
+TEST(ProcessingDelayBox, DirectionsDoNotSerializeEachOther) {
+  EventLoop loop;
+  Chain chain;
+  chain.push_back(std::make_unique<ProcessingDelayBox>(loop, 100));
+  Collector sink;
+  chain.set_outputs(sink.up_sink(loop), sink.down_sink(loop));
+  loop.schedule_at(0, [&] {
+    chain.send_uplink(make_packet(1));
+    chain.send_downlink(make_packet(2));
+  });
+  loop.run();
+  ASSERT_EQ(sink.uplink.size(), 1u);
+  ASSERT_EQ(sink.downlink.size(), 1u);
+  EXPECT_EQ(sink.uplink[0].second, 100);
+  EXPECT_EQ(sink.downlink[0].second, 100);
+}
+
+TEST(Chain, EmptyChainForwardsDirectly) {
+  EventLoop loop;
+  Chain chain;
+  Collector sink;
+  chain.set_outputs(sink.up_sink(loop), sink.down_sink(loop));
+  chain.send_uplink(make_packet(1));
+  chain.send_downlink(make_packet(2));
+  EXPECT_EQ(sink.uplink.size(), 1u);
+  EXPECT_EQ(sink.downlink.size(), 1u);
+}
+
+TEST(Chain, DelaysCompose) {
+  EventLoop loop;
+  Chain chain;
+  chain.push_back(std::make_unique<DelayBox>(loop, 10'000));
+  chain.push_back(std::make_unique<DelayBox>(loop, 5'000));
+  Collector sink;
+  chain.set_outputs(sink.up_sink(loop), sink.down_sink(loop));
+  loop.schedule_at(0, [&] { chain.send_uplink(make_packet(1)); });
+  loop.schedule_at(0, [&] { chain.send_downlink(make_packet(2)); });
+  loop.run();
+  ASSERT_EQ(sink.uplink.size(), 1u);
+  EXPECT_EQ(sink.uplink[0].second, 15'000);  // both delays, uplink direction
+  ASSERT_EQ(sink.downlink.size(), 1u);
+  EXPECT_EQ(sink.downlink[0].second, 15'000);  // and downlink direction
+}
+
+TEST(Chain, ElementsAddedAfterOutputsStillWire) {
+  EventLoop loop;
+  Chain chain;
+  Collector sink;
+  chain.set_outputs(sink.up_sink(loop), sink.down_sink(loop));
+  chain.push_back(std::make_unique<PassthroughElement>());
+  chain.push_back(std::make_unique<PassthroughElement>());
+  chain.send_uplink(make_packet(9));
+  ASSERT_EQ(sink.uplink.size(), 1u);
+  EXPECT_EQ(sink.uplink[0].first, 9u);
+}
+
+}  // namespace
+}  // namespace mahimahi::net

@@ -1,0 +1,127 @@
+#include "net/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mahimahi::net {
+namespace {
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(loop.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, SameTimeIsFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventLoop, ActionsCanScheduleMore) {
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) {
+      loop.schedule_in(10, chain);
+    }
+  };
+  loop.schedule_at(0, chain);
+  loop.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(loop.now(), 40);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const auto id = loop.schedule_at(10, [&] { ran = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(EventLoop, CancelUnknownOrRunIsNoOp) {
+  EventLoop loop;
+  const auto id = loop.schedule_at(1, [] {});
+  loop.run();
+  loop.cancel(id);      // already ran
+  loop.cancel(999999);  // never existed
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(EventLoop, CancelFromWithinAction) {
+  EventLoop loop;
+  bool second_ran = false;
+  EventLoop::EventId second = 0;
+  loop.schedule_at(10, [&] { loop.cancel(second); });
+  second = loop.schedule_at(20, [&] { second_ran = true; });
+  loop.run();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  EXPECT_EQ(loop.run_until(20), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loop.now(), 20);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  loop.run();
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(EventLoop, RunUntilAdvancesClockWhenIdle) {
+  EventLoop loop;
+  loop.run_until(1000);
+  EXPECT_EQ(loop.now(), 1000);
+  EXPECT_TRUE(loop.idle());
+}
+
+TEST(EventLoop, SchedulingIntoThePastThrows) {
+  EventLoop loop;
+  loop.schedule_at(100, [] {});
+  loop.run();
+  EXPECT_THROW(loop.schedule_at(50, [] {}), InternalError);
+  EXPECT_THROW(loop.schedule_in(-1, [] {}), InternalError);
+}
+
+TEST(EventLoop, EventLimitGuardsRunaway) {
+  EventLoop loop;
+  loop.set_event_limit(100);
+  std::function<void()> forever = [&] { loop.schedule_in(1, forever); };
+  loop.schedule_at(0, forever);
+  EXPECT_THROW(loop.run(), std::runtime_error);
+}
+
+TEST(EventLoop, PendingEventsTracksCancellations) {
+  EventLoop loop;
+  const auto a = loop.schedule_at(10, [] {});
+  loop.schedule_at(20, [] {});
+  EXPECT_EQ(loop.pending_events(), 2u);
+  loop.cancel(a);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  loop.cancel(a);  // double cancel is a no-op
+  EXPECT_EQ(loop.pending_events(), 1u);
+}
+
+}  // namespace
+}  // namespace mahimahi::net

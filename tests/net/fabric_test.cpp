@@ -1,0 +1,159 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/event_loop.hpp"
+
+namespace mahimahi::net {
+namespace {
+
+using namespace mahimahi::literals;
+
+const Address kServer{Ipv4{10, 0, 0, 1}, 80};
+
+Packet make_packet(Address src, Address dst) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.tcp.payload = "x";
+  return p;
+}
+
+struct FabricHarness {
+  EventLoop loop;
+  Fabric fabric{loop};
+};
+
+TEST(Fabric, DeliversToBoundServerEndpoint) {
+  FabricHarness h;
+  int delivered = 0;
+  h.fabric.bind(Side::kServer, kServer, [&](Packet&&) { ++delivered; });
+  const Address client = h.fabric.allocate_client_address();
+  h.fabric.send(Side::kClient, make_packet(client, kServer));
+  h.loop.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(h.fabric.delivered_packets(Side::kServer), 1u);
+  EXPECT_EQ(h.fabric.undeliverable_packets(), 0u);
+}
+
+TEST(Fabric, DoubleBindThrows) {
+  FabricHarness h;
+  h.fabric.bind(Side::kServer, kServer, [](Packet&&) {});
+  EXPECT_THROW(h.fabric.bind(Side::kServer, kServer, [](Packet&&) {}),
+               std::invalid_argument);
+  // Same address is fine on the *other* side (separate tables).
+  h.fabric.bind(Side::kClient, kServer, [](Packet&&) {});
+}
+
+TEST(Fabric, UnbindStopsDelivery) {
+  FabricHarness h;
+  int delivered = 0;
+  h.fabric.bind(Side::kServer, kServer, [&](Packet&&) { ++delivered; });
+  h.fabric.unbind(Side::kServer, kServer);
+  EXPECT_FALSE(h.fabric.bound(Side::kServer, kServer));
+  h.fabric.send(Side::kClient, make_packet({}, kServer));
+  h.loop.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(h.fabric.undeliverable_packets(), 1u);
+}
+
+TEST(Fabric, EphemeralAddressesAreUnique) {
+  FabricHarness h;
+  const Address a = h.fabric.allocate_client_address();
+  const Address b = h.fabric.allocate_client_address();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.ip, b.ip);  // one client host
+  EXPECT_EQ(a.ip, h.fabric.client_ip());
+}
+
+TEST(Fabric, ServerIpsAreUnique) {
+  FabricHarness h;
+  EXPECT_NE(h.fabric.allocate_server_ip(), h.fabric.allocate_server_ip());
+}
+
+TEST(Fabric, PacketIdsAreAssignedAndIncrease) {
+  FabricHarness h;
+  std::vector<std::uint64_t> ids;
+  h.fabric.bind(Side::kServer, kServer,
+                [&](Packet&& p) { ids.push_back(p.id); });
+  for (int i = 0; i < 3; ++i) {
+    h.fabric.send(Side::kClient, make_packet({}, kServer));
+  }
+  h.loop.run();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_LT(ids[0], ids[1]);
+  EXPECT_LT(ids[1], ids[2]);
+}
+
+TEST(Fabric, ServerDelayAppliesBothWays) {
+  FabricHarness h;
+  const Ipv4 far_ip{10, 0, 0, 9};
+  const Address far{far_ip, 80};
+  h.fabric.set_server_delay(far_ip, 25_ms);
+  EXPECT_EQ(h.fabric.server_delay(far_ip), 25_ms);
+  EXPECT_EQ(h.fabric.server_delay(kServer.ip), 0);
+
+  Microseconds arrival = -1;
+  h.fabric.bind(Side::kServer, far, [&](Packet&&) { arrival = h.loop.now(); });
+  const Address client = h.fabric.allocate_client_address();
+  h.fabric.bind(Side::kClient, client,
+                [&](Packet&&) { arrival = h.loop.now(); });
+
+  // Client -> delayed server: pays the delay on ingress.
+  h.fabric.send(Side::kClient, make_packet(client, far));
+  h.loop.run();
+  EXPECT_EQ(arrival, 25_ms);
+  // Delayed server -> client: pays the delay on egress.
+  arrival = -1;
+  h.fabric.send(Side::kServer, make_packet(far, client));
+  h.loop.run();
+  EXPECT_EQ(arrival, 50_ms);  // 25 at entry earlier + 25 more now
+}
+
+TEST(Fabric, DefaultServerHandlerInterceptsUnboundOnly) {
+  FabricHarness h;
+  int intercepted = 0;
+  int normal = 0;
+  h.fabric.set_server_default([&](Packet&&) { ++intercepted; });
+  h.fabric.bind(Side::kServer, kServer, [&](Packet&&) { ++normal; });
+
+  h.fabric.send(Side::kClient, make_packet({}, kServer));  // bound
+  h.fabric.send(Side::kClient,
+                make_packet({}, Address{Ipv4{99, 9, 9, 9}, 443}));  // unbound
+  h.loop.run();
+  EXPECT_EQ(normal, 1);
+  EXPECT_EQ(intercepted, 1);
+  EXPECT_EQ(h.fabric.undeliverable_packets(), 0u);
+}
+
+TEST(Fabric, RedeliverSkipsDefaultHandler) {
+  // redeliver() must not loop back into the default handler: if the
+  // address is still unbound it counts undeliverable instead.
+  FabricHarness h;
+  int intercepted = 0;
+  h.fabric.set_server_default([&](Packet&& p) {
+    ++intercepted;
+    h.fabric.redeliver(Side::kServer, std::move(p));  // still unbound
+  });
+  h.fabric.send(Side::kClient, make_packet({}, kServer));
+  h.loop.run();
+  EXPECT_EQ(intercepted, 1);  // no infinite interception loop
+  EXPECT_EQ(h.fabric.undeliverable_packets(), 1u);
+}
+
+TEST(Fabric, TwoFabricsShareNothing) {
+  EventLoop loop;
+  Fabric a{loop};
+  Fabric b{loop};
+  int a_count = 0;
+  int b_count = 0;
+  a.bind(Side::kServer, kServer, [&](Packet&&) { ++a_count; });
+  b.bind(Side::kServer, kServer, [&](Packet&&) { ++b_count; });  // no clash
+  a.send(Side::kClient, make_packet({}, kServer));
+  loop.run();
+  EXPECT_EQ(a_count, 1);
+  EXPECT_EQ(b_count, 0);
+}
+
+}  // namespace
+}  // namespace mahimahi::net

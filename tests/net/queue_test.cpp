@@ -1,0 +1,157 @@
+#include "net/queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mahimahi::net {
+namespace {
+
+Packet make_packet(std::size_t payload_bytes, std::uint64_t id = 0) {
+  Packet p;
+  p.protocol = Protocol::kTcp;
+  p.tcp.payload = std::string(payload_bytes, 'x');
+  p.id = id;
+  return p;
+}
+
+TEST(InfiniteQueue, FifoAndByteAccounting) {
+  InfiniteQueue q;
+  q.enqueue(make_packet(100, 1), 0);
+  q.enqueue(make_packet(200, 2), 0);
+  EXPECT_EQ(q.packet_count(), 2u);
+  EXPECT_EQ(q.byte_count(), 100 + 200 + 2 * kTcpHeaderBytes);
+  EXPECT_EQ(q.dequeue(0)->id, 1u);
+  EXPECT_EQ(q.dequeue(0)->id, 2u);
+  EXPECT_FALSE(q.dequeue(0).has_value());
+  EXPECT_EQ(q.byte_count(), 0u);
+  EXPECT_EQ(q.drops(), 0u);
+}
+
+TEST(DropTailQueue, DropsArrivalsWhenPacketLimitHit) {
+  DropTailQueue q{2, 0};
+  q.enqueue(make_packet(10, 1), 0);
+  q.enqueue(make_packet(10, 2), 0);
+  q.enqueue(make_packet(10, 3), 0);  // dropped
+  EXPECT_EQ(q.packet_count(), 2u);
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.dequeue(0)->id, 1u);  // head survives (tail drop)
+  EXPECT_EQ(q.dequeue(0)->id, 2u);
+}
+
+TEST(DropTailQueue, ByteLimit) {
+  DropTailQueue q{0, 2 * kMtuBytes};
+  q.enqueue(make_packet(kMss, 1), 0);
+  q.enqueue(make_packet(kMss, 2), 0);
+  q.enqueue(make_packet(kMss, 3), 0);  // would exceed 2 MTU of bytes
+  EXPECT_EQ(q.packet_count(), 2u);
+  EXPECT_EQ(q.drops(), 1u);
+}
+
+TEST(DropTailQueue, RequiresABound) {
+  EXPECT_THROW(DropTailQueue(0, 0), std::invalid_argument);
+}
+
+TEST(DropTailQueue, DrainThenAcceptAgain) {
+  DropTailQueue q{1, 0};
+  q.enqueue(make_packet(10, 1), 0);
+  q.enqueue(make_packet(10, 2), 0);  // dropped
+  EXPECT_EQ(q.dequeue(0)->id, 1u);
+  q.enqueue(make_packet(10, 3), 0);  // fits now
+  EXPECT_EQ(q.dequeue(0)->id, 3u);
+  EXPECT_EQ(q.drops(), 1u);
+}
+
+TEST(DropHeadQueue, EvictsOldestToAdmitNew) {
+  DropHeadQueue q{2, 0};
+  q.enqueue(make_packet(10, 1), 0);
+  q.enqueue(make_packet(10, 2), 0);
+  q.enqueue(make_packet(10, 3), 0);  // evicts id 1
+  EXPECT_EQ(q.packet_count(), 2u);
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.dequeue(0)->id, 2u);
+  EXPECT_EQ(q.dequeue(0)->id, 3u);
+}
+
+TEST(DropHeadQueue, OversizedPacketIsDroppedNotLooped) {
+  DropHeadQueue q{0, 100};  // byte bound smaller than any MTU packet
+  q.enqueue(make_packet(kMss, 1), 0);
+  EXPECT_EQ(q.packet_count(), 0u);
+  EXPECT_EQ(q.drops(), 1u);
+}
+
+TEST(CoDelQueue, NoDropsWhenSojournBelowTarget) {
+  CoDelQueue q{5'000, 100'000};
+  for (int i = 0; i < 100; ++i) {
+    q.enqueue(make_packet(100, static_cast<std::uint64_t>(i)), i * 10);
+    // Drain immediately: sojourn ~0.
+    EXPECT_TRUE(q.dequeue(i * 10 + 1).has_value());
+  }
+  EXPECT_EQ(q.drops(), 0u);
+}
+
+TEST(CoDelQueue, DropsUnderStandingQueue) {
+  CoDelQueue q{5'000, 100'000};
+  // Build a standing queue: 500 packets at t=0, drained slowly.
+  for (int i = 0; i < 500; ++i) {
+    q.enqueue(make_packet(100, static_cast<std::uint64_t>(i)), 0);
+  }
+  // Drain one packet per 10 ms: sojourn far above 5 ms target.
+  Microseconds now = 0;
+  std::size_t delivered = 0;
+  while (true) {
+    now += 10'000;
+    const auto p = q.dequeue(now);
+    if (!p) {
+      break;
+    }
+    ++delivered;
+  }
+  EXPECT_GT(q.drops(), 0u);
+  EXPECT_EQ(delivered + q.drops(), 500u);
+}
+
+TEST(CoDelQueue, RejectsBadParameters) {
+  EXPECT_THROW(CoDelQueue(0, 100'000), std::invalid_argument);
+  EXPECT_THROW(CoDelQueue(5'000, 0), std::invalid_argument);
+}
+
+TEST(MakeQueue, BuildsEveryDiscipline) {
+  EXPECT_EQ(make_queue({.discipline = "infinite"})->name(), "infinite");
+  EXPECT_EQ(make_queue({.discipline = "droptail", .max_packets = 10})->name(),
+            "droptail");
+  EXPECT_EQ(make_queue({.discipline = "drophead", .max_packets = 10})->name(),
+            "drophead");
+  EXPECT_EQ(make_queue({.discipline = "codel"})->name(), "codel");
+  EXPECT_THROW(make_queue({.discipline = "red"}), std::invalid_argument);
+}
+
+// Conservation property: whatever the discipline, packets out + drops ==
+// packets in, and FIFO order among survivors is preserved.
+class QueueConservation : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(QueueConservation, InEqualsOutPlusDrops) {
+  QueueSpec spec;
+  spec.discipline = GetParam();
+  spec.max_packets = 16;
+  const auto q = make_queue(spec);
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    q->enqueue(make_packet(64, static_cast<std::uint64_t>(i)), i);
+  }
+  std::uint64_t last_id = 0;
+  std::size_t out = 0;
+  while (const auto p = q->dequeue(n + 1)) {
+    if (out > 0) {
+      EXPECT_GT(p->id, last_id);  // order preserved
+    }
+    last_id = p->id;
+    ++out;
+  }
+  EXPECT_EQ(out + q->drops(), static_cast<std::size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDisciplines, QueueConservation,
+                         ::testing::Values("infinite", "droptail", "drophead",
+                                           "codel"));
+
+}  // namespace
+}  // namespace mahimahi::net

@@ -1,0 +1,59 @@
+#pragma once
+
+// Shared scaffolding for net-layer tests: an EventLoop + Fabric with a
+// configurable element chain between client and server sides.
+
+#include <memory>
+
+#include "net/dns.hpp"
+#include "net/element.hpp"
+#include "net/event_loop.hpp"
+#include "net/fabric.hpp"
+#include "net/http_session.hpp"
+#include "net/link.hpp"
+#include "net/tcp.hpp"
+#include "util/time.hpp"
+
+namespace mahimahi::net::testing {
+
+using namespace mahimahi::literals;
+
+struct SimNet {
+  EventLoop loop;
+  Fabric fabric{loop};
+
+  SimNet() { loop.set_event_limit(50'000'000); }
+
+  /// Append a fixed one-way delay element.
+  DelayBox& add_delay(Microseconds delay) {
+    auto box = std::make_unique<DelayBox>(loop, delay);
+    DelayBox& ref = *box;
+    fabric.chain().push_back(std::move(box));
+    return ref;
+  }
+
+  MeterBox& add_meter() {
+    auto box = std::make_unique<MeterBox>();
+    MeterBox& ref = *box;
+    fabric.chain().push_back(std::move(box));
+    return ref;
+  }
+
+  LossBox& add_loss(util::Rng rng, double up, double down) {
+    auto box = std::make_unique<LossBox>(std::move(rng), up, down);
+    LossBox& ref = *box;
+    fabric.chain().push_back(std::move(box));
+    return ref;
+  }
+
+  TraceLink& add_link(trace::PacketTrace up, trace::PacketTrace down,
+                      QueueSpec up_q = {}, QueueSpec down_q = {}) {
+    auto link = std::make_unique<TraceLink>(loop, std::move(up), std::move(down),
+                                            up_q, down_q);
+    TraceLink& ref = *link;
+    fabric.chain().push_back(std::move(link));
+    return ref;
+  }
+};
+
+}  // namespace mahimahi::net::testing

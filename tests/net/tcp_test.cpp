@@ -1,0 +1,265 @@
+#include "net/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/sim_fixture.hpp"
+#include "trace/synthesis.hpp"
+#include "util/random.hpp"
+
+namespace mahimahi::net {
+namespace {
+
+using testing::SimNet;
+using namespace mahimahi::literals;
+
+const Address kServerAddr{Ipv4{10, 0, 0, 1}, 80};
+
+/// Echo-style server harness: collects received bytes, optionally replies.
+struct ServerApp {
+  std::string received;
+  bool peer_closed{false};
+  std::shared_ptr<TcpConnection> connection;
+
+  TcpListener::AcceptHandler accept_handler(std::string reply = {},
+                                            bool close_after_reply = false) {
+    return [this, reply, close_after_reply](
+               const std::shared_ptr<TcpConnection>& conn) {
+      connection = conn;
+      TcpConnection::Callbacks cb;
+      cb.on_data = [this, conn, reply,
+                    close_after_reply](std::string_view bytes) {
+        received.append(bytes);
+        if (!reply.empty() && received.size() >= 5) {  // reply once primed
+          conn->send(reply);
+          if (close_after_reply) {
+            conn->close();
+          }
+        }
+      };
+      cb.on_peer_close = [this, conn] {
+        peer_closed = true;
+        conn->close();
+      };
+      return cb;
+    };
+  }
+};
+
+TEST(Tcp, HandshakeCompletesThroughDelay) {
+  SimNet net;
+  net.add_delay(10_ms);
+  ServerApp server;
+  TcpListener listener{net.fabric, kServerAddr, server.accept_handler()};
+
+  bool connected = false;
+  Microseconds connected_at = 0;
+  TcpClient client{net.fabric, kServerAddr,
+                   {.on_connected =
+                        [&] {
+                          connected = true;
+                          connected_at = net.loop.now();
+                        }}};
+  net.loop.run();
+  EXPECT_TRUE(connected);
+  // SYN (10ms) + SYN-ACK (10ms) = connected at client after 1 RTT.
+  EXPECT_EQ(connected_at, 20_ms);
+  EXPECT_NEAR(static_cast<double>(client.connection().smoothed_rtt()), 20'000, 1.0);
+}
+
+TEST(Tcp, DataArrivesIntactAndInOrder) {
+  SimNet net;
+  net.add_delay(5_ms);
+  ServerApp server;
+  TcpListener listener{net.fabric, kServerAddr, server.accept_handler()};
+
+  TcpClient client{net.fabric, kServerAddr, {}};
+  std::string payload;
+  for (int i = 0; i < 10'000; ++i) {
+    payload += static_cast<char>('a' + i % 26);
+  }
+  client.connection().send(payload);
+  net.loop.run();
+  EXPECT_EQ(server.received, payload);
+}
+
+TEST(Tcp, BidirectionalTransfer) {
+  SimNet net;
+  net.add_delay(5_ms);
+  ServerApp server;
+  const std::string reply(20'000, 'R');
+  TcpListener listener{net.fabric, kServerAddr, server.accept_handler(reply)};
+
+  std::string client_received;
+  TcpClient client{net.fabric, kServerAddr,
+                   {.on_data = [&](std::string_view b) { client_received.append(b); }}};
+  client.connection().send("hello");
+  net.loop.run();
+  EXPECT_EQ(server.received, "hello");
+  EXPECT_EQ(client_received, reply);
+}
+
+TEST(Tcp, SlowStartLimitsFirstRoundTrip) {
+  SimNet net;
+  net.add_delay(50_ms);
+  ServerApp server;
+  // Reply large enough to need several RTTs of window growth.
+  const std::string reply(200 * kMss, 'x');
+  TcpListener listener{net.fabric, kServerAddr, server.accept_handler(reply)};
+
+  std::size_t received = 0;
+  Microseconds done_at = 0;
+  TcpClient client{net.fabric, kServerAddr,
+                   {.on_data =
+                        [&](std::string_view b) {
+                          received += b.size();
+                          done_at = net.loop.now();
+                        }}};
+  client.connection().send("hello");
+  net.loop.run();
+  ASSERT_EQ(received, reply.size());
+  // With IW10 and unlimited bandwidth: 200 segments need cwnd growth
+  // 10,20,40,80,160 -> 5 round trips after the request lands.
+  // Request lands ~150 ms (handshake + one-way). Expect > 4 RTTs total
+  // and well under a second.
+  EXPECT_GT(done_at, 400_ms);
+  EXPECT_LT(done_at, 1_s);
+}
+
+TEST(Tcp, ThroughputBoundedByTraceLink) {
+  SimNet net;
+  // 1 Mbit/s downlink, fast uplink.
+  net.add_link(trace::constant_rate(50e6, 1_s), trace::constant_rate(1e6, 2_s));
+  ServerApp server;
+  const std::string reply(125'000, 'x');  // 1 Mbit of payload
+  TcpListener listener{net.fabric, kServerAddr, server.accept_handler(reply)};
+
+  std::size_t received = 0;
+  Microseconds done_at = 0;
+  TcpClient client{net.fabric, kServerAddr,
+                   {.on_data =
+                        [&](std::string_view b) {
+                          received += b.size();
+                          done_at = net.loop.now();
+                        }}};
+  client.connection().send("hello");
+  net.loop.run();
+  ASSERT_EQ(received, reply.size());
+  // 1 Mbit of payload + overheads over a 1 Mbit/s link: at least 1 s.
+  EXPECT_GT(done_at, 1_s);
+  EXPECT_LT(done_at, 2_s);
+}
+
+class TcpLossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TcpLossSweep, ReliableDeliveryUnderLoss) {
+  const double loss_rate = GetParam();
+  SimNet net;
+  net.add_delay(10_ms);
+  net.add_loss(util::Rng{999}, loss_rate, loss_rate);
+  ServerApp server;
+  TcpListener listener{net.fabric, kServerAddr, server.accept_handler()};
+
+  std::string payload;
+  util::Rng rng{7};
+  for (int i = 0; i < 50'000; ++i) {
+    payload += static_cast<char>(rng.uniform_int(0, 255));
+  }
+  TcpClient client{net.fabric, kServerAddr, {}};
+  client.connection().send(payload);
+  net.loop.run();
+  EXPECT_EQ(server.received, payload);  // exactly once, in order
+  if (loss_rate >= 0.05) {  // at 1% a 35-segment flow may get lucky
+    EXPECT_GT(client.connection().retransmissions(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, TcpLossSweep,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.2));
+
+TEST(Tcp, CloseHandshakeReachesBothSides) {
+  SimNet net;
+  net.add_delay(5_ms);
+  ServerApp server;
+  TcpListener listener{net.fabric, kServerAddr, server.accept_handler()};
+
+  bool client_saw_close = false;
+  TcpClient client{net.fabric, kServerAddr,
+                   {.on_peer_close = [&] { client_saw_close = true; }}};
+  client.connection().send("bye");
+  client.connection().close();
+  net.loop.run();
+  EXPECT_EQ(server.received, "bye");
+  EXPECT_TRUE(server.peer_closed);
+  EXPECT_TRUE(client_saw_close);          // server FINs back
+  EXPECT_TRUE(client.connection().closed());
+  EXPECT_EQ(listener.active_connections(), 0u);  // connection reaped
+}
+
+TEST(Tcp, ConnectionToUnboundPortIsReset) {
+  SimNet net;
+  net.add_delay(5_ms);
+  // Bind a listener on port 80, then connect to port 81: the fabric drops
+  // the packet (no endpoint), so the SYN retries and eventually gives up.
+  // Connect to a bound listener's *other* port instead to get an RST fast:
+  ServerApp server;
+  TcpListener listener{net.fabric, kServerAddr, server.accept_handler()};
+
+  bool reset = false;
+  TcpConnection::Config config;
+  config.max_syn_retries = 1;
+  config.initial_rto = 100'000;
+  TcpClient client{net.fabric, Address{Ipv4{10, 0, 0, 1}, 81},
+                   {.on_reset = [&] { reset = true; }}, config};
+  net.loop.run();
+  EXPECT_TRUE(reset);  // SYN retries exhausted
+}
+
+TEST(Tcp, StrayNonSynPacketGetsRst) {
+  SimNet net;
+  ServerApp server;
+  TcpListener listener{net.fabric, kServerAddr, server.accept_handler()};
+
+  // Hand-craft a non-SYN packet from an unknown peer.
+  bool got_rst = false;
+  const Address rogue{net.fabric.client_ip(), 45000};
+  net.fabric.bind(Side::kClient, rogue, [&](Packet&& p) {
+    got_rst = p.tcp.rst;
+  });
+  Packet stray;
+  stray.src = rogue;
+  stray.dst = kServerAddr;
+  stray.tcp.seq = 5;
+  stray.tcp.payload = "junk";
+  net.fabric.send(Side::kClient, std::move(stray));
+  net.loop.run();
+  EXPECT_TRUE(got_rst);
+}
+
+TEST(Tcp, RetransmissionTimeoutRecoversFromAckLoss) {
+  SimNet net;
+  net.add_delay(10_ms);
+  // Brutal: 40% loss both ways; RTO must eventually push everything through.
+  net.add_loss(util::Rng{31337}, 0.4, 0.4);
+  ServerApp server;
+  TcpListener listener{net.fabric, kServerAddr, server.accept_handler()};
+
+  std::string payload(10 * kMss, 'z');
+  TcpClient client{net.fabric, kServerAddr, {}};
+  client.connection().send(payload);
+  net.loop.run();
+  EXPECT_EQ(server.received, payload);
+}
+
+TEST(Tcp, AppBytesCounted) {
+  SimNet net;
+  ServerApp server;
+  TcpListener listener{net.fabric, kServerAddr, server.accept_handler()};
+  TcpClient client{net.fabric, kServerAddr, {}};
+  client.connection().send(std::string(1000, 'a'));
+  net.loop.run();
+  EXPECT_EQ(client.connection().bytes_sent_app(), 1000u);
+  EXPECT_EQ(server.connection->bytes_received_app(), 1000u);
+}
+
+}  // namespace
+}  // namespace mahimahi::net

@@ -1,0 +1,124 @@
+#include "record/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace mahimahi::record {
+namespace {
+
+RecordedExchange sample_exchange() {
+  RecordedExchange exchange;
+  exchange.request = http::make_get("http://www.example.com/page?a=1&b=2");
+  exchange.request.headers.add("User-Agent", "mahimahi-test/1.0");
+  exchange.response = http::make_ok("<html>hello</html>");
+  exchange.response.headers.add("Set-Cookie", "sid=abc");
+  exchange.response.headers.add("Set-Cookie", "theme=dark");
+  exchange.scheme = "http";
+  exchange.server_address = net::Address{net::Ipv4{93, 184, 216, 34}, 80};
+  exchange.recorded_at = 123'456;
+  return exchange;
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const RecordedExchange original = sample_exchange();
+  const std::string encoded = encode_exchange(original);
+  const RecordedExchange decoded = decode_exchange(encoded);
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(Serialize, RoundTripBinaryBody) {
+  RecordedExchange exchange = sample_exchange();
+  util::Rng rng{3};
+  exchange.response.body.clear();
+  for (int i = 0; i < 10'000; ++i) {
+    exchange.response.body += static_cast<char>(rng.uniform_int(0, 255));
+  }
+  const RecordedExchange decoded = decode_exchange(encode_exchange(exchange));
+  EXPECT_EQ(decoded.response.body, exchange.response.body);
+}
+
+TEST(Serialize, PreservesDuplicateHeadersInOrder) {
+  const RecordedExchange decoded =
+      decode_exchange(encode_exchange(sample_exchange()));
+  const auto cookies = decoded.response.headers.get_all("Set-Cookie");
+  ASSERT_EQ(cookies.size(), 2u);
+  EXPECT_EQ(cookies[0], "sid=abc");
+  EXPECT_EQ(cookies[1], "theme=dark");
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  EXPECT_THROW(decode_exchange("NOPE rest"), SerializeError);
+  EXPECT_THROW(decode_exchange(""), SerializeError);
+}
+
+TEST(Serialize, RejectsWrongVersion) {
+  std::string encoded = encode_exchange(sample_exchange());
+  encoded[4] = 99;  // version byte
+  EXPECT_THROW(decode_exchange(encoded), SerializeError);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  const std::string encoded = encode_exchange(sample_exchange());
+  // Any truncation point in the TLV stream must fail loudly, except
+  // cutting whole trailing fields — then required-field checks catch it.
+  for (const std::size_t keep : {6ul, 10ul, encoded.size() / 2, encoded.size() - 1}) {
+    EXPECT_THROW((void)decode_exchange(encoded.substr(0, keep)), SerializeError)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(Serialize, RejectsCorruptLength) {
+  std::string encoded = encode_exchange(sample_exchange());
+  // Blow up the first field's length (bytes 5..9 little-endian).
+  encoded[8] = '\xFF';
+  EXPECT_THROW(decode_exchange(encoded), SerializeError);
+}
+
+TEST(Serialize, MissingRequiredFieldsRejected) {
+  // A stream with only a scheme field: structurally valid TLV but not a
+  // complete exchange.
+  std::string encoded = encode_exchange(sample_exchange());
+  const std::string only_header = encoded.substr(0, 5);  // magic+version
+  EXPECT_THROW(decode_exchange(only_header + std::string{"\x01\x04\x00\x00\x00http", 9 + 4}),
+               SerializeError);
+}
+
+TEST(Serialize, DescribeMentionsKeyFacts) {
+  const std::string text = describe_exchange(sample_exchange());
+  EXPECT_NE(text.find("www.example.com"), std::string::npos);
+  EXPECT_NE(text.find("200"), std::string::npos);
+  EXPECT_NE(text.find("93.184.216.34:80"), std::string::npos);
+}
+
+// Property sweep: random exchanges round-trip for a range of sizes.
+class SerializeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializeRoundTrip, RandomExchange) {
+  util::Rng rng{static_cast<std::uint64_t>(GetParam()) * 31 + 5};
+  RecordedExchange exchange;
+  exchange.request.method =
+      rng.chance(0.5) ? http::Method::kGet : http::Method::kPost;
+  exchange.request.target = "/p" + std::to_string(rng.uniform_int(0, 1 << 20));
+  exchange.request.headers.add("Host",
+                               "h" + std::to_string(GetParam()) + ".test");
+  const int header_count = static_cast<int>(rng.uniform_int(0, 20));
+  for (int i = 0; i < header_count; ++i) {
+    exchange.request.headers.add("X-H" + std::to_string(i),
+                                 std::string(rng.uniform_int(0, 64), 'v'));
+  }
+  exchange.response.status = static_cast<int>(rng.uniform_int(100, 599));
+  exchange.response.body.assign(
+      static_cast<std::size_t>(rng.uniform_int(0, 50'000)), 'b');
+  exchange.server_address =
+      net::Address{net::Ipv4{static_cast<std::uint32_t>(rng.next())},
+                   static_cast<std::uint16_t>(rng.uniform_int(1, 65535))};
+  exchange.scheme = rng.chance(0.3) ? "https" : "http";
+  exchange.recorded_at = rng.uniform_int(0, 1'000'000'000);
+  EXPECT_EQ(decode_exchange(encode_exchange(exchange)), exchange);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SerializeRoundTrip, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace mahimahi::record

@@ -1,0 +1,98 @@
+#include "trace/synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mahimahi::trace {
+namespace {
+
+using namespace mahimahi::literals;
+
+TEST(ConstantRate, AchievesRequestedRate) {
+  for (const double bps : {1e6, 14e6, 25e6, 1000e6}) {
+    const auto trace = constant_rate(bps, 1_s);
+    EXPECT_NEAR(trace.average_bits_per_second(), bps, bps * 0.01) << bps;
+  }
+}
+
+TEST(ConstantRate, SpacingIsUniform) {
+  const auto trace = constant_rate(12e6, 100_ms);  // 1 ms spacing
+  const auto& ops = trace.opportunities();
+  ASSERT_GT(ops.size(), 10u);
+  for (std::size_t i = 1; i < ops.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(ops[i] - ops[i - 1]), 1000.0, 1.0);
+  }
+}
+
+TEST(ConstantRate, VeryLowRateStillValid) {
+  // 1 kbit/s: opportunity every 12 s; duration shorter than spacing.
+  const auto trace = constant_rate(1e3, 1_s);
+  EXPECT_GE(trace.opportunity_count(), 1u);
+  EXPECT_GT(trace.period(), 0);
+}
+
+TEST(ConstantRate, RejectsBadArgs) {
+  EXPECT_THROW(constant_rate(0, 1_s), std::invalid_argument);
+  EXPECT_THROW(constant_rate(1e6, 0), std::invalid_argument);
+}
+
+TEST(CellularLike, RateStaysWithinBounds) {
+  util::Rng rng{77};
+  const auto trace = cellular_like(rng, 10_s, 1e6, 24e6);
+  const double avg = trace.average_bits_per_second();
+  EXPECT_GT(avg, 0.5e6);
+  EXPECT_LT(avg, 30e6);
+  // Timestamps valid by construction (constructor validates).
+  EXPECT_GT(trace.opportunity_count(), 100u);
+}
+
+TEST(CellularLike, DeterministicGivenSeed) {
+  util::Rng a{123};
+  util::Rng b{123};
+  const auto t1 = cellular_like(a, 2_s);
+  const auto t2 = cellular_like(b, 2_s);
+  EXPECT_EQ(t1.opportunities(), t2.opportunities());
+}
+
+TEST(CellularLike, VariesOverTime) {
+  util::Rng rng{5};
+  const auto trace = cellular_like(rng, 10_s, 1e6, 24e6);
+  // Compare opportunity counts in first and second half: a flat trace
+  // would have (nearly) equal counts; the walk should differ measurably
+  // for this seed.
+  const auto& ops = trace.opportunities();
+  std::size_t first_half = 0;
+  for (const auto t : ops) {
+    if (t < 5_s) {
+      ++first_half;
+    }
+  }
+  const std::size_t second_half = ops.size() - first_half;
+  const double ratio = static_cast<double>(first_half) /
+                       static_cast<double>(std::max<std::size_t>(second_half, 1));
+  EXPECT_TRUE(ratio < 0.9 || ratio > 1.1)
+      << "first=" << first_half << " second=" << second_half;
+}
+
+TEST(PoissonRate, MeanRateApproximatelyCorrect) {
+  util::Rng rng{11};
+  const auto trace = poisson_rate(rng, 12e6, 10_s);
+  EXPECT_NEAR(trace.average_bits_per_second(), 12e6, 12e6 * 0.05);
+}
+
+TEST(OnOff, DeliversOnlyDuringOnPeriods) {
+  const auto trace = on_off(12e6, 1_s, 100_ms, 100_ms);
+  for (const auto t : trace.opportunities()) {
+    const Microseconds phase = t % 200_ms;
+    EXPECT_LE(phase, 100_ms) << "opportunity in off period at " << t;
+  }
+  // Duty cycle 50%: average rate about half the on-rate.
+  EXPECT_NEAR(trace.average_bits_per_second(), 6e6, 0.1 * 12e6);
+}
+
+TEST(OnOff, RejectsBadArgs) {
+  EXPECT_THROW(on_off(0, 1_s, 1_ms, 1_ms), std::invalid_argument);
+  EXPECT_THROW(on_off(1e6, 1_s, 0, 1_ms), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mahimahi::trace

@@ -1,0 +1,90 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace mahimahi::trace {
+namespace {
+
+using namespace mahimahi::literals;
+
+TEST(PacketTrace, ParsesMillisecondLines) {
+  const auto trace = PacketTrace::parse("0\n5\n10\n");
+  EXPECT_EQ(trace.opportunity_count(), 3u);
+  EXPECT_EQ(trace.opportunities()[1], 5_ms);
+  EXPECT_EQ(trace.period(), 10_ms);
+}
+
+TEST(PacketTrace, IgnoresCommentsAndBlanks) {
+  const auto trace = PacketTrace::parse("# header\n\n3\n  \n7 # inline\n");
+  EXPECT_EQ(trace.opportunity_count(), 2u);
+  EXPECT_EQ(trace.opportunities()[0], 3_ms);
+  EXPECT_EQ(trace.opportunities()[1], 7_ms);
+}
+
+TEST(PacketTrace, RejectsInvalidInput) {
+  EXPECT_THROW(PacketTrace::parse(""), std::invalid_argument);
+  EXPECT_THROW(PacketTrace::parse("abc\n"), std::invalid_argument);
+  EXPECT_THROW(PacketTrace::parse("-3\n"), std::invalid_argument);
+  EXPECT_THROW(PacketTrace::parse("5\n3\n"), std::invalid_argument);  // decreasing
+  EXPECT_THROW(PacketTrace::parse("0\n"), std::invalid_argument);  // zero period
+}
+
+TEST(PacketTrace, OpportunityTimeWrapsByPeriod) {
+  const PacketTrace trace{{2_ms, 10_ms}};
+  EXPECT_EQ(trace.opportunity_time(0), 2_ms);
+  EXPECT_EQ(trace.opportunity_time(1), 10_ms);
+  EXPECT_EQ(trace.opportunity_time(2), 12_ms);  // lap 1 + 2ms
+  EXPECT_EQ(trace.opportunity_time(3), 20_ms);
+  EXPECT_EQ(trace.opportunity_time(4), 22_ms);
+}
+
+TEST(PacketTrace, FirstOpportunityAtOrAfter) {
+  const PacketTrace trace{{2_ms, 10_ms}};
+  EXPECT_EQ(trace.first_opportunity_at_or_after(0), 0u);
+  EXPECT_EQ(trace.first_opportunity_at_or_after(2_ms), 0u);
+  EXPECT_EQ(trace.first_opportunity_at_or_after(2_ms + 1), 1u);
+  EXPECT_EQ(trace.first_opportunity_at_or_after(10_ms), 1u);
+  EXPECT_EQ(trace.first_opportunity_at_or_after(10_ms + 1), 2u);
+  // Lap timestamps: idx2=12ms, idx3=20ms, idx4=22ms, idx5=30ms.
+  EXPECT_EQ(trace.first_opportunity_at_or_after(25_ms), 5u);
+}
+
+TEST(PacketTrace, FirstOpportunityConsistentWithTime) {
+  const PacketTrace trace{{1_ms, 4_ms, 4_ms, 9_ms}};
+  for (Microseconds t = 0; t <= 30_ms; t += 137) {
+    const auto idx = trace.first_opportunity_at_or_after(t);
+    EXPECT_GE(trace.opportunity_time(idx), t) << "t=" << t;
+    if (idx > 0) {
+      EXPECT_LT(trace.opportunity_time(idx - 1), t) << "t=" << t;
+    }
+  }
+}
+
+TEST(PacketTrace, AverageRate) {
+  // 10 opportunities over 10 ms = 1000 packets/s = 12 Mbit/s at 1500 B.
+  std::vector<Microseconds> opportunities;
+  for (int i = 1; i <= 10; ++i) {
+    opportunities.push_back(i * 1_ms);
+  }
+  const PacketTrace trace{std::move(opportunities)};
+  EXPECT_NEAR(trace.average_bits_per_second(), 12e6, 1e4);
+}
+
+TEST(PacketTrace, SaveLoadRoundTrip) {
+  const PacketTrace trace{{1_ms, 5_ms, 9_ms}};
+  const auto path = std::filesystem::temp_directory_path() / "mahi_trace_test.txt";
+  trace.save(path);
+  const auto loaded = PacketTrace::load(path);
+  EXPECT_EQ(loaded.opportunities(), trace.opportunities());
+  std::filesystem::remove(path);
+}
+
+TEST(PacketTrace, LoadMissingFileThrows) {
+  EXPECT_THROW(PacketTrace::load("/nonexistent/trace.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mahimahi::trace

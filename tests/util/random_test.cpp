@@ -1,0 +1,141 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mahimahi::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng root{7};
+  Rng fork_a = root.fork("browser");
+  Rng fork_a2 = root.fork("browser");
+  Rng fork_b = root.fork("network");
+  EXPECT_EQ(fork_a.next(), fork_a2.next());
+  // Forking must not perturb the parent.
+  Rng root2{7};
+  (void)root2.fork("anything");
+  Rng root3{7};
+  EXPECT_EQ(root2.next(), root3.next());
+  // Distinct stream names give distinct streams.
+  EXPECT_NE(fork_a.next(), fork_b.next());
+}
+
+TEST(Rng, UniformIntRespectsBoundsInclusive) {
+  Rng rng{3};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng{3};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{11};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng{13};
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng{17};
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng{19};
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(0.5);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, ChanceEdgesAndFrequency) {
+  Rng rng{23};
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.25)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Fnv1a, KnownValuesAndDistinctness) {
+  // FNV-1a offset basis for empty input.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_NE(fnv1a("ab"), fnv1a("ba"));
+  EXPECT_EQ(fnv1a("mahimahi"), fnv1a("mahimahi"));
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng{29};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_GT(rng.lognormal(0.0, 1.0), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mahimahi::util

@@ -1,0 +1,103 @@
+#include "util/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace mahimahi::util {
+namespace {
+
+TEST(RunningStats, MeanAndStdDev) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Samples, PercentileInterpolates) {
+  Samples s{{10.0, 20.0, 30.0, 40.0}};
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 17.5);
+}
+
+TEST(Samples, PercentileSingleSample) {
+  Samples s{{42.0}};
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+TEST(Samples, PercentileOutOfRangeThrows) {
+  Samples s{{1.0}};
+  EXPECT_THROW((void)s.percentile(-1.0), InternalError);
+  EXPECT_THROW((void)s.percentile(100.5), InternalError);
+}
+
+TEST(Samples, CdfAt) {
+  Samples s{{1.0, 2.0, 3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(100.0), 1.0);
+}
+
+TEST(Samples, CdfPointsMonotone) {
+  Samples s{{5.0, 1.0, 3.0, 2.0, 4.0}};
+  const auto points = s.cdf_points();
+  ASSERT_EQ(points.size(), 5u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i - 1].first, points[i].first);
+    EXPECT_LT(points[i - 1].second, points[i].second);
+  }
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+}
+
+TEST(Samples, AddInvalidatesSortCache) {
+  Samples s{{3.0, 1.0}};
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(Samples, MeanStdDevMatchRunningStats) {
+  Samples s{{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}};
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);
+}
+
+TEST(PercentDifference, Signs) {
+  EXPECT_DOUBLE_EQ(percent_difference(100.0, 110.0), 10.0);
+  EXPECT_DOUBLE_EQ(percent_difference(100.0, 90.0), -10.0);
+  EXPECT_DOUBLE_EQ(percent_difference(50.0, 50.0), 0.0);
+}
+
+TEST(RenderTable, AlignsColumns) {
+  const auto text = render_table({{"a", "bb"}, {"ccc", "d"}});
+  EXPECT_EQ(text, "a    bb\nccc  d\n");
+}
+
+TEST(RenderTable, RaggedRows) {
+  const auto text = render_table({{"x"}, {"yy", "z"}});
+  EXPECT_EQ(text, "x\nyy  z\n");
+}
+
+}  // namespace
+}  // namespace mahimahi::util

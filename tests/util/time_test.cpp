@@ -1,0 +1,46 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+namespace mahimahi {
+namespace {
+
+using namespace mahimahi::literals;
+
+TEST(TimeLiterals, UnitsCompose) {
+  EXPECT_EQ(1_s, 1'000_ms);
+  EXPECT_EQ(1_ms, 1'000_us);
+  EXPECT_EQ(90_ms, 90'000);
+  EXPECT_EQ(2_s + 500_ms, 2'500'000);
+}
+
+TEST(TimeConversions, ToMsAndBack) {
+  EXPECT_DOUBLE_EQ(to_ms(1'500), 1.5);
+  EXPECT_DOUBLE_EQ(to_ms(0), 0.0);
+  EXPECT_EQ(from_ms(1.5), 1'500);
+  EXPECT_EQ(from_ms(0.0004), 0);     // rounds to nearest
+  EXPECT_EQ(from_ms(0.0006), 1);
+  EXPECT_EQ(from_ms(-2.0), -2'000);  // negative values round correctly
+}
+
+TEST(TimeConversions, RoundTripStable) {
+  for (const Microseconds us : {0_us, 1_us, 999_us, 1_ms, 12'345_us, 7_s}) {
+    EXPECT_EQ(from_ms(to_ms(us)), us) << us;
+  }
+}
+
+TEST(Logging, ThresholdFiltersLevels) {
+  using util::LogLevel;
+  const LogLevel original = util::log_level();
+  util::set_log_level(LogLevel::kError);
+  EXPECT_EQ(util::log_level(), LogLevel::kError);
+  EXPECT_TRUE(LogLevel::kWarn < util::log_level());
+  util::set_log_level(LogLevel::kDebug);
+  EXPECT_TRUE(LogLevel::kInfo >= util::log_level());
+  util::set_log_level(original);
+}
+
+}  // namespace
+}  // namespace mahimahi

@@ -1,0 +1,201 @@
+// Browser model tests over a hand-built replayed site.
+
+#include "web/browser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/event_loop.hpp"
+#include "replay/origin_servers.hpp"
+
+namespace mahimahi::web {
+namespace {
+
+using namespace mahimahi::literals;
+
+const net::Address kPrimary{net::Ipv4{10, 1, 0, 1}, 80};
+const net::Address kCdn{net::Ipv4{10, 1, 0, 2}, 80};
+
+record::RecordedExchange exchange_for(std::string_view url, std::string body,
+                                      std::string_view content_type,
+                                      net::Address server) {
+  record::RecordedExchange exchange;
+  exchange.request = http::make_get(url);
+  exchange.response = http::make_ok(std::move(body), content_type);
+  exchange.server_address = server;
+  return exchange;
+}
+
+/// Recorded site: root HTML -> {2 images on primary, js on cdn};
+/// js -> json on cdn. Five objects across two origins.
+record::RecordStore small_site() {
+  record::RecordStore store;
+  store.add(exchange_for(
+      "http://www.s.test/",
+      "<html><img src=\"/a.jpg\"><img src=\"/b.jpg\">"
+      "<script src=\"http://cdn.s.test/app.js\"></script></html>",
+      "text/html", kPrimary));
+  store.add(exchange_for("http://www.s.test/a.jpg", std::string(3000, 'A'),
+                         "image/jpeg", kPrimary));
+  store.add(exchange_for("http://www.s.test/b.jpg", std::string(4000, 'B'),
+                         "image/jpeg", kPrimary));
+  store.add(exchange_for("http://cdn.s.test/app.js",
+                         "loadSubresource(\"http://cdn.s.test/d.json\");",
+                         "application/javascript", kCdn));
+  store.add(exchange_for("http://cdn.s.test/d.json", "{\"k\":1}",
+                         "application/json", kCdn));
+  return store;
+}
+
+struct BrowserHarness {
+  net::EventLoop loop;
+  net::Fabric fabric{loop};
+  record::RecordStore store;
+  replay::OriginServerSet servers;
+  net::DnsServer dns;
+  Browser browser;
+
+  explicit BrowserHarness(record::RecordStore s, BrowserConfig config = {})
+      : store{std::move(s)},
+        servers{fabric, store},
+        dns{fabric, net::Address{net::Ipv4{10, 250, 0, 1}, net::kDnsPort},
+            servers.dns_table()},
+        browser{fabric, dns.address(), config, util::Rng{7}} {
+    loop.set_event_limit(20'000'000);
+  }
+
+  PageLoadResult load(const std::string& url) {
+    std::optional<PageLoadResult> result;
+    browser.load(url, [&](PageLoadResult r) { result = std::move(r); });
+    loop.run();
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(PageLoadResult{});
+  }
+};
+
+TEST(Browser, LoadsWholeDependencyTree) {
+  BrowserHarness h{small_site()};
+  const auto result = h.load("http://www.s.test/");
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.objects_loaded, 5u);
+  EXPECT_EQ(result.objects_failed, 0u);
+  EXPECT_EQ(result.origins_contacted, 2u);
+  EXPECT_GT(result.bytes_downloaded, 7000u);
+  EXPECT_GT(result.page_load_time, 0);
+}
+
+TEST(Browser, PltIncludesComputeAndLayout) {
+  BrowserConfig config;
+  config.compute_jitter_sigma = 0.0;  // deterministic compute
+  BrowserHarness h{small_site(), config};
+  const auto result = h.load("http://www.s.test/");
+  // Lower bound: main-thread overhead for the HTML and the script, the
+  // parallel overhead for the three leaf objects, plus final layout.
+  const Microseconds floor = 2 * config.per_object_overhead +
+                             3 * config.parallel_object_overhead +
+                             config.final_layout_cost;
+  EXPECT_GT(result.page_load_time, floor);
+}
+
+TEST(Browser, MissingSubresourceCountsAsFailure) {
+  record::RecordStore store;
+  store.add(exchange_for("http://www.s.test/",
+                         "<html><img src=\"/missing.jpg\"></html>", "text/html",
+                         kPrimary));
+  BrowserHarness h{std::move(store)};
+  const auto result = h.load("http://www.s.test/");
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.objects_loaded, 1u);   // the HTML
+  EXPECT_EQ(result.objects_failed, 1u);   // the 404 image
+}
+
+TEST(Browser, FollowsRedirects) {
+  record::RecordStore store;
+  record::RecordedExchange redirect;
+  redirect.request = http::make_get("http://www.s.test/");
+  redirect.response.status = 302;
+  redirect.response.reason = "Found";
+  redirect.response.headers.add("Location", "http://www.s.test/home");
+  redirect.server_address = kPrimary;
+  store.add(redirect);
+  store.add(exchange_for("http://www.s.test/home", "<html>home</html>",
+                         "text/html", kPrimary));
+  BrowserHarness h{std::move(store)};
+  const auto result = h.load("http://www.s.test/");
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.objects_loaded, 2u);
+}
+
+TEST(Browser, UnresolvableHostFailsLoadButCompletes) {
+  record::RecordStore store;
+  store.add(exchange_for("http://www.s.test/",
+                         "<html><img src=\"http://ghost.test/x.jpg\"></html>",
+                         "text/html", kPrimary));
+  BrowserHarness h{std::move(store)};
+  const auto result = h.load("http://www.s.test/");
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.objects_failed, 1u);
+  EXPECT_FALSE(result.errors.empty());
+}
+
+TEST(Browser, BadRootUrlFailsImmediately) {
+  BrowserHarness h{small_site()};
+  const auto result = h.load("not a url");
+  EXPECT_FALSE(result.success);
+  ASSERT_FALSE(result.errors.empty());
+}
+
+TEST(Browser, PerOriginConnectionCapRespected) {
+  // 20 images on one origin, cap 6: at most 6 connections accepted.
+  record::RecordStore store;
+  std::string html = "<html>";
+  for (int i = 0; i < 20; ++i) {
+    html += "<img src=\"/i" + std::to_string(i) + ".jpg\">";
+  }
+  html += "</html>";
+  store.add(exchange_for("http://www.s.test/", html, "text/html", kPrimary));
+  for (int i = 0; i < 20; ++i) {
+    store.add(exchange_for("http://www.s.test/i" + std::to_string(i) + ".jpg",
+                           std::string(2000, 'x'), "image/jpeg", kPrimary));
+  }
+  BrowserHarness h{std::move(store)};
+  const auto result = h.load("http://www.s.test/");
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.objects_loaded, 21u);
+  EXPECT_LE(result.connections_opened, 7u);  // 1 for html + up to 6 parallel
+  EXPECT_EQ(h.servers.connections_accepted(), result.connections_opened);
+}
+
+TEST(Browser, DuplicateReferencesFetchedOnce) {
+  record::RecordStore store;
+  store.add(exchange_for("http://www.s.test/",
+                         "<html><img src=\"/x.jpg\"><img src=\"/x.jpg\">"
+                         "<img src=\"/x.jpg\"></html>",
+                         "text/html", kPrimary));
+  store.add(exchange_for("http://www.s.test/x.jpg", std::string(100, 'x'),
+                         "image/jpeg", kPrimary));
+  BrowserHarness h{std::move(store)};
+  const auto result = h.load("http://www.s.test/");
+  EXPECT_EQ(result.objects_loaded, 2u);
+  EXPECT_EQ(h.servers.requests_served(), 2u);
+}
+
+TEST(Browser, SequentialLoadsAreIndependent) {
+  BrowserHarness h{small_site()};
+  const auto first = h.load("http://www.s.test/");
+  const auto second = h.load("http://www.s.test/");
+  EXPECT_TRUE(first.success);
+  EXPECT_TRUE(second.success);
+  EXPECT_EQ(first.objects_loaded, second.objects_loaded);
+}
+
+TEST(Browser, JitterVariesPltAcrossLoads) {
+  BrowserConfig config;
+  config.compute_jitter_sigma = 0.05;
+  BrowserHarness h{small_site(), config};
+  const auto a = h.load("http://www.s.test/");
+  const auto b = h.load("http://www.s.test/");
+  EXPECT_NE(a.page_load_time, b.page_load_time);
+}
+
+}  // namespace
+}  // namespace mahimahi::web

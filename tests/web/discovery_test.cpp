@@ -1,0 +1,89 @@
+#include "web/discovery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mahimahi::web {
+namespace {
+
+using http::ResourceKind;
+
+TEST(ExtractReferences, HtmlSrcAndHref) {
+  const auto refs = extract_references(
+      ResourceKind::kHtml,
+      "<script src=\"http://a.test/x.js\"></script>\n"
+      "<img src=\"/img/logo.png\">\n"
+      "<link rel=\"stylesheet\" href=\"style.css\">\n");
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_EQ(refs[0], "http://a.test/x.js");
+  EXPECT_EQ(refs[1], "/img/logo.png");
+  EXPECT_EQ(refs[2], "style.css");
+}
+
+TEST(ExtractReferences, CssUrl) {
+  const auto refs = extract_references(
+      ResourceKind::kCss, ".a{background:url(http://b.test/i.png)} .b{font:url(/f.woff2)}");
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0], "http://b.test/i.png");
+  EXPECT_EQ(refs[1], "/f.woff2");
+}
+
+TEST(ExtractReferences, JsLoadSubresource) {
+  const auto refs = extract_references(
+      ResourceKind::kJavaScript,
+      "var x=1;\nloadSubresource(\"http://c.test/data.json\");\n// comment\n");
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0], "http://c.test/data.json");
+}
+
+TEST(ExtractReferences, LeafKindsReferenceNothing) {
+  const std::string body = "src=\"http://x.test/y\" url(z) loadSubresource(\"w\")";
+  EXPECT_TRUE(extract_references(ResourceKind::kImage, body).empty());
+  EXPECT_TRUE(extract_references(ResourceKind::kFont, body).empty());
+  EXPECT_TRUE(extract_references(ResourceKind::kJson, body).empty());
+  EXPECT_TRUE(extract_references(ResourceKind::kOther, body).empty());
+}
+
+TEST(ExtractReferences, UnterminatedAttributeIgnored) {
+  const auto refs =
+      extract_references(ResourceKind::kHtml, "<img src=\"http://a.test/unclosed");
+  EXPECT_TRUE(refs.empty());
+}
+
+TEST(ExtractReferences, EmptyBody) {
+  EXPECT_TRUE(extract_references(ResourceKind::kHtml, "").empty());
+}
+
+TEST(DiscoverSubresources, ResolvesRelativeAgainstBase) {
+  const auto base = *http::parse_url("http://www.site.test/dir/page.html");
+  const auto urls = discover_subresources(
+      ResourceKind::kHtml, base,
+      "<img src=\"local.png\"><img src=\"/abs.png\">"
+      "<script src=\"http://cdn.test/lib.js\"></script>");
+  ASSERT_EQ(urls.size(), 3u);
+  EXPECT_EQ(urls[0].to_string(), "http://www.site.test/dir/local.png");
+  EXPECT_EQ(urls[1].to_string(), "http://www.site.test/abs.png");
+  EXPECT_EQ(urls[2].to_string(), "http://cdn.test/lib.js");
+}
+
+TEST(DiscoverSubresources, DeduplicatesAndSkipsPseudoUrls) {
+  const auto base = *http::parse_url("http://a.test/");
+  const auto urls = discover_subresources(
+      ResourceKind::kHtml, base,
+      "<img src=\"x.png\"><img src=\"x.png\">"
+      "<a href=\"#top\"></a><a href=\"javascript:void(0)\"></a>"
+      "<img src=\"data:image/png;base64,AAAA\">");
+  ASSERT_EQ(urls.size(), 1u);
+  EXPECT_EQ(urls[0].path, "/x.png");
+}
+
+TEST(DiscoverSubresources, SchemeRelativeInheritsBaseScheme) {
+  const auto base = *http::parse_url("http://a.test/");
+  const auto urls = discover_subresources(ResourceKind::kHtml, base,
+                                          "<img src=\"//cdn.test/i.png\">");
+  ASSERT_EQ(urls.size(), 1u);
+  EXPECT_EQ(urls[0].scheme, "http");
+  EXPECT_EQ(urls[0].host, "cdn.test");
+}
+
+}  // namespace
+}  // namespace mahimahi::web

@@ -1,0 +1,63 @@
+// mm-link-report: analyze a saved link log (mm-link --uplink-log format) —
+// the mm-throughput-graph / mm-delay-graph equivalent.
+//
+//   usage: mm_link_report <log-file> [bin-ms]
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "net/link_log.hpp"
+
+using namespace mahimahi;
+using namespace mahimahi::net;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <log-file> [bin-ms]\n", argv[0]);
+    return 2;
+  }
+  const Microseconds bin_width =
+      argc > 2 ? static_cast<Microseconds>(std::atoll(argv[2])) * 1000 : 500'000;
+
+  std::ifstream in{argv[1]};
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+
+  LinkLog log = [&] {
+    try {
+      return LinkLog::parse(contents.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(1);
+    }
+  }();
+  const LinkLogSummary summary = summarize_link_log(log, bin_width);
+
+  std::printf("log:                 %s (%zu events)\n", argv[1], log.size());
+  std::printf("arrivals:            %llu\n",
+              (unsigned long long)summary.arrivals);
+  std::printf("departures:          %llu\n",
+              (unsigned long long)summary.departures);
+  std::printf("drops:               %llu\n", (unsigned long long)summary.drops);
+  std::printf("bytes delivered:     %llu\n",
+              (unsigned long long)summary.bytes_delivered);
+  std::printf("average throughput:  %.3f Mbit/s\n",
+              summary.average_throughput_bps / 1e6);
+  std::printf("queueing delay:      p50 %.1f ms, p95 %.1f ms, max %.1f ms\n",
+              summary.delay_p50_ms, summary.delay_p95_ms, summary.delay_max_ms);
+
+  std::printf("throughput per %lld ms bin (Mbit/s):\n",
+              (long long)(bin_width / 1000));
+  for (std::size_t i = 0; i < summary.throughput_bins_bps.size(); ++i) {
+    const double mbps = summary.throughput_bins_bps[i] / 1e6;
+    std::printf("  %6.1fs %8.2f  %s\n",
+                static_cast<double>(i) * static_cast<double>(bin_width) / 1e6,
+                mbps, std::string(static_cast<std::size_t>(mbps), '#').c_str());
+  }
+  return 0;
+}

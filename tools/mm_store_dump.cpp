@@ -1,0 +1,64 @@
+// mm-store-dump: inspect a recorded-site folder.
+//
+//   usage: mm_store_dump <recorded-folder> [--full]
+//
+// Prints the origin inventory (the servers ReplayShell would spawn), the
+// hostname bindings, and a per-exchange summary.
+
+#include <cstdio>
+#include <cstring>
+
+#include "record/serialize.hpp"
+#include "record/store.hpp"
+#include "util/strings.hpp"
+
+using namespace mahimahi;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <recorded-folder> [--full]\n", argv[0]);
+    return 2;
+  }
+  const bool full = argc > 2 && std::strcmp(argv[2], "--full") == 0;
+
+  record::RecordStore store = [&] {
+    try {
+      return record::RecordStore::load(argv[1]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(1);
+    }
+  }();
+
+  std::printf("recorded folder:   %s\n", argv[1]);
+  std::printf("exchanges:         %zu\n", store.size());
+  std::printf("response bytes:    %s\n",
+              util::format_bytes(store.total_response_bytes()).c_str());
+
+  const auto servers = store.distinct_servers();
+  std::printf("origin servers:    %zu (ReplayShell spawns one each)\n",
+              servers.size());
+  for (const auto& address : servers) {
+    std::size_t count = 0;
+    for (const auto& exchange : store.exchanges()) {
+      if (exchange.server_address == address) {
+        ++count;
+      }
+    }
+    std::printf("  %-22s %4zu exchange(s)\n", address.to_string().c_str(),
+                count);
+  }
+
+  std::printf("hostname bindings (the replay DNS):\n");
+  for (const auto& [host, ip] : store.host_bindings()) {
+    std::printf("  %-40s -> %s\n", host.c_str(), ip.to_string().c_str());
+  }
+
+  if (full) {
+    std::printf("exchanges:\n");
+    for (const auto& exchange : store.exchanges()) {
+      std::printf("  %s\n", record::describe_exchange(exchange).c_str());
+    }
+  }
+  return 0;
+}

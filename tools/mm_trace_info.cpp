@@ -1,0 +1,53 @@
+// mm-trace-info: inspect a mahimahi packet-delivery trace file.
+//
+//   usage: mm_trace_info <trace-file>
+//
+// Prints opportunity count, duration, average rate, and a per-second rate
+// profile — handy before feeding a trace to LinkShell.
+
+#include <cstdio>
+
+#include "trace/trace.hpp"
+
+using namespace mahimahi;
+using namespace mahimahi::literals;
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace-file>\n", argv[0]);
+    return 2;
+  }
+  trace::PacketTrace trace = [&] {
+    try {
+      return trace::PacketTrace::load(argv[1]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(1);
+    }
+  }();
+
+  std::printf("trace:                  %s\n", argv[1]);
+  std::printf("delivery opportunities: %zu\n", trace.opportunity_count());
+  std::printf("duration (one lap):     %.3f s\n",
+              static_cast<double>(trace.period()) / 1e6);
+  std::printf("average rate:           %.2f Mbit/s\n",
+              trace.average_bits_per_second() / 1e6);
+
+  // Per-second rate profile.
+  const Microseconds second = 1_s;
+  std::printf("per-second profile (Mbit/s):\n");
+  std::size_t index = 0;
+  for (Microseconds window = 0; window < trace.period(); window += second) {
+    std::size_t count = 0;
+    while (index < trace.opportunity_count() &&
+           trace.opportunities()[index] < window + second) {
+      ++count;
+      ++index;
+    }
+    const double mbps =
+        static_cast<double>(count) * trace::kOpportunityBytes * 8.0 / 1e6;
+    std::printf("  %4llds  %8.2f  %s\n", (long long)(window / 1'000'000), mbps,
+                std::string(static_cast<std::size_t>(mbps / 2), '#').c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// mm-webrecord: generate a synthetic site, record it through RecordShell,
+// and write the recorded folder — producing corpora for mm_webreplay.
+//
+//   usage: mm_webrecord <output-folder> [options]
+//     --name <s>      site name (default "site")
+//     --servers <n>   distinct origins (default 20)
+//     --objects <n>   object count (default 100)
+//     --seed <n>      generation seed (default 1)
+//     --profile <p>   cnbc | wikihow | nytimes (overrides the above)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/sessions.hpp"
+#include "util/strings.hpp"
+#include "corpus/site_generator.hpp"
+
+using namespace mahimahi;
+using namespace mahimahi::core;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <output-folder> [--name s] [--servers n]\n"
+                 "          [--objects n] [--seed n] [--profile cnbc|wikihow|nytimes]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string output = argv[1];
+
+  corpus::SiteSpec spec;
+  spec.name = "site";
+  spec.server_count = 20;
+  spec.object_count = 100;
+  spec.seed = 1;
+
+  for (int i = 2; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--name") == 0) {
+      spec.name = need_value("--name");
+    } else if (std::strcmp(argv[i], "--servers") == 0) {
+      spec.server_count = std::atoi(need_value("--servers"));
+    } else if (std::strcmp(argv[i], "--objects") == 0) {
+      spec.object_count = std::atoi(need_value("--objects"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      spec.seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      const std::string profile = need_value("--profile");
+      if (profile == "cnbc") {
+        spec = corpus::cnbc_like_spec();
+      } else if (profile == "wikihow") {
+        spec = corpus::wikihow_like_spec();
+      } else if (profile == "nytimes") {
+        spec = corpus::nytimes_like_spec();
+      } else {
+        std::fprintf(stderr, "unknown profile %s\n", profile.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  try {
+    const auto site = corpus::generate_site(spec);
+    std::printf("site %s: %zu objects over %zu origins, %s\n",
+                site.primary_url().c_str(), site.objects.size(),
+                site.hostnames.size(),
+                util::format_bytes(site.total_bytes()).c_str());
+
+    SessionConfig config;
+    config.seed = spec.seed;
+    web::PageLoadResult load;
+    RecordSession session{site, corpus::LiveWebConfig{}, config};
+    const auto store = session.record(&load);
+    std::printf("recorded %zu exchanges in %.0f ms of simulated time\n",
+                store.size(), to_ms(load.page_load_time));
+    store.save(output);
+    std::printf("wrote %s (replay with: mm_webreplay %s %s)\n", output.c_str(),
+                output.c_str(), site.primary_url().c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+// mm-webreplay: load a page from a recorded folder under emulated network
+// conditions and report page load time — the toolkit's core loop as a CLI.
+//
+//   usage: mm_webreplay <recorded-folder> <url> [options]
+//     --delay <ms>          DelayShell one-way delay
+//     --rate <mbit/s>       LinkShell symmetric constant rate
+//     --uplink-trace <f>    LinkShell uplink trace file
+//     --downlink-trace <f>  LinkShell downlink trace file
+//     --loss <p>            LossShell loss probability per direction
+//     --single-server       collapse all origins onto one server
+//     --loads <n>           number of measured loads (default 1)
+//     --seed <n>            experiment seed (default 1)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/sessions.hpp"
+#include "util/strings.hpp"
+#include "trace/synthesis.hpp"
+
+using namespace mahimahi;
+using namespace mahimahi::core;
+using namespace mahimahi::literals;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <recorded-folder> <url> [--delay ms] [--rate mbps]\n"
+               "          [--uplink-trace f] [--downlink-trace f] [--loss p]\n"
+               "          [--single-server] [--loads n] [--seed n]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage(argv[0]);
+  }
+  const std::string folder = argv[1];
+  const std::string url = argv[2];
+
+  Microseconds delay = 0;
+  double rate_mbps = 0;
+  std::string uplink_trace, downlink_trace;
+  double loss = 0;
+  bool single_server = false;
+  int loads = 1;
+  std::uint64_t seed = 1;
+
+  for (int i = 3; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--delay") == 0) {
+      delay = static_cast<Microseconds>(std::atof(need_value("--delay")) * 1000);
+    } else if (std::strcmp(argv[i], "--rate") == 0) {
+      rate_mbps = std::atof(need_value("--rate"));
+    } else if (std::strcmp(argv[i], "--uplink-trace") == 0) {
+      uplink_trace = need_value("--uplink-trace");
+    } else if (std::strcmp(argv[i], "--downlink-trace") == 0) {
+      downlink_trace = need_value("--downlink-trace");
+    } else if (std::strcmp(argv[i], "--loss") == 0) {
+      loss = std::atof(need_value("--loss"));
+    } else if (std::strcmp(argv[i], "--single-server") == 0) {
+      single_server = true;
+    } else if (std::strcmp(argv[i], "--loads") == 0) {
+      loads = std::atoi(need_value("--loads"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      usage(argv[0]);
+    }
+  }
+
+  try {
+    const auto store = record::RecordStore::load(folder);
+    std::printf("loaded %zu exchanges, %zu origin servers\n", store.size(),
+                store.distinct_servers().size());
+
+    SessionConfig config;
+    config.seed = seed;
+    if (delay > 0) {
+      config.shells.push_back(DelayShellSpec{delay});
+    }
+    if (!uplink_trace.empty() || !downlink_trace.empty()) {
+      if (uplink_trace.empty() || downlink_trace.empty()) {
+        std::fprintf(stderr, "need both --uplink-trace and --downlink-trace\n");
+        return 2;
+      }
+      LinkShellSpec link;
+      link.uplink = std::make_shared<const trace::PacketTrace>(
+          trace::PacketTrace::load(uplink_trace));
+      link.downlink = std::make_shared<const trace::PacketTrace>(
+          trace::PacketTrace::load(downlink_trace));
+      config.shells.push_back(link);
+    } else if (rate_mbps > 0) {
+      config.shells.push_back(
+          LinkShellSpec::constant_rate_mbps(rate_mbps, rate_mbps));
+    }
+    if (loss > 0) {
+      config.shells.push_back(LossShellSpec{loss, loss});
+    }
+
+    ReplaySession::Options options;
+    options.single_server = single_server;
+    ReplaySession session{store, config, options};
+
+    util::Samples samples;
+    for (int i = 0; i < loads; ++i) {
+      const auto result = session.load_once(url, i);
+      std::printf("load %2d: PLT %8.1f ms  (%zu objects, %zu failed, %s)\n", i,
+                  to_ms(result.page_load_time), result.objects_loaded,
+                  result.objects_failed,
+                  util::format_bytes(result.bytes_downloaded).c_str());
+      samples.add(to_ms(result.page_load_time));
+    }
+    if (loads > 1) {
+      std::printf("summary: mean %.1f ms, sd %.1f ms, median %.1f ms\n",
+                  samples.mean(), samples.stddev(), samples.median());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
