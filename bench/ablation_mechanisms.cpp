@@ -5,6 +5,8 @@
 //
 // Scale knob: MAHI_ABL_SITES (default 24).
 
+#include <utility>
+
 #include "bench/common.hpp"
 
 using namespace mahimahi;
@@ -24,22 +26,28 @@ CellResult measure_cell(const std::vector<CorpusEntry>& corpus,
                         const ReplaySession::Options& single_options,
                         const web::BrowserConfig& browser,
                         int initial_window) {
+  (void)initial_window;  // reserved for the IW ablation below
+  // One task per site; each measures the multi/single pair.
+  const auto pairs = bench::shared_runner().map(
+      static_cast<int>(corpus.size()), [&](int idx) {
+        const auto i = static_cast<std::size_t>(idx);
+        SessionConfig config;
+        config.seed = 0xAB1A + i;
+        config.browser = browser;
+        config.shells = {DelayShellSpec{15_ms},
+                         LinkShellSpec::constant_rate_mbps(14, 14)};
+        ReplaySession multi{corpus[i].store, config, multi_options};
+        ReplaySession single{corpus[i].store, config, single_options};
+        const auto url = corpus[i].site.primary_url();
+        const double m = to_ms(multi.load_once(url, 0).page_load_time);
+        const double s = to_ms(single.load_once(url, 0).page_load_time);
+        return std::pair{100.0 * (s - m) / m, m};
+      });
   util::Samples diffs;
   util::Samples multis;
-  for (std::size_t i = 0; i < corpus.size(); ++i) {
-    SessionConfig config;
-    config.seed = 0xAB1A + i;
-    config.browser = browser;
-    config.shells = {DelayShellSpec{15_ms},
-                     LinkShellSpec::constant_rate_mbps(14, 14)};
-    (void)initial_window;  // reserved for the IW ablation below
-    ReplaySession multi{corpus[i].store, config, multi_options};
-    ReplaySession single{corpus[i].store, config, single_options};
-    const auto url = corpus[i].site.primary_url();
-    const double m = to_ms(multi.load_once(url, 0).page_load_time);
-    const double s = to_ms(single.load_once(url, 0).page_load_time);
-    diffs.add(100.0 * (s - m) / m);
-    multis.add(m);
+  for (const auto& [diff, multi_ms] : pairs) {
+    diffs.add(diff);
+    multis.add(multi_ms);
   }
   return CellResult{diffs.median(), multis.median()};
 }

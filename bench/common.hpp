@@ -2,11 +2,14 @@
 
 // Shared scaffolding for the paper-reproduction bench binaries.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "core/parallel_runner.hpp"
 #include "core/sessions.hpp"
 #include "corpus/alexa.hpp"
 #include "util/statistics.hpp"
@@ -23,6 +26,27 @@ inline int env_int(const char* name, int fallback) {
   return parsed > 0 ? parsed : fallback;
 }
 
+/// The process-wide measurement pool every bench driver fans out on.
+/// Thread count: MAHI_THREADS env, else hardware concurrency. Results are
+/// merged in load-index order, so bench output does not depend on it.
+inline core::ParallelRunner& shared_runner() {
+  return core::ParallelRunner::shared();
+}
+
+/// Host wall-clock stopwatch for speedup reporting (NOT simulated time).
+class WallTimer {
+ public:
+  WallTimer() : start_{std::chrono::steady_clock::now()} {}
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
 /// One recorded corpus site ready for replay.
 struct CorpusEntry {
   corpus::GeneratedSite site;
@@ -30,28 +54,36 @@ struct CorpusEntry {
 };
 
 /// Generate and record `count` Alexa-calibrated sites (the recording runs
-/// the real RecordShell pipeline per site). Deterministic given `seed`.
+/// the real RecordShell pipeline per site). Deterministic given `seed`:
+/// the specs are drawn sequentially from one stream, then each site's
+/// expensive generate+record runs as an independent task — its seed is
+/// fixed before dispatch, so the corpus is identical at any thread count.
 inline std::vector<CorpusEntry> build_recorded_corpus(int count,
                                                       std::uint64_t seed) {
   util::Rng rng{seed};
   util::Rng spec_rng = rng.fork("specs");
   const auto server_counts = corpus::alexa_server_counts(spec_rng, count);
-  std::vector<CorpusEntry> entries;
-  entries.reserve(static_cast<std::size_t>(count));
+  std::vector<corpus::SiteSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
-    const auto spec = corpus::alexa_site_spec(
-        i, server_counts[static_cast<std::size_t>(i)], spec_rng);
-    CorpusEntry entry{corpus::generate_site(spec), record::RecordStore{}};
+    specs.push_back(corpus::alexa_site_spec(
+        i, server_counts[static_cast<std::size_t>(i)], spec_rng));
+  }
+
+  std::atomic<int> recorded{0};
+  return shared_runner().map(count, [&](int i) {
+    CorpusEntry entry{corpus::generate_site(specs[static_cast<std::size_t>(i)]),
+                      record::RecordStore{}};
     core::SessionConfig config;
     config.seed = seed + static_cast<std::uint64_t>(i) * 101;
     core::RecordSession session{entry.site, corpus::LiveWebConfig{}, config};
     entry.store = session.record();
-    entries.push_back(std::move(entry));
-    if ((i + 1) % 50 == 0) {
-      std::fprintf(stderr, "  [corpus] recorded %d/%d sites\n", i + 1, count);
+    const int done = recorded.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (done % 50 == 0) {
+      std::fprintf(stderr, "  [corpus] recorded %d/%d sites\n", done, count);
     }
-  }
-  return entries;
+    return entry;
+  });
 }
 
 /// Print a CDF as (value, cumulative fraction) rows at the given

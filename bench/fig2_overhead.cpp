@@ -36,14 +36,19 @@ int main() {
 
   util::Samples plt[3];
   for (std::size_t s = 0; s < 3; ++s) {
-    for (std::size_t i = 0; i < corpus.size(); ++i) {
-      SessionConfig config;
-      config.seed = 0xF162 + i;  // same seed across stacks: paired loads
-      config.shells = stacks[s].shells;
-      ReplaySession session{corpus[i].store, config};
-      const auto result = session.load_once(corpus[i].site.primary_url(), 0);
-      plt[s].add(to_ms(result.page_load_time));
-    }
+    // One isolated load per site, fanned across the pool; samples merge
+    // in site order, so the CDFs match the sequential run exactly.
+    plt[s] = shared_runner().map_samples(
+        static_cast<int>(corpus.size()), [&](int i) {
+          const auto& entry = corpus[static_cast<std::size_t>(i)];
+          SessionConfig config;
+          // Same seed across stacks: paired loads.
+          config.seed = 0xF162 + static_cast<std::uint64_t>(i);
+          config.shells = stacks[s].shells;
+          ReplaySession session{entry.store, config};
+          const auto result = session.load_once(entry.site.primary_url(), 0);
+          return to_ms(result.page_load_time);
+        });
     std::fprintf(stderr, "  [fig2] finished stack '%s'\n", stacks[s].label);
   }
 

@@ -8,6 +8,8 @@
 //
 // Scale knob: MAHI_FIG3_LOADS (default 100, as in the paper).
 
+#include <utility>
+
 #include "bench/common.hpp"
 
 using namespace mahimahi;
@@ -30,16 +32,19 @@ int main() {
   const auto store = recorder.record();
 
   // 100 live loads; keep each load's primary-origin min RTT, as the paper
-  // does with ping.
+  // does with ping. Each load re-draws its weather from (seed, index), so
+  // the fan-out reproduces the sequential PLT/RTT pairs in index order.
   util::Samples live_plt;
   std::vector<Microseconds> live_rtts;
   {
     SessionConfig config;
     config.seed = 0xF16301;
     LiveWebSession live{site, web, config};
-    for (int i = 0; i < loads; ++i) {
-      live_plt.add(to_ms(live.load_once(i).page_load_time));
-      live_rtts.push_back(live.last_primary_rtt());
+    const auto outcomes = shared_runner().map(
+        loads, [&live](int i) { return live.load_outcome(i); });
+    for (const auto& outcome : outcomes) {
+      live_plt.add(to_ms(outcome.result.page_load_time));
+      live_rtts.push_back(outcome.primary_rtt);
     }
   }
   std::fprintf(stderr, "  [fig3] live loads done\n");
@@ -47,18 +52,24 @@ int main() {
   // Replay each load with DelayShell at that load's live min RTT.
   util::Samples multi_plt;
   util::Samples single_plt;
-  for (int i = 0; i < loads; ++i) {
+  const auto replay_pairs = shared_runner().map(loads, [&](int i) {
     SessionConfig config;
     config.seed = 0xF16302;
     config.shells = {DelayShellSpec{live_rtts[static_cast<std::size_t>(i)] / 2}};
     ReplaySession multi{store, config};
-    multi_plt.add(to_ms(multi.load_once(site.primary_url(), i).page_load_time));
+    const double multi_ms =
+        to_ms(multi.load_once(site.primary_url(), i).page_load_time);
 
     ReplaySession::Options single_options;
     single_options.single_server = true;
     ReplaySession single{store, config, single_options};
-    single_plt.add(
-        to_ms(single.load_once(site.primary_url(), i).page_load_time));
+    const double single_ms =
+        to_ms(single.load_once(site.primary_url(), i).page_load_time);
+    return std::pair{multi_ms, single_ms};
+  });
+  for (const auto& [multi_ms, single_ms] : replay_pairs) {
+    multi_plt.add(multi_ms);
+    single_plt.add(single_ms);
   }
   std::fprintf(stderr, "  [fig3] replay loads done\n");
 

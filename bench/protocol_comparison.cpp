@@ -74,10 +74,8 @@ int main() {
         options.multiplexed = true;
       }
       ReplaySession session{store, config, options};
-      util::Samples samples;
-      for (int i = 0; i < loads; ++i) {
-        samples.add(to_ms(session.load_once(site.primary_url(), i).page_load_time));
-      }
+      const auto samples =
+          session.measure(site.primary_url(), loads, shared_runner());
       medians[proto] = samples.median();
     }
     std::printf("%-42s %11.0f ms %11.0f ms %8.2fx\n", network.label,

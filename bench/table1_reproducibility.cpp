@@ -41,12 +41,21 @@ int main() {
   std::vector<std::vector<std::string>> table;
   table.push_back({"page", "machine", "mean +/- sd (ms)", "sd/mean", "paper"});
 
+  // The first page's site/store are kept for the scaling cross-check
+  // below, to avoid re-running the recording pipeline.
+  corpus::GeneratedSite first_site;
+  record::RecordStore first_store;
+
   for (const auto& page : pages) {
     const auto site = corpus::generate_site(page.spec);
     SessionConfig record_config;
     record_config.seed = 0x7AB1E1;
     RecordSession recorder{site, corpus::LiveWebConfig{}, record_config};
     const auto store = recorder.record();
+    if (&page == &pages[0]) {
+      first_site = site;
+      first_store = store;
+    }
 
     double means[2] = {0, 0};
     for (int m = 0; m < 2; ++m) {
@@ -56,7 +65,8 @@ int main() {
       config.shells = {DelayShellSpec{25_ms},
                        LinkShellSpec::constant_rate_mbps(6, 6)};
       ReplaySession session{store, config};
-      const auto samples = session.measure(site.primary_url(), loads);
+      const auto samples =
+          session.measure(site.primary_url(), loads, shared_runner());
       means[m] = samples.mean();
 
       char cell[64];
@@ -77,5 +87,42 @@ int main() {
   }
   print_rule();
   std::fputs(util::render_table(table).c_str(), stdout);
+
+  // --- wall-clock scaling + determinism cross-check ----------------------
+  // Re-run one cell (CNBC on machine 1) at 1 and 4 threads: the samples
+  // must be byte-identical (the whole point of Table 1), and the pool
+  // should turn shared-nothing isolation into real speedup.
+  {
+    SessionConfig config;
+    config.seed = 0x7AB1E1;
+    config.host = machines[0];
+    config.shells = {DelayShellSpec{25_ms},
+                     LinkShellSpec::constant_rate_mbps(6, 6)};
+    ReplaySession session{first_store, config};
+
+    ParallelRunner one_thread{1};
+    WallTimer sequential_timer;
+    const auto sequential =
+        session.measure(first_site.primary_url(), loads, one_thread);
+    const double sequential_s = sequential_timer.elapsed_seconds();
+
+    ParallelRunner four_threads{4};
+    WallTimer parallel_timer;
+    const auto parallel =
+        session.measure(first_site.primary_url(), loads, four_threads);
+    const double parallel_s = parallel_timer.elapsed_seconds();
+
+    print_rule();
+    std::printf("determinism: samples at 1 thread == samples at 4 threads: %s\n",
+                sequential.values() == parallel.values() ? "yes" : "NO");
+    std::printf("wall clock, 1 thread:   %7.2f s\n", sequential_s);
+    std::printf("wall clock, 4 threads:  %7.2f s  (%.2fx speedup, %u-core host)\n",
+                parallel_s, sequential_s / parallel_s,
+                std::thread::hardware_concurrency());
+    if (sequential.values() != parallel.values()) {
+      std::fprintf(stderr, "FATAL: parallel run diverged from sequential\n");
+      return 1;
+    }
+  }
   return 0;
 }

@@ -43,23 +43,25 @@ int main() {
 
   for (std::size_t r = 0; r < 3; ++r) {
     for (std::size_t d = 0; d < 3; ++d) {
-      util::Samples diffs;
-      for (std::size_t i = 0; i < corpus.size(); ++i) {
-        SessionConfig config;
-        config.seed = 0x7AB2E + i;
-        config.shells = {DelayShellSpec{rtts[d] / 2},
-                         LinkShellSpec::constant_rate_mbps(rates_mbps[r],
-                                                           rates_mbps[r])};
-        ReplaySession multi{corpus[i].store, config};
-        ReplaySession::Options single_options;
-        single_options.single_server = true;
-        ReplaySession single{corpus[i].store, config, single_options};
+      // Paired multi/single loads per site, one task per site.
+      const util::Samples diffs = shared_runner().map_samples(
+          static_cast<int>(corpus.size()), [&](int idx) {
+            const auto i = static_cast<std::size_t>(idx);
+            SessionConfig config;
+            config.seed = 0x7AB2E + i;
+            config.shells = {DelayShellSpec{rtts[d] / 2},
+                             LinkShellSpec::constant_rate_mbps(rates_mbps[r],
+                                                               rates_mbps[r])};
+            ReplaySession multi{corpus[i].store, config};
+            ReplaySession::Options single_options;
+            single_options.single_server = true;
+            ReplaySession single{corpus[i].store, config, single_options};
 
-        const auto url = corpus[i].site.primary_url();
-        const double m = to_ms(multi.load_once(url, 0).page_load_time);
-        const double s = to_ms(single.load_once(url, 0).page_load_time);
-        diffs.add(100.0 * (s - m) / m);
-      }
+            const auto url = corpus[i].site.primary_url();
+            const double m = to_ms(multi.load_once(url, 0).page_load_time);
+            const double s = to_ms(single.load_once(url, 0).page_load_time);
+            return 100.0 * (s - m) / m;
+          });
       char link[24], rtt[24], p50[16], p95[16], pp50[16], pp95[16];
       std::snprintf(link, sizeof link, "%.0f Mbit/s", rates_mbps[r]);
       std::snprintf(rtt, sizeof rtt, "%lld ms", (long long)(rtts[d] / 1000));

@@ -87,7 +87,10 @@ int main() {
         if (request.target == "/api/items") {
           std::string items = "{\"items\":[";
           for (int i = 0; i < 40; ++i) {
-            items += (i ? "," : "") + std::to_string(i);
+            if (i > 0) {
+              items += ',';
+            }
+            items += std::to_string(i);
           }
           return http::make_ok(items + "]}", "application/json");
         }

@@ -1,0 +1,105 @@
+#include "core/parallel_runner.hpp"
+
+#include <algorithm>
+
+namespace mahimahi::core {
+
+int ParallelRunner::default_thread_count() {
+  if (const char* env = std::getenv("MAHI_THREADS"); env != nullptr) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) {
+      return parsed;
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+ParallelRunner& ParallelRunner::shared() {
+  static ParallelRunner runner;
+  return runner;
+}
+
+ParallelRunner::ParallelRunner(int threads)
+    : thread_count_{threads > 0 ? threads : default_thread_count()} {
+  workers_.reserve(static_cast<std::size_t>(thread_count_));
+  for (int i = 0; i < thread_count_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ParallelRunner::~ParallelRunner() {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ParallelRunner::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      work_ready_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutting down and drained
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ParallelRunner::run_indexed(int count, const std::function<void(int)>& task) {
+  if (count <= 0) {
+    return;
+  }
+
+  // Per-batch completion state, shared with the enqueued jobs. Exceptions
+  // are captured per index so the *lowest* failing index is rethrown —
+  // a deterministic choice, independent of which thread failed first.
+  struct Batch {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    int remaining;
+    std::vector<std::exception_ptr> errors;
+  };
+  Batch batch;
+  batch.remaining = count;
+  batch.errors.assign(static_cast<std::size_t>(count), nullptr);
+
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    for (int i = 0; i < count; ++i) {
+      queue_.emplace_back([&batch, &task, i] {
+        try {
+          task(i);
+        } catch (...) {
+          batch.errors[static_cast<std::size_t>(i)] = std::current_exception();
+        }
+        const std::lock_guard<std::mutex> batch_lock{batch.mutex};
+        if (--batch.remaining == 0) {
+          batch.done_cv.notify_all();
+        }
+      });
+    }
+  }
+  work_ready_.notify_all();
+
+  std::unique_lock<std::mutex> lock{batch.mutex};
+  batch.done_cv.wait(lock, [&batch] { return batch.remaining == 0; });
+
+  const auto first_error = std::find_if(
+      batch.errors.begin(), batch.errors.end(),
+      [](const std::exception_ptr& e) { return e != nullptr; });
+  if (first_error != batch.errors.end()) {
+    std::rethrow_exception(*first_error);
+  }
+}
+
+}  // namespace mahimahi::core

@@ -57,7 +57,7 @@ ReplaySession::ReplaySession(const record::RecordStore& store,
     : store_{store}, config_{std::move(config)}, options_{options} {}
 
 web::PageLoadResult ReplaySession::load_once(const std::string& url,
-                                             int load_index) {
+                                             int load_index) const {
   util::Rng rng = load_rng(config_, load_index);
 
   net::EventLoop loop;
@@ -81,10 +81,18 @@ web::PageLoadResult ReplaySession::load_once(const std::string& url,
   return run_load(loop, browser, url);
 }
 
-util::Samples ReplaySession::measure(const std::string& url, int count) {
+util::Samples ReplaySession::measure(const std::string& url, int count,
+                                     ParallelRunner& runner) const {
+  // Each load is fully isolated (fresh event loop, fabric, servers,
+  // browser) and seeded from (seed, load_index) alone, so fanning the
+  // loads across threads and merging by index reproduces the sequential
+  // sample sequence exactly. Failure warnings are logged after the merge,
+  // in load order, so diagnostic output is deterministic too.
+  const auto results = runner.map(
+      count, [this, &url](int i) { return load_once(url, i); });
   util::Samples samples;
   for (int i = 0; i < count; ++i) {
-    const auto result = load_once(url, i);
+    const auto& result = results[static_cast<std::size_t>(i)];
     if (!result.success) {
       MAHI_WARN("replay-session")
           << "load " << i << " of " << url << " had failures ("
@@ -93,6 +101,10 @@ util::Samples ReplaySession::measure(const std::string& url, int count) {
     samples.add(to_ms(result.page_load_time));
   }
   return samples;
+}
+
+util::Samples ReplaySession::measure(const std::string& url, int count) const {
+  return measure(url, count, ParallelRunner::shared());
 }
 
 // --- RecordSession -------------------------------------------------------
@@ -138,26 +150,43 @@ LiveWebSession::LiveWebSession(const corpus::GeneratedSite& site,
                                corpus::LiveWebConfig web, SessionConfig config)
     : site_{site}, web_{web}, config_{std::move(config)} {}
 
-web::PageLoadResult LiveWebSession::load_once(int load_index) {
+LiveWebSession::LoadOutcome LiveWebSession::load_outcome(int load_index) const {
   util::Rng rng = load_rng(config_, load_index);
   net::EventLoop loop;
   loop.set_event_limit(kEventLimit);
   net::Fabric fabric{loop};
   corpus::LiveWeb live{fabric, site_, web_, rng.fork("live-web")};
-  last_rtt_ = live.primary_rtt();
+  LoadOutcome outcome;
+  outcome.primary_rtt = live.primary_rtt();
   apply_shells(fabric, config_.shells, config_.host, rng);
   web::Browser browser{fabric, live.dns_server_address(),
                        scaled_browser(config_.browser, config_.host),
                        rng.fork("browser")};
-  return run_load(loop, browser, site_.primary_url());
+  outcome.result = run_load(loop, browser, site_.primary_url());
+  return outcome;
+}
+
+web::PageLoadResult LiveWebSession::load_once(int load_index) {
+  LoadOutcome outcome = load_outcome(load_index);
+  last_rtt_ = outcome.primary_rtt;
+  return std::move(outcome.result);
+}
+
+util::Samples LiveWebSession::measure(int count, ParallelRunner& runner) {
+  const auto outcomes =
+      runner.map(count, [this](int i) { return load_outcome(i); });
+  util::Samples samples;
+  for (const LoadOutcome& outcome : outcomes) {
+    samples.add(to_ms(outcome.result.page_load_time));
+  }
+  if (!outcomes.empty()) {
+    last_rtt_ = outcomes.back().primary_rtt;  // as after a sequential run
+  }
+  return samples;
 }
 
 util::Samples LiveWebSession::measure(int count) {
-  util::Samples samples;
-  for (int i = 0; i < count; ++i) {
-    samples.add(to_ms(load_once(i).page_load_time));
-  }
-  return samples;
+  return measure(count, ParallelRunner::shared());
 }
 
 }  // namespace mahimahi::core

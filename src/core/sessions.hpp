@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/host_profile.hpp"
+#include "core/parallel_runner.hpp"
 #include "core/shells.hpp"
 #include "corpus/live_web.hpp"
 #include "record/store.hpp"
@@ -39,10 +40,20 @@ class ReplaySession {
       : ReplaySession(store, std::move(config), Options{}) {}
 
   /// One measured load of `url` (load_index seeds the jitter stream).
-  web::PageLoadResult load_once(const std::string& url, int load_index = 0);
+  /// Const — every load builds its own event loop / fabric / servers, so
+  /// concurrent loads of the same session never share mutable state.
+  web::PageLoadResult load_once(const std::string& url, int load_index = 0) const;
 
-  /// `count` loads; returns PLT samples in milliseconds.
-  util::Samples measure(const std::string& url, int count);
+  /// `count` loads fanned across `runner`'s threads; returns PLT samples
+  /// in milliseconds, merged in load-index order. Per-load randomness is
+  /// derived from (seed, load_index) alone, so the samples are
+  /// bit-identical for any thread count.
+  util::Samples measure(const std::string& url, int count,
+                        ParallelRunner& runner) const;
+
+  /// As above, fanned across the process-wide ParallelRunner::shared()
+  /// pool (lazily spawned on first use, lives until process exit).
+  util::Samples measure(const std::string& url, int count) const;
 
  private:
   const record::RecordStore& store_;
@@ -72,10 +83,21 @@ class RecordSession {
 /// re-draws network weather.
 class LiveWebSession {
  public:
+  /// One load's metrics plus the network weather it observed — returned
+  /// by value so parallel loads never race on session state.
+  struct LoadOutcome {
+    web::PageLoadResult result{};
+    Microseconds primary_rtt{0};
+  };
+
   LiveWebSession(const corpus::GeneratedSite& site, corpus::LiveWebConfig web,
                  SessionConfig config);
 
+  [[nodiscard]] LoadOutcome load_outcome(int load_index) const;
+
   web::PageLoadResult load_once(int load_index = 0);
+  util::Samples measure(int count, ParallelRunner& runner);
+  /// Uses the process-wide ParallelRunner::shared() pool.
   util::Samples measure(int count);
 
   /// Primary-origin RTT of the most recent load (what the paper feeds to

@@ -11,6 +11,13 @@ namespace mahimahi::util {
 ///
 /// Satisfies UniformRandomBitGenerator, so it also plugs into <random>
 /// distributions where exact cross-platform value sequences do not matter.
+///
+/// Threading contract (the parallel measurement engine relies on this):
+/// an Rng is a plain value with no global or shared state, so distinct
+/// instances may be used from different threads concurrently — one
+/// instance per task, derived from (experiment seed, load index) before
+/// dispatch, never one instance shared across tasks. A single instance is
+/// not internally synchronized.
 class Rng {
  public:
   using result_type = std::uint64_t;

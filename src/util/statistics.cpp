@@ -21,6 +21,24 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
 
 double RunningStats::variance() const {
@@ -37,6 +55,11 @@ Samples::Samples(std::vector<double> values) : values_{std::move(values)} {}
 
 void Samples::add(double x) {
   values_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void Samples::append(const Samples& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
   sorted_valid_ = false;
 }
 
@@ -107,6 +130,19 @@ std::vector<std::pair<double, double>> Samples::cdf_points() const {
                         static_cast<double>(i + 1) / static_cast<double>(sorted_.size()));
   }
   return points;
+}
+
+Samples merge_ordered(const std::vector<Samples>& parts) {
+  std::size_t total = 0;
+  for (const Samples& part : parts) {
+    total += part.size();
+  }
+  std::vector<double> values;
+  values.reserve(total);
+  for (const Samples& part : parts) {
+    values.insert(values.end(), part.values().begin(), part.values().end());
+  }
+  return Samples{std::move(values)};
 }
 
 std::string render_table(const std::vector<std::vector<std::string>>& rows) {

@@ -11,6 +11,11 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Combine with another accumulator (Chan et al. parallel variance
+  /// update) — merging per-task accumulators is exact, so statistics
+  /// computed under a parallel fan-out match the sequential run.
+  void merge(const RunningStats& other);
+
   [[nodiscard]] std::size_t count() const { return count_; }
   [[nodiscard]] double mean() const;
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
@@ -35,6 +40,13 @@ class Samples {
   explicit Samples(std::vector<double> values);
 
   void add(double x);
+
+  /// Append another batch's samples after this one, preserving both
+  /// insertion orders. The order-preserving half of a parallel fan-out:
+  /// merging per-task batches in load-index order reproduces the exact
+  /// sample sequence of a sequential run.
+  void append(const Samples& other);
+
   [[nodiscard]] std::size_t size() const { return values_.size(); }
   [[nodiscard]] bool empty() const { return values_.empty(); }
   [[nodiscard]] const std::vector<double>& values() const { return values_; }
@@ -62,6 +74,10 @@ class Samples {
   mutable std::vector<double> sorted_;
   mutable bool sorted_valid_{false};
 };
+
+/// Concatenate sample batches in the given order (index-ordered merge of
+/// per-task results from a parallel fan-out).
+Samples merge_ordered(const std::vector<Samples>& parts);
 
 /// Render a fixed-width table (rows of cells) — used by the bench harness
 /// to print paper-style tables.

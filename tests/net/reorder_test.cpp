@@ -76,7 +76,9 @@ TEST_P(TcpReorderSweep, ExactlyOnceInOrder) {
       [&received](const std::shared_ptr<TcpConnection>& conn) {
         TcpConnection::Callbacks cb;
         cb.on_data = [&received](std::string_view b) { received.append(b); };
-        cb.on_peer_close = [conn] { conn->close(); };
+        // Raw pointer: a shared_ptr captured in the connection's own
+        // callbacks would be a reference cycle (leak).
+        cb.on_peer_close = [raw = conn.get()] { raw->close(); };
         return cb;
       }};
 

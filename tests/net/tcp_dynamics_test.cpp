@@ -24,7 +24,9 @@ struct SinkServer {
       connection = conn;
       TcpConnection::Callbacks cb;
       cb.on_data = [this](std::string_view b) { received.append(b); };
-      cb.on_peer_close = [conn] { conn->close(); };
+      // Raw pointer: a shared_ptr captured in the connection's own
+      // callbacks would be a reference cycle (leak).
+      cb.on_peer_close = [raw = conn.get()] { raw->close(); };
       return cb;
     };
   }

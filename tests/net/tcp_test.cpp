@@ -25,20 +25,24 @@ struct ServerApp {
     return [this, reply, close_after_reply](
                const std::shared_ptr<TcpConnection>& conn) {
       connection = conn;
+      // Callbacks live inside the connection: capturing the shared_ptr
+      // there would be a reference cycle (leak). The raw pointer is safe
+      // because callbacks only fire while the connection is alive.
+      TcpConnection* raw = conn.get();
       TcpConnection::Callbacks cb;
-      cb.on_data = [this, conn, reply,
+      cb.on_data = [this, raw, reply,
                     close_after_reply](std::string_view bytes) {
         received.append(bytes);
         if (!reply.empty() && received.size() >= 5) {  // reply once primed
-          conn->send(reply);
+          raw->send(reply);
           if (close_after_reply) {
-            conn->close();
+            raw->close();
           }
         }
       };
-      cb.on_peer_close = [this, conn] {
+      cb.on_peer_close = [this, raw] {
         peer_closed = true;
-        conn->close();
+        raw->close();
       };
       return cb;
     };

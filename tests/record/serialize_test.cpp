@@ -80,7 +80,8 @@ TEST(Serialize, MissingRequiredFieldsRejected) {
   // complete exchange.
   std::string encoded = encode_exchange(sample_exchange());
   const std::string only_header = encoded.substr(0, 5);  // magic+version
-  EXPECT_THROW(decode_exchange(only_header + std::string{"\x01\x04\x00\x00\x00http", 9 + 4}),
+  // One TLV field: tag 0x01, length 4 (little-endian), value "http".
+  EXPECT_THROW(decode_exchange(only_header + std::string{"\x01\x04\x00\x00\x00http", 9}),
                SerializeError);
 }
 

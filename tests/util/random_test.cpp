@@ -130,6 +130,37 @@ TEST(Fnv1a, KnownValuesAndDistinctness) {
   EXPECT_EQ(fnv1a("mahimahi"), fnv1a("mahimahi"));
 }
 
+TEST(Rng, PerTaskStreamsAreScheduleIndependent) {
+  // The parallel runner's seeding contract: one Rng per task, derived
+  // from (seed, index) before dispatch. Interleaving draws across
+  // instances — as concurrent tasks do in wall-clock time — must not
+  // change any stream's sequence.
+  auto make_task_rng = [](int index) {
+    return Rng{0xFEEDULL}.fork("load-" + std::to_string(index));
+  };
+  std::vector<std::vector<std::uint64_t>> sequential;
+  for (int task = 0; task < 4; ++task) {
+    Rng rng = make_task_rng(task);
+    auto& draws = sequential.emplace_back();
+    for (int d = 0; d < 16; ++d) {
+      draws.push_back(rng.next());
+    }
+  }
+  // Round-robin "schedule": one draw per task per round.
+  std::vector<Rng> rngs;
+  for (int task = 0; task < 4; ++task) {
+    rngs.push_back(make_task_rng(task));
+  }
+  std::vector<std::vector<std::uint64_t>> interleaved(4);
+  for (int d = 0; d < 16; ++d) {
+    for (int task = 0; task < 4; ++task) {
+      interleaved[static_cast<std::size_t>(task)].push_back(
+          rngs[static_cast<std::size_t>(task)].next());
+    }
+  }
+  EXPECT_EQ(sequential, interleaved);
+}
+
 TEST(Rng, LognormalIsPositive) {
   Rng rng{29};
   for (int i = 0; i < 1000; ++i) {

@@ -83,6 +83,69 @@ TEST(Samples, MeanStdDevMatchRunningStats) {
   EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);
 }
 
+TEST(RunningStats, MergeMatchesSequentialAccumulation) {
+  // Chan-style combine of per-task accumulators must equal one sequential
+  // pass — the statistics half of the parallel measurement contract.
+  const double values[] = {3.5, -1.0, 0.0, 12.25, 7.5, 2.0, 2.0, -8.75, 4.0};
+  RunningStats sequential;
+  RunningStats left;
+  RunningStats right;
+  int i = 0;
+  for (const double v : values) {
+    sequential.add(v);
+    (i++ < 4 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), sequential.count());
+  EXPECT_DOUBLE_EQ(left.mean(), sequential.mean());
+  EXPECT_NEAR(left.variance(), sequential.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(left.max(), sequential.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats stats;
+  stats.add(2.0);
+  stats.add(4.0);
+  RunningStats empty;
+  stats.merge(empty);  // no-op
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  empty.merge(stats);  // adopt
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 2.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 4.0);
+}
+
+TEST(Samples, AppendPreservesBothInsertionOrders) {
+  Samples front{{5.0, 1.0, 3.0}};
+  const Samples back{{2.0, 9.0}};
+  front.append(back);
+  const std::vector<double> expected{5.0, 1.0, 3.0, 2.0, 9.0};
+  EXPECT_EQ(front.values(), expected);
+}
+
+TEST(Samples, AppendInvalidatesSortCache) {
+  Samples samples{{4.0, 2.0}};
+  EXPECT_DOUBLE_EQ(samples.min(), 2.0);  // forces the sort cache
+  samples.append(Samples{{1.0}});
+  EXPECT_DOUBLE_EQ(samples.min(), 1.0);
+  EXPECT_DOUBLE_EQ(samples.max(), 4.0);
+}
+
+TEST(MergeOrdered, ConcatenatesPartsInGivenOrder) {
+  const auto merged =
+      merge_ordered({Samples{{1.0, 2.0}}, Samples{}, Samples{{0.5}}});
+  const std::vector<double> expected{1.0, 2.0, 0.5};
+  EXPECT_EQ(merged.values(), expected);
+}
+
+TEST(MergeOrdered, EmptyInput) {
+  EXPECT_TRUE(merge_ordered({}).empty());
+  EXPECT_TRUE(merge_ordered({Samples{}, Samples{}}).empty());
+}
+
 TEST(PercentDifference, Signs) {
   EXPECT_DOUBLE_EQ(percent_difference(100.0, 110.0), 10.0);
   EXPECT_DOUBLE_EQ(percent_difference(100.0, 90.0), -10.0);
