@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -98,5 +99,60 @@ inline void print_cdf(const char* label, const util::Samples& samples) {
 inline void print_rule() {
   std::printf("-------------------------------------------------------------------\n");
 }
+
+/// Machine-readable perf log: one row per benchmark (name → ns/op plus
+/// throughput counters), serialized as JSON so the repo's perf trajectory
+/// is diffable across PRs. Framework-agnostic — any bench driver can feed
+/// rows; micro_substrate wires google-benchmark results through it and
+/// writes BENCH_substrate.json (CI uploads the file as an artifact).
+class PerfReport {
+ public:
+  struct Row {
+    std::string name;
+    double ns_per_op{0};
+    double items_per_second{0};
+    double bytes_per_second{0};
+  };
+
+  void add(Row row) { rows_.push_back(std::move(row)); }
+  [[nodiscard]] bool empty() const { return rows_.empty(); }
+
+  /// Write `{"schema": ..., "benchmarks": [...]}` (insertion order kept).
+  /// Returns false (after warning on stderr) if the file cannot be opened.
+  bool write(const std::string& path) const {
+    std::ofstream out{path};
+    if (!out) {
+      std::fprintf(stderr, "[bench] cannot write perf report to %s\n",
+                   path.c_str());
+      return false;
+    }
+    out.precision(12);
+    out << "{\n  \"schema\": \"mahimahi-bench-v1\",\n  \"benchmarks\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      out << (i == 0 ? "" : ",") << "\n    {\"name\": \""
+          << json_escape(row.name) << "\", \"ns_per_op\": " << row.ns_per_op
+          << ", \"items_per_second\": " << row.items_per_second
+          << ", \"bytes_per_second\": " << row.bytes_per_second << "}";
+    }
+    out << "\n  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  static std::string json_escape(const std::string& text) {
+    std::string escaped;
+    escaped.reserve(text.size());
+    for (const char c : text) {
+      if (c == '"' || c == '\\') {
+        escaped += '\\';
+      }
+      escaped += c;
+    }
+    return escaped;
+  }
+
+  std::vector<Row> rows_;
+};
 
 }  // namespace mahimahi::bench

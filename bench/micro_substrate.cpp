@@ -5,10 +5,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <vector>
+
+#include "bench/common.hpp"
 #include "http/parser.hpp"
 #include "net/event_loop.hpp"
+#include "net/fabric.hpp"
 #include "net/link.hpp"
 #include "net/queue.hpp"
+#include "net/tcp.hpp"
 #include "record/serialize.hpp"
 #include "replay/matcher.hpp"
 #include "trace/synthesis.hpp"
@@ -156,6 +162,168 @@ void BM_TraceLinkForwarding(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceLinkForwarding)->Arg(1000);
 
+void BM_EventLoopScheduleCancelRun(benchmark::State& state) {
+  // The timer-heavy cycle: schedule a batch, cancel half (the fate of most
+  // retransmission timers), run the survivors.
+  const int n = static_cast<int>(state.range(0));
+  std::vector<net::EventLoop::EventId> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    net::EventLoop loop;
+    int counter = 0;
+    ids.clear();
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(loop.schedule_at(i, [&counter] { ++counter; }));
+    }
+    for (int i = 0; i < n; i += 2) {
+      loop.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    loop.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_EventLoopScheduleCancelRun)->Arg(1000)->Arg(100000);
+
+void BM_EventLoopTimerChurn(benchmark::State& state) {
+  // TCP's arm/disarm pattern: every event re-arms a far-future RTO that is
+  // almost always cancelled before it fires.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    net::EventLoop loop;
+    int remaining = n;
+    net::EventLoop::EventId rto = 0;
+    std::function<void()> rearm = [&] {
+      if (rto != 0) {
+        loop.cancel(rto);
+      }
+      rto = loop.schedule_in(200'000, [] {});
+      if (--remaining > 0) {
+        loop.schedule_in(10, [&rearm] { rearm(); });
+      }
+    };
+    loop.schedule_at(0, [&rearm] { rearm(); });
+    loop.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_EventLoopTimerChurn)->Arg(10000);
+
+void BM_LinkForwardingFullQueue(benchmark::State& state) {
+  // A saturated bottleneck: arrivals outpace a 100 Mbit/s link with a
+  // bounded drop-tail queue, so most of the work is enqueue/drop/dequeue
+  // against a full buffer.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    net::EventLoop loop;
+    net::LinkQueue link{loop, trace::constant_rate(1e8, 1_s),
+                        std::make_unique<net::DropTailQueue>(256, 0),
+                        [](net::Packet&&) {}};
+    net::Packet prototype;
+    prototype.tcp.payload = std::string(1400, 'x');
+    for (int i = 0; i < n; ++i) {
+      net::Packet p = prototype;
+      link.accept(std::move(p));
+    }
+    loop.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_LinkForwardingFullQueue)->Arg(4096);
+
+void BM_TcpBulkTransfer(benchmark::State& state) {
+  // End-to-end substrate cost of a bulk TCP transfer over a 1 Gbit/s link:
+  // handshake, segmentation, link forwarding, acks, teardown. Dominated by
+  // per-segment payload handling, so it is the canary for copy costs.
+  const std::size_t total_bytes = static_cast<std::size_t>(state.range(0));
+  const net::Address server_addr{net::Ipv4{10, 0, 0, 1}, 80};
+  std::uint64_t copied_payload_bytes = 0;
+  for (auto _ : state) {
+    net::EventLoop loop;
+    net::Fabric fabric{loop};
+    fabric.chain().push_back(std::make_unique<net::TraceLink>(
+        loop, trace::constant_rate(1e9, 1_s), trace::constant_rate(1e9, 1_s)));
+    std::size_t received = 0;
+    net::TcpListener listener{
+        fabric, server_addr,
+        [&received](const std::shared_ptr<net::TcpConnection>& conn) {
+          net::TcpConnection* raw = conn.get();
+          net::TcpConnection::Callbacks cb;
+          cb.on_data = [&received](std::string_view b) { received += b.size(); };
+          cb.on_peer_close = [raw] { raw->close(); };
+          return cb;
+        }};
+    net::TcpClient client{fabric, server_addr, {}};
+    client.connection().send(std::string(total_bytes, 'x'));
+    client.connection().close();
+    loop.run();
+    copied_payload_bytes += client.connection().payload_copy_bytes();
+    if (received != total_bytes) {
+      state.SkipWithError("short transfer");
+      break;
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(total_bytes));
+  // Payload bytes the send path materialized (0 = every segment aliased
+  // the send buffer) — the copy-elimination evidence next to bytes/s.
+  state.counters["payload_copy_bytes"] = benchmark::Counter(
+      static_cast<double>(copied_payload_bytes), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_TcpBulkTransfer)->Arg(1 << 20);
+
+/// Console output as usual, plus every per-iteration result captured into
+/// the PerfReport that becomes BENCH_substrate.json.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(mahimahi::bench::PerfReport& report)
+      : report_{report} {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    // google-benchmark renamed Run::error_occurred to Run::skipped in
+    // 1.8.0; probe for whichever member this library version has.
+    constexpr auto run_errored = []<typename R>(const R& r) {
+      if constexpr (requires { r.skipped; }) {
+        return static_cast<bool>(r.skipped);
+      } else {
+        return static_cast<bool>(r.error_occurred);
+      }
+    };
+    for (const Run& run : runs) {
+      if (run_errored(run) || run.run_type != Run::RT_Iteration) {
+        continue;
+      }
+      mahimahi::bench::PerfReport::Row row;
+      row.name = run.benchmark_name();
+      row.ns_per_op = run.GetAdjustedRealTime();
+      if (const auto it = run.counters.find("items_per_second");
+          it != run.counters.end()) {
+        row.items_per_second = it->second;
+      }
+      if (const auto it = run.counters.find("bytes_per_second");
+          it != run.counters.end()) {
+        row.bytes_per_second = it->second;
+      }
+      report_.add(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  mahimahi::bench::PerfReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  mahimahi::bench::PerfReport report;
+  JsonTeeReporter reporter{report};
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const char* out = std::getenv("MAHI_BENCH_JSON");
+  report.write(out != nullptr ? out : "BENCH_substrate.json");
+  return 0;
+}

@@ -18,10 +18,14 @@ void DelayBox::process(Packet&& packet, Direction direction) {
     emit(std::move(packet), direction);
     return;
   }
-  loop_.schedule_in(delay_,
-                    [this, packet = std::move(packet), direction]() mutable {
-                      emit(std::move(packet), direction);
-                    });
+  auto release = [this, packet = std::move(packet), direction]() mutable {
+    emit(std::move(packet), direction);
+  };
+  // Per-packet event on the hottest shell path (DelayShell wraps every
+  // experiment) — must use the loop's inline callback storage.
+  static_assert(EventLoop::Action::kFitsInline<decltype(release)>,
+                "delay-box packet lambda exceeds the inline callback buffer");
+  loop_.schedule_in(delay_, std::move(release));
 }
 
 // --- LossBox ----------------------------------------------------------------

@@ -5,55 +5,188 @@
 #include "util/assert.hpp"
 
 namespace mahimahi::net {
+namespace {
+
+constexpr std::size_t kHeapArity = 4;
+
+}  // namespace
+
+void EventLoop::publish_event(Microseconds at, std::uint32_t slot) {
+  inbox_.push_back(HeapEntry{at, next_seq_++, slot, slot_at(slot).generation});
+  ++live_count_;
+}
+
+void EventLoop::drain_inbox() {
+  for (const HeapEntry& entry : inbox_) {
+    if (slot_at(entry.slot).generation != entry.generation) {
+      release_slot(entry.slot);  // cancelled before ever entering the heap
+      continue;
+    }
+    heap_.push_back(entry);
+    sift_up(heap_.size() - 1);
+  }
+  inbox_.clear();
+}
+
+void EventLoop::check_delay(Microseconds delay) {
+  MAHI_ASSERT_MSG(delay >= 0, "negative delay: " << delay);
+}
 
 EventLoop::EventId EventLoop::schedule_at(Microseconds at, Action action) {
+  MAHI_ASSERT_MSG(static_cast<bool>(action), "null action");
   MAHI_ASSERT_MSG(at >= now_, "scheduling into the past: " << at << " < " << now_);
-  MAHI_ASSERT(action != nullptr);
-  const EventId id = next_id_++;
-  queue_.push(Entry{at, id, std::move(action)});
-  live_.insert(id);
-  return id;
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slot_at(slot);
+  s.action = std::move(action);  // noexcept: fill before publishing
+  publish_event(at, slot);
+  return make_id(slot, s.generation);
 }
 
 EventLoop::EventId EventLoop::schedule_in(Microseconds delay, Action action) {
-  MAHI_ASSERT_MSG(delay >= 0, "negative delay: " << delay);
+  check_delay(delay);
   return schedule_at(now_ + delay, std::move(action));
 }
 
 void EventLoop::cancel(EventId id) {
-  const auto it = live_.find(id);
-  if (it == live_.end()) {
-    return;  // already ran, already cancelled, or never existed
+  const auto slot = static_cast<std::uint32_t>(id >> 32);
+  const auto generation = static_cast<std::uint32_t>(id);
+  if (slot >= slot_count_) {
+    return;  // never existed
   }
-  live_.erase(it);
-  cancelled_.insert(id);
+  Slot& s = slot_at(slot);
+  if (s.generation != generation) {
+    return;  // already ran, already cancelled, or the slot was reused
+  }
+  // Tombstone: the heap entry stays until it surfaces (its generation no
+  // longer matches), but the callback and whatever it captured are
+  // released right now. The slot rejoins the free list only when the dead
+  // entry pops, so it cannot be reused while the entry is in the heap.
+  bump_generation(s);
+  s.action.reset();
+  --live_count_;
+}
+
+std::uint32_t EventLoop::acquire_slot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slot_at(slot).next_free;
+    bump_generation(slot_at(slot));
+    return slot;
+  }
+  MAHI_ASSERT_MSG(slot_count_ < kNoFreeSlot, "slot arena exhausted");
+  if (slot_count_ == slot_chunks_.size() * kSlotChunkSize) {
+    // for_overwrite: default-init only — no 47 KB zero-fill per chunk
+    // (Slot's members have initializers; the inline buffer needs none).
+    slot_chunks_.push_back(std::make_unique_for_overwrite<Slot[]>(kSlotChunkSize));
+  }
+  const auto slot = static_cast<std::uint32_t>(slot_count_++);
+  bump_generation(slot_at(slot));
+  return slot;
+}
+
+void EventLoop::release_slot(std::uint32_t slot) {
+  Slot& s = slot_at(slot);
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventLoop::sift_up(std::size_t index) {
+  const HeapEntry entry = heap_[index];
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / kHeapArity;
+    if (!earlier(entry, heap_[parent])) {
+      break;
+    }
+    heap_[index] = heap_[parent];
+    index = parent;
+  }
+  heap_[index] = entry;
+}
+
+void EventLoop::pop_top() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) {
+    return;
+  }
+  // Hole-based delete-min: walk the hole to a leaf promoting the smallest
+  // child (no compare against `last` per level), then place `last` and
+  // restore upward — `last` came from the bottom, so the up-pass almost
+  // always stops immediately.
+  std::size_t hole = 0;
+  while (true) {
+    const std::size_t first_child = hole * kHeapArity + 1;
+    if (first_child >= n) {
+      break;
+    }
+    std::size_t best = first_child;
+    const std::size_t end_child = std::min(first_child + kHeapArity, n);
+    for (std::size_t child = first_child + 1; child < end_child; ++child) {
+      if (earlier(heap_[child], heap_[best])) {
+        best = child;
+      }
+    }
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  heap_[hole] = last;
+  sift_up(hole);
+}
+
+void EventLoop::drop_dead_top() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (slot_at(top.slot).generation == top.generation) {
+      return;  // live
+    }
+    const std::uint32_t slot = top.slot;
+    pop_top();
+    release_slot(slot);
+  }
 }
 
 bool EventLoop::pop_one() {
-  while (!queue_.empty()) {
-    if (const auto it = cancelled_.find(queue_.top().id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
-    }
-    // priority_queue::top() is const; move the entry out before running
-    // because the action may schedule or cancel further events.
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    live_.erase(entry.id);
-    now_ = entry.at;
-    entry.action();
-    return true;
+  if (!inbox_.empty()) {
+    drain_inbox();
   }
-  return false;
+  drop_dead_top();
+  if (heap_.empty()) {
+    return false;
+  }
+  const HeapEntry top = heap_.front();
+  Slot& s = slot_at(top.slot);  // stable across arena growth
+  pop_top();
+  // Invalidate the id before dispatch: a cancel of this event from
+  // inside its own callback (or anything the callback triggers) is a
+  // no-op, exactly as if the event had already finished.
+  bump_generation(s);
+  --live_count_;
+  now_ = top.at;
+  // Invoke in place — no callback move. The action may schedule events
+  // (the chunked arena never relocates this slot) or cancel anything.
+  try {
+    s.action();
+  } catch (...) {
+    s.action.reset();
+    release_slot(top.slot);
+    throw;
+  }
+  s.action.reset();
+  release_slot(top.slot);
+  return true;
+}
+
+void EventLoop::check_limit(std::size_t executed) const {
+  if (executed > event_limit_) {
+    throw std::runtime_error{"EventLoop exceeded event limit (runaway simulation?)"};
+  }
 }
 
 std::size_t EventLoop::run() {
   std::size_t executed = 0;
   while (pop_one()) {
-    if (++executed > event_limit_) {
-      throw std::runtime_error{"EventLoop exceeded event limit (runaway simulation?)"};
-    }
+    check_limit(++executed);
   }
   return executed;
 }
@@ -61,28 +194,20 @@ std::size_t EventLoop::run() {
 std::size_t EventLoop::run_until(Microseconds deadline) {
   MAHI_ASSERT(deadline >= now_);
   std::size_t executed = 0;
-  while (!queue_.empty()) {
-    // Drop cancelled entries at the head so the deadline check sees a live
-    // event.
-    if (const auto it = cancelled_.find(queue_.top().id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
+  while (true) {
+    if (!inbox_.empty()) {
+      drain_inbox();
     }
-    if (queue_.top().at > deadline) {
+    // Drop tombstones at the head so the deadline check sees a live event.
+    drop_dead_top();
+    if (heap_.empty() || heap_.front().at > deadline) {
       break;
     }
     pop_one();
-    if (++executed > event_limit_) {
-      throw std::runtime_error{"EventLoop exceeded event limit (runaway simulation?)"};
-    }
+    check_limit(++executed);
   }
   now_ = deadline;
   return executed;
 }
-
-bool EventLoop::idle() const { return pending_events() == 0; }
-
-std::size_t EventLoop::pending_events() const { return live_.size(); }
 
 }  // namespace mahimahi::net

@@ -47,13 +47,18 @@ void Fabric::send(Side from, Packet&& packet) {
   // Packets leaving a delayed server pay that origin's one-way delay here.
   const Microseconds delay =
       from == Side::kServer ? server_delay(packet.src.ip) : 0;
-  loop_.schedule_in(delay, [this, from, p = std::move(packet)]() mutable {
+  auto inject = [this, from, p = std::move(packet)]() mutable {
     if (from == Side::kClient) {
       chain_.send_uplink(std::move(p));
     } else {
       chain_.send_downlink(std::move(p));
     }
-  });
+  };
+  // The per-packet event must use the loop's inline callback storage —
+  // a heap allocation here would be one per simulated packet.
+  static_assert(EventLoop::Action::kFitsInline<decltype(inject)>,
+                "fabric packet lambda exceeds the inline callback buffer");
+  loop_.schedule_in(delay, std::move(inject));
 }
 
 void Fabric::set_server_default(Handler handler) {
@@ -79,9 +84,12 @@ void Fabric::deliver(Side side, Packet&& packet) {
   const Microseconds delay =
       side == Side::kServer ? server_delay(packet.dst.ip) : 0;
   if (delay > 0) {
-    loop_.schedule_in(delay, [this, side, p = std::move(packet)]() mutable {
+    auto deferred = [this, side, p = std::move(packet)]() mutable {
       dispatch(side, std::move(p), /*allow_default=*/true);
-    });
+    };
+    static_assert(EventLoop::Action::kFitsInline<decltype(deferred)>,
+                  "fabric packet lambda exceeds the inline callback buffer");
+    loop_.schedule_in(delay, std::move(deferred));
     return;
   }
   dispatch(side, std::move(packet), /*allow_default=*/true);

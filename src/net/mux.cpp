@@ -29,12 +29,20 @@ std::uint32_t read_u32(const char* bytes) {
 
 }  // namespace
 
-std::string encode_frame(const Frame& frame) {
+std::string encode_frame_header(std::uint32_t stream_id, Frame::Type type,
+                                std::uint32_t payload_length) {
   std::string out;
-  out.reserve(kFrameHeaderBytes + frame.payload.size());
-  put_u32(out, frame.stream_id);
-  out += static_cast<char>(frame.type);
-  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.reserve(kFrameHeaderBytes);
+  put_u32(out, stream_id);
+  out += static_cast<char>(type);
+  put_u32(out, payload_length);
+  return out;
+}
+
+std::string encode_frame(const Frame& frame) {
+  std::string out = encode_frame_header(
+      frame.stream_id, frame.type,
+      static_cast<std::uint32_t>(frame.payload.size()));
   out += frame.payload;
   return out;
 }
@@ -44,10 +52,11 @@ void FrameParser::push(std::string_view bytes) {
     return;
   }
   buffer_.append(bytes);
-  while (buffer_.size() >= kFrameHeaderBytes) {
-    const std::uint32_t stream_id = read_u32(buffer_.data());
-    const auto type = static_cast<Frame::Type>(buffer_[4]);
-    const std::uint32_t length = read_u32(buffer_.data() + 5);
+  while (buffer_.size() - consumed_ >= kFrameHeaderBytes) {
+    const char* head = buffer_.data() + consumed_;
+    const std::uint32_t stream_id = read_u32(head);
+    const auto type = static_cast<Frame::Type>(head[4]);
+    const std::uint32_t length = read_u32(head + 5);
     if (type != Frame::Type::kRequest && type != Frame::Type::kData &&
         type != Frame::Type::kEnd) {
       failed_ = true;
@@ -57,15 +66,24 @@ void FrameParser::push(std::string_view bytes) {
       failed_ = true;
       return;
     }
-    if (buffer_.size() < kFrameHeaderBytes + length) {
-      return;  // wait for the rest
+    if (buffer_.size() - consumed_ < kFrameHeaderBytes + length) {
+      break;  // wait for the rest
     }
     Frame frame;
     frame.stream_id = stream_id;
     frame.type = type;
-    frame.payload = buffer_.substr(kFrameHeaderBytes, length);
-    buffer_.erase(0, kFrameHeaderBytes + length);
+    frame.payload = buffer_.substr(consumed_ + kFrameHeaderBytes, length);
+    consumed_ += kFrameHeaderBytes + length;
     frames_.push_back(std::move(frame));
+  }
+  // Compact lazily: drop the parsed prefix only when it dominates the
+  // buffer, so steady-state parsing does no per-frame memmove.
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > buffer_.size() / 2 && consumed_ > 4096) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
   }
 }
 
@@ -149,7 +167,8 @@ void MuxServer::on_data(const std::shared_ptr<Session>& session,
 void MuxServer::start_response(const std::shared_ptr<Session>& session,
                                std::uint32_t stream_id,
                                http::Response response) {
-  session->pending_streams[stream_id] = http::to_bytes(response);
+  // One shared buffer per response; every data frame below aliases it.
+  session->pending_streams[stream_id] = Payload{http::to_bytes(response)};
   session->next_stream = session->pending_streams.begin();
   pump_writer(session);
 }
@@ -167,19 +186,17 @@ void MuxServer::pump_writer(const std::shared_ptr<Session>& session) {
       session->next_stream = session->pending_streams.begin();
     }
     auto it = session->next_stream;
-    std::string& remaining = it->second;
+    Payload& remaining = it->second;
     const std::size_t take = std::min(chunk_bytes_, remaining.size());
-    Frame frame;
-    frame.stream_id = it->first;
-    frame.type = Frame::Type::kData;
-    frame.payload = remaining.substr(0, take);
-    connection->send(encode_frame(frame));
-    remaining.erase(0, take);
+    // Zero-copy: 9 header bytes are fresh; the payload chunk is an
+    // aliasing slice of the response buffer, and draining advances the
+    // view instead of erasing bytes.
+    connection->send(encode_frame_header(it->first, Frame::Type::kData,
+                                         static_cast<std::uint32_t>(take)));
+    connection->send(remaining.slice(0, take));
+    remaining = remaining.without_prefix(take);
     if (remaining.empty()) {
-      Frame end;
-      end.stream_id = it->first;
-      end.type = Frame::Type::kEnd;
-      connection->send(encode_frame(end));
+      connection->send(encode_frame_header(it->first, Frame::Type::kEnd, 0));
       session->next_stream = session->pending_streams.erase(it);
     } else {
       ++session->next_stream;

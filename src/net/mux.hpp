@@ -31,7 +31,15 @@ struct Frame {
 
 std::string encode_frame(const Frame& frame);
 
-/// Incremental frame decoder (arbitrary fragmentation).
+/// Just the 9-byte frame header — the zero-copy send path writes the
+/// header and then hands the payload to TCP as an aliasing Payload slice,
+/// so response bytes are never copied into a wire string.
+std::string encode_frame_header(std::uint32_t stream_id, Frame::Type type,
+                                std::uint32_t payload_length);
+
+/// Incremental frame decoder (arbitrary fragmentation). Parsed bytes are
+/// consumed by advancing an offset; the buffer compacts lazily instead of
+/// memmoving its tail after every frame.
 class FrameParser {
  public:
   void push(std::string_view bytes);
@@ -44,6 +52,7 @@ class FrameParser {
 
  private:
   std::string buffer_;
+  std::size_t consumed_{0};  // parsed prefix of buffer_ awaiting compaction
   std::deque<Frame> frames_;
   bool failed_{false};
 };
@@ -68,9 +77,11 @@ class MuxServer {
   struct Session {
     std::weak_ptr<TcpConnection> connection;
     FrameParser parser;
-    /// Per-stream unsent response bytes, round-robin drained.
-    std::map<std::uint32_t, std::string> pending_streams;
-    std::map<std::uint32_t, std::string>::iterator next_stream;
+    /// Per-stream unsent response bytes (aliasing views into the
+    /// serialized response — draining advances the view, copying nothing),
+    /// round-robin interleaved.
+    std::map<std::uint32_t, Payload> pending_streams;
+    std::map<std::uint32_t, Payload>::iterator next_stream;
     bool writer_scheduled{false};
 
     Session() : next_stream{pending_streams.end()} {}

@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 
 #include "net/address.hpp"
 #include "util/time.hpp"
@@ -23,6 +26,100 @@ inline constexpr std::size_t kMss = kMtuBytes - kTcpHeaderBytes;  // 1448
 
 enum class Protocol : std::uint8_t { kTcp, kUdp };
 
+/// Immutable shared payload buffer plus a (pointer, length) view into it —
+/// the zero-copy substrate currency. Slicing, copying, and moving a
+/// Payload never copies bytes: every segment of a TCP transfer aliases the
+/// sender's buffered chunk, and a packet copy is a reference-count bump.
+///
+/// Ownership is type-erased: the view points into storage kept alive by a
+/// shared owner handle (a std::string, a raw character array, anything).
+///
+/// Contract: bytes reachable through any view are immutable for the
+/// owner's lifetime. Producers hand ownership of a std::string to the
+/// Payload (or share storage already wrapped) and never mutate the viewed
+/// bytes afterwards; consumers read through string_view and may hold the
+/// view only while they hold the Payload.
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Wrap a byte string into a freshly shared buffer. Implicit so
+  /// structural code (tests, DNS wire formats) can assign strings
+  /// directly; empty strings allocate nothing.
+  Payload(std::string bytes) {  // NOLINT(google-explicit-constructor)
+    if (!bytes.empty()) {
+      auto buffer = std::make_shared<const std::string>(std::move(bytes));
+      data_ = buffer->data();
+      length_ = buffer->size();
+      owner_ = std::move(buffer);
+    }
+  }
+
+  Payload(const char* bytes)  // NOLINT(google-explicit-constructor)
+      : Payload{std::string{bytes}} {}
+
+  /// View an entire already-shared buffer (no copy, shared ownership).
+  explicit Payload(std::shared_ptr<const std::string> buffer) {
+    if (buffer != nullptr && !buffer->empty()) {
+      data_ = buffer->data();
+      length_ = buffer->size();
+      owner_ = std::move(buffer);
+    }
+  }
+
+  /// View `length` bytes at `data`, kept alive by `owner` — the hook for
+  /// non-string storage (e.g. the TCP send buffer's staging array). The
+  /// caller guarantees [data, data + length) stays valid and immutable
+  /// for the owner's lifetime.
+  static Payload from_storage(std::shared_ptr<const void> owner,
+                              const char* data, std::size_t length) {
+    Payload payload;
+    if (length != 0) {
+      payload.owner_ = std::move(owner);
+      payload.data_ = data;
+      payload.length_ = length;
+    }
+    return payload;
+  }
+
+  [[nodiscard]] std::size_t size() const { return length_; }
+  [[nodiscard]] bool empty() const { return length_ == 0; }
+
+  [[nodiscard]] std::string_view view() const {
+    return std::string_view{data_, length_};
+  }
+  operator std::string_view() const { return view(); }  // NOLINT
+
+  /// Sub-view sharing the same storage — the zero-copy slice. `offset`
+  /// and `length` are clamped to the payload's bounds.
+  [[nodiscard]] Payload slice(std::size_t offset, std::size_t length) const {
+    Payload sliced;
+    if (offset >= length_) {
+      return sliced;
+    }
+    sliced.owner_ = owner_;
+    sliced.data_ = data_ + offset;
+    sliced.length_ = std::min(length, length_ - offset);
+    return sliced;
+  }
+
+  /// The view starting `n` bytes in (clamped) — reassembly overlap trim.
+  [[nodiscard]] Payload without_prefix(std::size_t n) const {
+    return slice(n, length_ - std::min(n, length_));
+  }
+
+  /// True when both payloads share the same underlying storage — the
+  /// introspection hook zero-copy tests assert on.
+  [[nodiscard]] bool same_buffer(const Payload& other) const {
+    return owner_ != nullptr && owner_ == other.owner_;
+  }
+
+ private:
+  const char* data_{""};  // never null: view() is always a valid range
+  std::size_t length_{0};
+  std::shared_ptr<const void> owner_;
+};
+
 /// TCP segment fields. Segments are modelled structurally (no header-byte
 /// serialization) — the emulation elements only care about sizes and the
 /// endpoints only care about these fields.
@@ -33,7 +130,7 @@ struct TcpSegment {
   bool fin{false};
   bool rst{false};
   bool has_ack{false};
-  std::string payload;
+  Payload payload;
 };
 
 /// One simulated IP packet.
@@ -41,8 +138,8 @@ struct Packet {
   Address src;
   Address dst;
   Protocol protocol{Protocol::kTcp};
-  TcpSegment tcp;       // valid when protocol == kTcp
-  std::string payload;  // valid when protocol == kUdp
+  TcpSegment tcp;    // valid when protocol == kTcp
+  Payload payload;   // valid when protocol == kUdp
   std::uint64_t id{0};  // unique per fabric, for logs/tests
   Microseconds queued_at{0};  // set by elements for queue-delay logging
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 
 #include "util/assert.hpp"
 #include "util/logging.hpp"
@@ -12,6 +13,100 @@ namespace {
 constexpr double kMssBytes = static_cast<double>(kMss);
 
 }  // namespace
+
+// --- SendBuffer ---------------------------------------------------------------
+
+void SendBuffer::push(Payload data) {
+  if (data.empty()) {
+    return;
+  }
+  staging_.reset();  // seal: sequence space after the tail is taken
+  const std::uint64_t start = end_;
+  end_ += data.size();
+  chunks_.push_back(Chunk{start, std::move(data)});
+}
+
+void SendBuffer::push_bytes(std::string data) {
+  if (data.empty()) {
+    return;
+  }
+  if (data.size() >= kMss) {
+    push(Payload{std::move(data)});  // big write: its own zero-copy chunk
+    return;
+  }
+  // Small write: coalesce into the staging tail (a fixed-capacity array
+  // filled in place — outstanding views stay valid by construction).
+  if (staging_ != nullptr && staging_size_ + data.size() > staging_capacity_) {
+    // Consecutive small writes keep overflowing: give the next staging
+    // chunk more headroom (fewer boundaries, fewer materialized slices).
+    staging_reserve_ = std::min(staging_reserve_ * 4, kMaxStagingBytes);
+    staging_.reset();
+  }
+  if (staging_ == nullptr) {
+    staging_capacity_ = std::max(staging_reserve_, data.size());
+    staging_ = std::make_shared_for_overwrite<char[]>(staging_capacity_);
+    staging_size_ = 0;
+    chunks_.push_back(Chunk{end_, Payload{}});
+  }
+  std::memcpy(staging_.get() + staging_size_, data.data(), data.size());
+  staging_size_ += data.size();
+  end_ += data.size();
+  // Refresh the tail chunk's view to cover the written prefix (aliasing
+  // owner handle: the array outlives every view).
+  chunks_.back().bytes = Payload::from_storage(
+      std::shared_ptr<const void>{staging_, staging_.get()}, staging_.get(),
+      staging_size_);
+}
+
+void SendBuffer::ack_to(std::uint64_t seq) {
+  if (seq <= base_) {
+    return;
+  }
+  MAHI_ASSERT_MSG(seq <= end_, "ack beyond buffered data");
+  base_ = seq;
+  while (!chunks_.empty()) {
+    const Chunk& front = chunks_.front();
+    if (front.start + front.bytes.size() > base_) {
+      break;  // partially acked; keep until its last byte is acked
+    }
+    chunks_.pop_front();
+  }
+  if (chunks_.empty()) {
+    staging_.reset();  // the staging chunk was fully acked and released
+  }
+}
+
+Payload SendBuffer::slice(std::uint64_t seq, std::size_t length) const {
+  MAHI_ASSERT_MSG(seq >= base_ && seq + length <= end_,
+                  "slice outside buffered data");
+  if (length == 0) {
+    return {};
+  }
+  // Chunks are sorted by start; find the first whose end covers `seq`.
+  const auto it = std::partition_point(
+      chunks_.begin(), chunks_.end(), [seq](const Chunk& chunk) {
+        return chunk.start + chunk.bytes.size() <= seq;
+      });
+  const std::size_t offset = static_cast<std::size_t>(seq - it->start);
+  if (offset + length <= it->bytes.size()) {
+    return it->bytes.slice(offset, length);  // common case: aliasing view
+  }
+  // Rare: the segment spans a chunk boundary; materialize one buffer.
+  std::string joined;
+  joined.reserve(length);
+  std::uint64_t pos = seq;
+  for (auto chunk = it; joined.size() < length; ++chunk) {
+    const auto chunk_offset = static_cast<std::size_t>(pos - chunk->start);
+    const std::string_view piece =
+        chunk->bytes.view().substr(chunk_offset, length - joined.size());
+    joined.append(piece);
+    pos += piece.size();
+  }
+  copied_bytes_ += length;
+  return Payload{std::move(joined)};
+}
+
+// --- TcpConnection ------------------------------------------------------------
 
 TcpConnection::TcpConnection(Fabric& fabric, Side side, Address local,
                              Address remote, Callbacks callbacks, Config config)
@@ -92,7 +187,19 @@ void TcpConnection::send(std::string data) {
     return;
   }
   bytes_sent_app_ += data.size();
-  send_buffer_ += data;
+  send_buffer_.push_bytes(std::move(data));  // sub-MSS writes coalesce
+  if (established()) {
+    try_send_data();
+  }
+}
+
+void TcpConnection::send(Payload data) {
+  MAHI_ASSERT_MSG(!fin_queued_, "send() after close()");
+  if (data.empty() || state_ == State::kClosed) {
+    return;
+  }
+  bytes_sent_app_ += data.size();
+  send_buffer_.push(std::move(data));
   if (established()) {
     try_send_data();
   }
@@ -123,7 +230,7 @@ void TcpConnection::try_send_data() {
   if (!established() && state_ != State::kFinSent) {
     return;
   }
-  const std::uint64_t data_end = send_buffer_base_ + send_buffer_.size();
+  const std::uint64_t data_end = send_buffer_.end();
   while (snd_nxt_ < data_end) {
     const std::size_t available = static_cast<std::size_t>(data_end - snd_nxt_);
     const std::size_t length = std::min<std::size_t>(kMss, available);
@@ -155,15 +262,13 @@ void TcpConnection::try_send_data() {
 
 void TcpConnection::send_data_segment(std::uint64_t seq, std::size_t length,
                                       bool retransmit) {
-  MAHI_ASSERT(seq >= send_buffer_base_);
-  const std::size_t offset = static_cast<std::size_t>(seq - send_buffer_base_);
-  MAHI_ASSERT_MSG(offset + length <= send_buffer_.size(),
-                  "segment beyond buffered data");
   TcpSegment seg;
   seg.seq = seq;
   seg.ack = rcv_nxt_;
   seg.has_ack = true;
-  seg.payload = send_buffer_.substr(offset, length);
+  // Zero-copy: the segment aliases the buffered chunk (transmission and
+  // retransmission alike); SendBuffer::slice asserts the range is buffered.
+  seg.payload = send_buffer_.slice(seq, length);
   emit_segment(std::move(seg));
   if (retransmit) {
     ++retransmissions_;
@@ -277,13 +382,10 @@ void TcpConnection::handle_ack(const TcpSegment& seg) {
     backoff_rto_ = 0;
     consecutive_rtos_ = 0;
 
-    // Trim acknowledged bytes from the send buffer (data seq space only).
-    const std::uint64_t data_end = send_buffer_base_ + send_buffer_.size();
-    const std::uint64_t data_acked = std::min(snd_una_, data_end);
-    if (data_acked > send_buffer_base_) {
-      send_buffer_.erase(0, static_cast<std::size_t>(data_acked - send_buffer_base_));
-      send_buffer_base_ = data_acked;
-    }
+    // Release acknowledged bytes from the send buffer (data seq space
+    // only). Whole chunks are dropped in O(1) — no byte shuffling.
+    const std::uint64_t data_end = send_buffer_.end();
+    send_buffer_.ack_to(std::min(snd_una_, data_end));
 
     if (rtt_sample_pending_ && seg.ack >= rtt_sample_end_seq_) {
       rtt_sample_pending_ = false;
@@ -298,7 +400,7 @@ void TcpConnection::handle_ack(const TcpSegment& seg) {
         // NewReno partial ack: retransmit the next hole immediately.
         const std::uint64_t hole_len =
             std::min<std::uint64_t>(kMss, data_end - snd_una_);
-        if (hole_len > 0 && snd_una_ >= send_buffer_base_) {
+        if (hole_len > 0 && snd_una_ >= send_buffer_.base()) {
           send_data_segment(snd_una_, static_cast<std::size_t>(hole_len), true);
         }
         cwnd_ = std::max(kMssBytes, cwnd_ - static_cast<double>(newly_acked) +
@@ -351,7 +453,7 @@ void TcpConnection::enter_recovery() {
   in_recovery_ = true;
   recovery_point_ = snd_nxt_;
   cwnd_ = ssthresh_ + 3.0 * kMssBytes;
-  const std::uint64_t data_end = send_buffer_base_ + send_buffer_.size();
+  const std::uint64_t data_end = send_buffer_.end();
   if (snd_una_ < data_end) {
     const std::uint64_t len = std::min<std::uint64_t>(kMss, data_end - snd_una_);
     send_data_segment(snd_una_, static_cast<std::size_t>(len), true);
@@ -373,16 +475,17 @@ void TcpConnection::handle_payload(const Packet& packet) {
     const std::uint64_t seg_end = seg.seq + seg.payload.size();
     if (seg_end > rcv_nxt_) {
       // Keep only the part at/after rcv_nxt_ if the segment overlaps
-      // already-received data.
+      // already-received data. Stored as payload views — reassembly holds
+      // references into the sender's buffers, never copies.
       std::uint64_t start = seg.seq;
-      std::string_view payload{seg.payload};
+      Payload payload = seg.payload;
       if (start < rcv_nxt_) {
-        payload.remove_prefix(static_cast<std::size_t>(rcv_nxt_ - start));
+        payload = payload.without_prefix(static_cast<std::size_t>(rcv_nxt_ - start));
         start = rcv_nxt_;
       }
-      auto [it, inserted] = out_of_order_.try_emplace(start, std::string{payload});
+      const auto [it, inserted] = out_of_order_.try_emplace(start, payload);
       if (!inserted && it->second.size() < payload.size()) {
-        it->second = std::string{payload};
+        it->second = std::move(payload);
       }
       deliver_in_order();
     }
@@ -412,14 +515,14 @@ void TcpConnection::deliver_in_order() {
       break;
     }
     const std::uint64_t start = it->first;
-    std::string chunk = std::move(it->second);
+    const Payload chunk = std::move(it->second);  // keeps the buffer alive
     out_of_order_.erase(it);  // erase before the callback: re-entrancy
     const std::uint64_t end = start + chunk.size();
     if (end <= rcv_nxt_) {
       continue;  // stale duplicate
     }
     const std::size_t skip = static_cast<std::size_t>(rcv_nxt_ - start);
-    const std::string_view fresh = std::string_view{chunk}.substr(skip);
+    const std::string_view fresh = chunk.view().substr(skip);
     bytes_received_app_ += fresh.size();
     rcv_nxt_ = end;
     if (callbacks_.on_data) {
@@ -487,7 +590,7 @@ void TcpConnection::on_rto_expired() {
   cwnd_ = kMssBytes;
   in_recovery_ = false;
   dup_acks_ = 0;
-  const std::uint64_t data_end = send_buffer_base_ + send_buffer_.size();
+  const std::uint64_t data_end = send_buffer_.end();
   if (snd_una_ < data_end) {
     const std::uint64_t len = std::min<std::uint64_t>(kMss, data_end - snd_una_);
     send_data_segment(snd_una_, static_cast<std::size_t>(len), true);

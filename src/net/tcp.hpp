@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -11,6 +12,70 @@
 #include "util/time.hpp"
 
 namespace mahimahi::net {
+
+/// Zero-copy retransmission buffer: a FIFO of immutable shared chunks
+/// addressed by absolute sequence number. Each send() becomes one chunk;
+/// slicing a segment that lies within a single chunk returns an aliasing
+/// Payload view (the common case — a bulk transfer is one chunk), so
+/// transmissions and retransmissions alike copy nothing. Only a slice
+/// spanning a chunk boundary materializes bytes, which copied_bytes()
+/// exposes for tests and benchmarks. Acked prefixes release whole chunks
+/// in O(1) — no byte shuffling on the ACK path.
+class SendBuffer {
+ public:
+  explicit SendBuffer(std::uint64_t base) : base_{base}, end_{base} {}
+
+  /// Append a chunk at the end of sequence space. Seals any staging chunk
+  /// (an already-shared payload always stands alone).
+  void push(Payload data);
+
+  /// Append raw bytes. Writes below one MSS coalesce into an append-only
+  /// staging chunk (one small copy now, like a kernel send buffer) so they
+  /// do not litter sequence space with boundaries that every later
+  /// segment slice would have to materialize across. Larger writes become
+  /// their own zero-copy chunk.
+  void push_bytes(std::string data);
+
+  [[nodiscard]] std::uint64_t base() const { return base_; }
+  [[nodiscard]] std::uint64_t end() const { return end_; }
+  [[nodiscard]] std::uint64_t size() const { return end_ - base_; }
+
+  /// Drop bytes below `seq` (cumulative ack). Fully-acked chunks are
+  /// released; a partially-acked chunk stays until its last byte is acked.
+  void ack_to(std::uint64_t seq);
+
+  /// Payload view of [seq, seq + length) — zero-copy within one chunk.
+  [[nodiscard]] Payload slice(std::uint64_t seq, std::size_t length) const;
+
+  /// Bytes materialized by chunk-boundary-spanning slices (the only copies).
+  [[nodiscard]] std::uint64_t copied_bytes() const { return copied_bytes_; }
+
+ private:
+  struct Chunk {
+    std::uint64_t start;
+    Payload bytes;
+  };
+
+  /// Staging chunks are fixed-capacity character arrays filled in place —
+  /// appending never moves storage, so views into already-written bytes
+  /// stay valid by construction (the written prefix is immutable; only
+  /// the unwritten tail is touched). The capacity adapts: it starts small
+  /// (an isolated 9-byte frame header should not pin a large buffer) and
+  /// scales up to the max while consecutive small writes keep overflowing
+  /// staging chunks.
+  static constexpr std::size_t kMinStagingBytes = 512;
+  static constexpr std::size_t kMaxStagingBytes = 16 * 1024;
+
+  std::deque<Chunk> chunks_;
+  std::uint64_t base_;
+  std::uint64_t end_;
+  /// Appendable tail chunk's storage; null when the tail is sealed.
+  std::shared_ptr<char[]> staging_;
+  std::size_t staging_capacity_{0};
+  std::size_t staging_size_{0};
+  std::size_t staging_reserve_{kMinStagingBytes};
+  mutable std::uint64_t copied_bytes_{0};
+};
 
 /// Simulated TCP with the mechanisms that shape page-load time: three-way
 /// handshake, slow start (IW10), AIMD congestion avoidance, fast
@@ -65,6 +130,14 @@ class TcpConnection {
   /// Queue application bytes for transmission.
   void send(std::string data);
 
+  /// Queue an already-shared payload for transmission — the zero-copy
+  /// path: the connection's segments alias the caller's buffer, which must
+  /// stay immutable (see the Payload contract).
+  void send(Payload data);
+
+  /// Disambiguates string literals between the two overloads above.
+  void send(const char* data) { send(std::string{data}); }
+
   /// Close the send side once queued data is delivered (FIN).
   void close();
 
@@ -92,6 +165,11 @@ class TcpConnection {
   [[nodiscard]] std::uint64_t bytes_received_app() const { return bytes_received_app_; }
   [[nodiscard]] std::uint64_t segments_sent() const { return segments_sent_; }
   [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+  /// Payload bytes the send path had to materialize (chunk-boundary
+  /// slices); 0 for a single-chunk bulk transfer — the zero-copy proof.
+  [[nodiscard]] std::uint64_t payload_copy_bytes() const {
+    return send_buffer_.copied_bytes();
+  }
   [[nodiscard]] double cwnd_bytes() const { return cwnd_; }
   [[nodiscard]] Microseconds smoothed_rtt() const { return srtt_; }
 
@@ -138,8 +216,7 @@ class TcpConnection {
 
   // --- send side ---
   // Sequence numbering: SYN consumes seq 0; application data starts at 1.
-  std::string send_buffer_;        // bytes [snd_buffer_base_, ...) queued/unacked
-  std::uint64_t send_buffer_base_{1};
+  SendBuffer send_buffer_{1};      // bytes [base, end) queued/unacked
   std::uint64_t snd_una_{0};
   std::uint64_t snd_nxt_{0};
   bool fin_queued_{false};
@@ -165,7 +242,7 @@ class TcpConnection {
 
   // --- receive side ---
   std::uint64_t rcv_nxt_{0};
-  std::map<std::uint64_t, std::string> out_of_order_;
+  std::map<std::uint64_t, Payload> out_of_order_;  // payload views, not copies
   bool delivering_{false};  // re-entrancy guard for deliver_in_order()
   bool peer_fin_seen_{false};
   std::uint64_t peer_fin_seq_{0};

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -121,6 +124,152 @@ TEST(EventLoop, PendingEventsTracksCancellations) {
   EXPECT_EQ(loop.pending_events(), 1u);
   loop.cancel(a);  // double cancel is a no-op
   EXPECT_EQ(loop.pending_events(), 1u);
+}
+
+// --- lazy-cancellation / slot-reuse edge cases -------------------------------
+
+TEST(EventLoop, CancelDuringDispatchOfSameTimestamp) {
+  // The first event at t=10 cancels the second event at the same time —
+  // the tombstone is discarded mid-dispatch without disturbing FIFO order.
+  EventLoop loop;
+  std::vector<int> order;
+  EventLoop::EventId doomed = 0;
+  loop.schedule_at(10, [&] {
+    order.push_back(1);
+    loop.cancel(doomed);
+  });
+  doomed = loop.schedule_at(10, [&] { order.push_back(2); });
+  loop.schedule_at(10, [&] { order.push_back(3); });
+  EXPECT_EQ(loop.run(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventLoop, CancelOwnIdFromInsideCallbackIsNoOp) {
+  EventLoop loop;
+  EventLoop::EventId self = 0;
+  int runs = 0;
+  self = loop.schedule_at(5, [&] {
+    ++runs;
+    loop.cancel(self);  // already dispatching: must be a no-op
+  });
+  loop.schedule_at(6, [&] { ++runs; });
+  EXPECT_EQ(loop.run(), 2u);
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(EventLoop, CancelOfAlreadyRunIdDoesNotKillSlotReuser) {
+  // After an event runs, its arena slot is recycled. A stale cancel with
+  // the old id must not touch whichever event now occupies the slot.
+  EventLoop loop;
+  const auto stale = loop.schedule_at(1, [] {});
+  loop.run();
+  bool second_ran = false;
+  loop.schedule_at(2, [&] { second_ran = true; });  // likely reuses the slot
+  loop.cancel(stale);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  loop.run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(EventLoop, CancelOfCancelledIdDoesNotKillSlotReuser) {
+  EventLoop loop;
+  const auto cancelled = loop.schedule_at(10, [] {});
+  loop.cancel(cancelled);
+  loop.run();  // drains the tombstone, freeing the slot
+  bool ran = false;
+  loop.schedule_at(20, [&] { ran = true; });
+  loop.cancel(cancelled);  // stale id, generation mismatch
+  loop.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, RescheduleInsideCallback) {
+  // The arm/disarm pattern from inside a callback: cancel the pending
+  // timer and schedule a replacement, repeatedly.
+  EventLoop loop;
+  int timer_fired = 0;
+  int steps = 0;
+  EventLoop::EventId timer = 0;
+  std::function<void()> step = [&] {
+    loop.cancel(timer);
+    timer = loop.schedule_in(100, [&] { ++timer_fired; });
+    if (++steps < 10) {
+      loop.schedule_in(1, step);
+    }
+  };
+  loop.schedule_at(0, step);
+  loop.run();
+  EXPECT_EQ(steps, 10);
+  EXPECT_EQ(timer_fired, 1);  // only the last rearm survives
+  EXPECT_EQ(loop.now(), 9 + 100);
+}
+
+TEST(EventLoop, RunUntilLandingBetweenTombstones) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(10, [&] { order.push_back(10); });
+  const auto t20 = loop.schedule_at(20, [&] { order.push_back(20); });
+  const auto t25 = loop.schedule_at(25, [&] { order.push_back(25); });
+  loop.schedule_at(30, [&] { order.push_back(30); });
+  loop.cancel(t20);
+  loop.cancel(t25);
+  // Deadline lands between the two tombstones: only t=10 runs, the dead
+  // entries at 20/25 must not block or execute, and time advances exactly
+  // to the deadline.
+  EXPECT_EQ(loop.run_until(22), 1u);
+  EXPECT_EQ(order, (std::vector<int>{10}));
+  EXPECT_EQ(loop.now(), 22);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  EXPECT_EQ(loop.run(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{10, 30}));
+}
+
+TEST(EventLoop, CallbackLargerThanInlineBufferStillRuns) {
+  // Captures beyond the inline capacity take the heap-boxed fallback;
+  // behaviour (ordering, cancel) is identical.
+  struct Big {
+    std::array<char, EventLoop::kInlineActionBytes + 64> blob{};
+  };
+  static_assert(!EventLoop::Action::kFitsInline<decltype([b = Big{}] { (void)b; })>);
+  EventLoop loop;
+  int sum = 0;
+  Big big;
+  big.blob[0] = 7;
+  loop.schedule_at(10, [big, &sum] { sum += big.blob[0]; });
+  const auto doomed = loop.schedule_at(11, [big, &sum] { sum += 100; });
+  loop.cancel(doomed);
+  loop.run();
+  EXPECT_EQ(sum, 7);
+}
+
+TEST(EventLoop, HeapGrowthStressKeepsDeterministicOrder) {
+  // Interleaved scheduling and cancellation across a growing heap and
+  // arena: surviving events must run in exact (time, schedule-order).
+  EventLoop loop;
+  std::vector<std::pair<Microseconds, int>> executed;
+  std::vector<EventLoop::EventId> ids;
+  int seq = 0;
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      const Microseconds at = (i * 37 + round * 11) % 97;  // colliding times
+      const int tag = seq++;
+      ids.push_back(loop.schedule_at(at, [&executed, at, tag] {
+        executed.emplace_back(at, tag);
+      }));
+    }
+    for (std::size_t i = round % 3; i < ids.size(); i += 3) {
+      loop.cancel(ids[i]);  // repeated cancels of the same ids: no-ops
+    }
+  }
+  loop.run();
+  ASSERT_FALSE(executed.empty());
+  for (std::size_t i = 1; i < executed.size(); ++i) {
+    const bool ordered =
+        executed[i - 1].first < executed[i].first ||
+        (executed[i - 1].first == executed[i].first &&
+         executed[i - 1].second < executed[i].second);
+    ASSERT_TRUE(ordered) << "event " << i << " out of order";
+  }
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "net/sim_fixture.hpp"
 #include "trace/synthesis.hpp"
 #include "util/random.hpp"
@@ -252,6 +255,98 @@ TEST(Tcp, RetransmissionTimeoutRecoversFromAckLoss) {
   client.connection().send(payload);
   net.loop.run();
   EXPECT_EQ(server.received, payload);
+}
+
+TEST(Tcp, BulkTransferIsZeroCopy) {
+  // One bulk send() = one shared chunk; every data segment must alias it
+  // rather than copying ~kMss bytes per transmission.
+  SimNet net;
+  net.add_delay(5_ms);
+  ServerApp server;
+  TcpListener listener{net.fabric, kServerAddr, server.accept_handler()};
+  TcpClient client{net.fabric, kServerAddr, {}};
+  const std::string payload(100 * kMss, 'z');
+  client.connection().send(payload);
+  net.loop.run();
+  ASSERT_EQ(server.received, payload);
+  EXPECT_EQ(client.connection().payload_copy_bytes(), 0u);
+}
+
+TEST(Tcp, RetransmissionsAliasSendBufferToo) {
+  // Drop a data segment so fast retransmit kicks in: the retransmitted
+  // segment must still be a view, not a copy.
+  SimNet net;
+  net.add_delay(10_ms);
+  struct OneShotDropper final : NetworkElement {
+    int to_drop{12};
+    int seen{0};
+    void process(Packet&& p, Direction d) override {
+      if (d == Direction::kUplink && !p.tcp.payload.empty() &&
+          seen++ == to_drop) {
+        return;
+      }
+      emit(std::move(p), d);
+    }
+  };
+  net.fabric.chain().push_back(std::make_unique<OneShotDropper>());
+  ServerApp server;
+  TcpListener listener{net.fabric, kServerAddr, server.accept_handler()};
+  TcpClient client{net.fabric, kServerAddr, {}};
+  client.connection().send(std::string(60 * kMss, 'x'));
+  net.loop.run();
+  ASSERT_EQ(server.received.size(), 60 * kMss);
+  EXPECT_GT(client.connection().retransmissions(), 0u);
+  EXPECT_EQ(client.connection().payload_copy_bytes(), 0u);
+}
+
+TEST(Tcp, SegmentsOfOneSendShareTheBuffer) {
+  // Observe segments in flight: all data segments of a single send()
+  // alias one underlying buffer (refcount bumps, no byte copies).
+  SimNet net;
+  net.add_delay(1_ms);
+  struct PayloadTap final : NetworkElement {
+    std::vector<Payload> data_payloads;
+    void process(Packet&& p, Direction d) override {
+      if (d == Direction::kUplink && !p.tcp.payload.empty()) {
+        data_payloads.push_back(p.tcp.payload);
+      }
+      emit(std::move(p), d);
+    }
+  };
+  auto tap = std::make_unique<PayloadTap>();
+  PayloadTap& tap_ref = *tap;
+  net.fabric.chain().push_back(std::move(tap));
+  ServerApp server;
+  TcpListener listener{net.fabric, kServerAddr, server.accept_handler()};
+  TcpClient client{net.fabric, kServerAddr, {}};
+  client.connection().send(std::string(5 * kMss, 'q'));
+  net.loop.run();
+  ASSERT_GE(tap_ref.data_payloads.size(), 5u);
+  for (std::size_t i = 1; i < tap_ref.data_payloads.size(); ++i) {
+    EXPECT_TRUE(tap_ref.data_payloads[0].same_buffer(tap_ref.data_payloads[i]))
+        << "segment " << i << " does not alias the send buffer";
+  }
+}
+
+TEST(Tcp, MultiChunkSendBufferCopiesOnlyAtBoundaries) {
+  // Many small sends create chunk boundaries; segments spanning one are
+  // materialized (counted), everything else still aliases.
+  SimNet net;
+  net.add_delay(5_ms);
+  ServerApp server;
+  TcpListener listener{net.fabric, kServerAddr, server.accept_handler()};
+  TcpClient client{net.fabric, kServerAddr, {}};
+  std::string expected;
+  for (int i = 0; i < 40; ++i) {
+    std::string piece(1000, static_cast<char>('a' + i % 26));
+    expected += piece;
+    client.connection().send(std::move(piece));
+  }
+  net.loop.run();
+  ASSERT_EQ(server.received, expected);
+  // Copies are bounded by roughly one MSS per boundary crossed, far below
+  // the 40 kB that per-segment copying would cost.
+  EXPECT_LT(client.connection().payload_copy_bytes(), expected.size() / 2);
 }
 
 TEST(Tcp, AppBytesCounted) {

@@ -1,0 +1,88 @@
+#include "util/inline_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+namespace mahimahi::util {
+namespace {
+
+using SmallCallback = InlineCallback<64>;
+
+TEST(InlineCallback, DefaultIsEmpty) {
+  SmallCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallback, InvokesSmallCallableInline) {
+  int hits = 0;
+  SmallCallback cb{[&hits] { ++hits; }};
+  static_assert(SmallCallback::kFitsInline<decltype([&hits] { ++hits; })>);
+  EXPECT_TRUE(static_cast<bool>(cb));
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, HeapFallbackForLargeCallable) {
+  std::array<char, 128> blob{};
+  blob[0] = 5;
+  int result = 0;
+  SmallCallback cb{[blob, &result] { result = blob[0]; }};
+  static_assert(!SmallCallback::kFitsInline<decltype([blob, &result] {})>);
+  cb();
+  EXPECT_EQ(result, 5);
+}
+
+TEST(InlineCallback, MoveTransfersOwnership) {
+  int hits = 0;
+  SmallCallback a{[&hits] { ++hits; }};
+  SmallCallback b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  SmallCallback c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, ResetReleasesCapturedResources) {
+  // cancel() relies on reset() releasing captures immediately — e.g. a
+  // Packet's payload buffer must not live until the tombstone pops.
+  auto resource = std::make_shared<int>(42);
+  SmallCallback cb{[keep = resource] { (void)keep; }};
+  EXPECT_EQ(resource.use_count(), 2);
+  cb.reset();
+  EXPECT_EQ(resource.use_count(), 1);
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallback, DestructorReleasesHeapBoxedResources) {
+  auto resource = std::make_shared<int>(7);
+  {
+    std::array<char, 128> pad{};
+    SmallCallback cb{[keep = resource, pad] { (void)keep; (void)pad; }};
+    EXPECT_EQ(resource.use_count(), 2);
+    // Move a boxed callable: the box pointer transfers, no deep copy.
+    SmallCallback other{std::move(cb)};
+    EXPECT_EQ(resource.use_count(), 2);
+  }
+  EXPECT_EQ(resource.use_count(), 1);
+}
+
+TEST(InlineCallback, ReassignmentDestroysPrevious) {
+  auto first = std::make_shared<int>(1);
+  auto second = std::make_shared<int>(2);
+  SmallCallback cb{[keep = first] { (void)keep; }};
+  cb = SmallCallback{[keep = second] { (void)keep; }};
+  EXPECT_EQ(first.use_count(), 1);
+  EXPECT_EQ(second.use_count(), 2);
+}
+
+}  // namespace
+}  // namespace mahimahi::util
