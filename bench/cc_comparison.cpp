@@ -1,0 +1,224 @@
+// Congestion-control comparison — the transport-dimension counterpart of
+// the protocol bench: the same recorded page replayed over a grid of
+// emulated networks, once per registered congestion controller, so a
+// protocol designer can answer "CUBIC vs BBR on an LTE trace" with one
+// command. Two measurements per (network, controller) cell:
+//
+//   - application view: median page-load time of MAHI_CC_LOADS replays
+//     (the metric the paper builds everything on);
+//   - transport view: a 3 MB bulk transfer straight over the cell's link,
+//     reporting completion time and the p95 queueing delay the controller
+//     induced at the bottleneck (the bufferbloat axis where delay-based
+//     and rate-based controllers earn their keep).
+//
+// Expected shape: CUBIC finishes the lossy high-BDP bulk transfer well
+// ahead of Reno (cubic window regrowth vs one-MSS-per-RTT), while Vegas
+// and BBR-lite hold far shorter queues on the deep-buffered LTE cell.
+//
+// The whole PLT grid re-runs at a different thread count and must be
+// byte-identical — controllers are per-connection state machines fed only
+// by deterministic simulation events, so thread count cannot leak into
+// results. Exit status is 1 on any divergence *or* when an
+// expected-shape check fails (the grid is deterministic, so a failed
+// check is a controller regression, not noise).
+//
+// Scale knob: MAHI_CC_LOADS (default 5 loads per cell).
+// Output:     BENCH_cc.json (override with MAHI_CC_JSON).
+
+#include <map>
+
+#include "bench/common.hpp"
+#include "cc/registry.hpp"
+#include "net/bulk_probe.hpp"
+#include "trace/synthesis.hpp"
+
+using namespace mahimahi;
+using namespace mahimahi::bench;
+using namespace mahimahi::core;
+using namespace mahimahi::literals;
+
+namespace {
+
+constexpr const char* kControllers[] = {"reno", "cubic", "vegas", "bbr"};
+
+struct Network {
+  const char* label;
+  const char* key;  // short slug for JSON row names
+  std::vector<ShellSpec> shells;
+  double loss{0.0};            // i.i.d. loss for the bulk probe
+  double link_mbps{8.0};       // symmetric bulk-probe bottleneck
+  Microseconds one_way{20'000};  // bulk-probe propagation delay
+};
+
+struct BulkOutcome {
+  double seconds{0};
+  double queue_p95_ms{0};
+  std::uint64_t retransmissions{0};
+};
+
+/// Transport-level probe: one bulk transfer through the cell's delay +
+/// (optionally lossy) bottleneck with a deep buffer, under `controller`.
+/// Mirrors the replay cell's character without the browser on top, so the
+/// queueing numbers isolate the controller's behaviour.
+BulkOutcome bulk_probe(const Network& network, const std::string& controller,
+                       std::size_t bytes) {
+  net::BulkFlowSpec spec;
+  spec.congestion_control = controller;
+  spec.bytes = bytes;
+  spec.link_mbps = network.link_mbps;
+  spec.one_way_delay = network.one_way;
+  spec.loss = network.loss;
+  const net::BulkFlowReport report = net::run_bulk_flow(spec);
+
+  BulkOutcome outcome;
+  if (!report.complete) {
+    std::fprintf(stderr, "[cc] bulk probe under %s did not deliver all of "
+                 "its %zu bytes\n", controller.c_str(), bytes);
+    return outcome;
+  }
+  outcome.seconds = static_cast<double>(report.completed_at) / 1e6;
+  outcome.queue_p95_ms = report.uplink.delay_p95_ms;
+  outcome.retransmissions = report.retransmissions;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  const int loads = env_int("MAHI_CC_LOADS", 5);
+  std::printf("=== Congestion-control comparison (%d loads/cell) ===\n", loads);
+
+  const auto site = corpus::generate_site(corpus::nytimes_like_spec());
+  SessionConfig base;
+  base.seed = 0xCC01;
+  RecordSession recorder{site, corpus::LiveWebConfig{}, base};
+  const auto store = recorder.record();
+  std::printf("page: %zu objects, %zu origins, %.1f MB\n\n",
+              site.objects.size(), site.hostnames.size(),
+              site.total_bytes() / 1e6);
+
+  util::Rng trace_rng{77};
+  LinkShellSpec lte;
+  lte.uplink = std::make_shared<const trace::PacketTrace>(
+      trace::constant_rate(6e6, 2_s));
+  lte.downlink = std::make_shared<const trace::PacketTrace>(
+      trace::cellular_like(trace_rng, 20_s, 2e6, 24e6));
+
+  const Network networks[] = {
+      {"LTE-like trace, 60 ms RTT, deep buffer",
+       "lte",
+       {DelayShellSpec{30_ms}, lte},
+       0.0, 10.0, 30'000},
+      {"high-BDP 20 Mbit/s, 200 ms RTT, 0.5% loss",
+       "high-bdp",
+       {DelayShellSpec{100_ms}, LinkShellSpec::constant_rate_mbps(20, 20),
+        LossShellSpec{0.005, 0.005}},
+       0.005, 20.0, 100'000},
+      {"lossy cable (2%), 40 ms RTT",
+       "lossy-cable",
+       {DelayShellSpec{20_ms}, LinkShellSpec::constant_rate_mbps(5, 20),
+        LossShellSpec{0.02, 0.02}},
+       0.02, 20.0, 20'000},
+  };
+
+  PerfReport report;
+
+  // --- application view: replayed page loads ------------------------------
+  std::printf("%-44s", "median PLT");
+  for (const char* controller : kControllers) {
+    std::printf(" %9s", controller);
+  }
+  std::printf("\n");
+  // PLT samples per (network, controller), kept for the determinism pass.
+  std::vector<std::vector<double>> grid_samples;
+  for (const auto& network : networks) {
+    std::printf("%-44s", network.label);
+    for (const char* controller : kControllers) {
+      SessionConfig config = base;
+      config.shells = network.shells;
+      config.congestion_control = controller;
+      ReplaySession session{store, config};
+      const auto samples =
+          session.measure(site.primary_url(), loads, shared_runner());
+      grid_samples.push_back(samples.values());
+      std::printf(" %7.0fms", samples.median());
+      report.add({std::string("cc_plt/") + network.key + "/" + controller,
+                  samples.median() * 1e6, 0, 0});
+    }
+    std::printf("\n");
+  }
+
+  // --- transport view: bulk probes ---------------------------------------
+  std::printf("\n%-44s %9s %12s %12s %8s\n", "bulk 3 MB probe", "cc",
+              "completion", "queue p95", "rexmit");
+  // Probe results keyed "<cell>/<controller>", so the shape checks below
+  // look up by name and survive kControllers being reordered or extended.
+  std::map<std::string, BulkOutcome> probes;
+  for (const auto& network : networks) {
+    for (const char* controller : kControllers) {
+      const BulkOutcome outcome =
+          bulk_probe(network, controller, 3 * 1000 * 1000);
+      probes[std::string(network.key) + "/" + controller] = outcome;
+      std::printf("%-44s %9s %10.2f s %9.1f ms %8llu\n", network.label,
+                  controller, outcome.seconds, outcome.queue_p95_ms,
+                  static_cast<unsigned long long>(outcome.retransmissions));
+      report.add({std::string("cc_bulk_seconds/") + network.key + "/" +
+                      controller,
+                  outcome.seconds * 1e9, 0,
+                  outcome.seconds > 0 ? 3e6 / outcome.seconds : 0});
+      report.add({std::string("cc_queue_p95_ms/") + network.key + "/" +
+                      controller,
+                  outcome.queue_p95_ms * 1e6, 0, 0});
+    }
+  }
+
+  // --- expected-shape checks ---------------------------------------------
+  const double reno_high_bdp_s = probes["high-bdp/reno"].seconds;
+  const double cubic_high_bdp_s = probes["high-bdp/cubic"].seconds;
+  const double reno_lte_q = probes["lte/reno"].queue_p95_ms;
+  const double vegas_lte_q = probes["lte/vegas"].queue_p95_ms;
+  const double bbr_lte_q = probes["lte/bbr"].queue_p95_ms;
+  const bool cubic_wins =
+      cubic_high_bdp_s > 0 && cubic_high_bdp_s < reno_high_bdp_s;
+  const bool low_delay = vegas_lte_q < reno_lte_q && bbr_lte_q < reno_lte_q;
+  std::printf("\ncheck: CUBIC beats Reno on the high-BDP cell: %s "
+              "(%.2f s vs %.2f s)\n",
+              cubic_wins ? "yes" : "NO", cubic_high_bdp_s, reno_high_bdp_s);
+  std::printf("check: Vegas/BBR queue less than Reno on the LTE cell: %s "
+              "(%.1f / %.1f vs %.1f ms)\n",
+              low_delay ? "yes" : "NO", vegas_lte_q, bbr_lte_q, reno_lte_q);
+
+  // --- determinism: the full PLT grid at a different thread count ---------
+  // The first pass ran on shared_runner(); one rerun at a deliberately
+  // different thread count must reproduce it byte for byte.
+  bool deterministic = true;
+  {
+    const int other_threads = shared_runner().thread_count() == 1 ? 8 : 1;
+    ParallelRunner other{other_threads};
+    std::size_t cell = 0;
+    for (const auto& network : networks) {
+      for (const char* controller : kControllers) {
+        SessionConfig config = base;
+        config.shells = network.shells;
+        config.congestion_control = controller;
+        ReplaySession session{store, config};
+        const auto rerun = session.measure(site.primary_url(), loads, other);
+        deterministic = deterministic && rerun.values() == grid_samples[cell];
+        ++cell;
+      }
+    }
+    // Thread counts deliberately left out of stdout: bench output must
+    // diff clean across MAHI_THREADS settings (the repo-wide probe).
+    std::fprintf(stderr, "[cc] determinism rerun at %d thread(s) vs %d\n",
+                 other_threads, shared_runner().thread_count());
+    std::printf("determinism: PLT grid byte-identical across thread counts: "
+                "%s\n",
+                deterministic ? "yes" : "NO");
+  }
+
+  const char* out = std::getenv("MAHI_CC_JSON");
+  report.write(out != nullptr ? out : "BENCH_cc.json");
+  // The expected-shape checks gate the exit status too: the grid is fully
+  // deterministic, so a "NO" is a controller regression, not noise.
+  return deterministic && cubic_wins && low_delay ? 0 : 1;
+}

@@ -12,9 +12,14 @@
 //   - under packet loss the single TCP pipe suffers head-of-line
 //     blocking, eroding (or reversing) the win.
 //
-// Scale knob: MAHI_PROTO_LOADS (default 7 loads per cell).
+// Scale knobs: MAHI_PROTO_LOADS (default 7 loads per cell);
+// MAHI_PROTO_CC re-runs the whole grid under any registered congestion
+// controller ("reno" default, "cubic", "vegas", "bbr", ...), applied to
+// both protocols' flows — the transport axis crossed with the protocol
+// axis.
 
 #include "bench/common.hpp"
+#include "cc/registry.hpp"
 #include "trace/synthesis.hpp"
 
 using namespace mahimahi;
@@ -24,8 +29,13 @@ using namespace mahimahi::literals;
 
 int main() {
   const int loads = env_int("MAHI_PROTO_LOADS", 7);
-  std::printf("=== HTTP/1.1 vs SPDY-like multiplexing (%d loads/cell) ===\n",
-              loads);
+  const auto cc_choice = cc::controller_from_env("MAHI_PROTO_CC");
+  if (!cc_choice.has_value()) {
+    return 2;
+  }
+  const std::string& cc_name = *cc_choice;
+  std::printf("=== HTTP/1.1 vs SPDY-like multiplexing (%d loads/cell, %s) ===\n",
+              loads, cc_name.empty() ? cc::kDefaultController : cc_name.c_str());
 
   const auto site = corpus::generate_site(corpus::nytimes_like_spec());
   SessionConfig base;
@@ -67,6 +77,7 @@ int main() {
     for (int proto = 0; proto < 2; ++proto) {
       SessionConfig config = base;
       config.shells = network.shells;
+      config.congestion_control = cc_name;  // empty = Reno default
       ReplaySession::Options options;
       if (proto == 1) {
         config.browser.protocol = web::AppProtocol::kMultiplexed;

@@ -1,0 +1,153 @@
+#include "cc/bbr_lite.hpp"
+
+#include <algorithm>
+
+namespace mahimahi::cc {
+namespace {
+
+constexpr double kProbeGainCycle[] = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+constexpr int kProbeCycleLength = 8;
+
+}  // namespace
+
+double BbrLite::bandwidth_estimate() const {
+  double best = 0;
+  for (const double sample : bw_samples_) {
+    best = std::max(best, sample);
+  }
+  return best;
+}
+
+double BbrLite::bdp_bytes() const {
+  if (min_rtt_ == 0) {
+    return params().initial_cwnd_bytes;
+  }
+  const double bw = bandwidth_estimate();
+  if (bw <= 0) {
+    return params().initial_cwnd_bytes;
+  }
+  return bw * static_cast<double>(min_rtt_) / 1e6;
+}
+
+double BbrLite::pacing_gain() const {
+  switch (phase_) {
+    case Phase::kStartup:
+      return kStartupGain;
+    case Phase::kDrain:
+      return kDrainGain;
+    case Phase::kProbeBw:
+      return kProbeGainCycle[probe_cycle_index_];
+  }
+  return 1.0;
+}
+
+double BbrLite::pacing_rate() const {
+  const double bw = bandwidth_estimate();
+  if (bw <= 0) {
+    return 0.0;  // no estimate yet: unpaced until the handshake RTT lands
+  }
+  return pacing_gain() * bw;
+}
+
+double BbrLite::cwnd_bytes() const {
+  if (rto_collapse_) {
+    return mss();  // packet conservation after a timeout
+  }
+  if (bw_samples_.empty() || min_rtt_ == 0) {
+    // No path model yet: plain initial window, like everyone else.
+    return std::max(params().initial_cwnd_bytes, 4.0 * mss());
+  }
+  const double gain = phase_ == Phase::kStartup ? kStartupGain : kCwndGain;
+  return std::max(gain * bdp_bytes(), 4.0 * mss());
+}
+
+void BbrLite::on_rtt_sample(Microseconds sample, Microseconds now) {
+  last_rtt_ = sample;
+  rtt_samples_.emplace_back(now, sample);
+  while (!rtt_samples_.empty() &&
+         now - rtt_samples_.front().first > kMinRttWindow) {
+    rtt_samples_.pop_front();
+  }
+  min_rtt_ = 0;
+  for (const auto& [at, rtt] : rtt_samples_) {
+    if (min_rtt_ == 0 || rtt < min_rtt_) {
+      min_rtt_ = rtt;
+    }
+  }
+  if (bw_samples_.empty()) {
+    // Seed the bandwidth filter from the handshake: one initial window
+    // delivered per RTT — enough to start pacing before any data acks.
+    bw_samples_.push_back(params().initial_cwnd_bytes /
+                          (static_cast<double>(sample) / 1e6));
+  }
+}
+
+void BbrLite::on_ack(const AckEvent& ack) {
+  if (ack.newly_acked_bytes == 0) {
+    return;  // dupacks carry no delivery-rate information here
+  }
+  rto_collapse_ = false;
+  if (epoch_start_ == 0) {
+    epoch_start_ = ack.now;
+    epoch_acked_bytes_ = 0;
+  }
+  epoch_acked_bytes_ += ack.newly_acked_bytes;
+
+  // Close the delivery-rate epoch once an RTT has elapsed.
+  const Microseconds epoch_len =
+      std::max<Microseconds>(last_rtt_ != 0 ? last_rtt_ : min_rtt_, 1'000);
+  if (ack.now - epoch_start_ < epoch_len) {
+    return;
+  }
+  const double elapsed_s =
+      static_cast<double>(ack.now - epoch_start_) / 1e6;
+  const double rate = static_cast<double>(epoch_acked_bytes_) / elapsed_s;
+  bw_samples_.push_back(rate);
+  while (bw_samples_.size() > static_cast<std::size_t>(kBwWindowRounds)) {
+    bw_samples_.pop_front();
+  }
+  epoch_start_ = ack.now;
+  epoch_acked_bytes_ = 0;
+  advance_epoch(ack);
+}
+
+void BbrLite::advance_epoch(const AckEvent& ack) {
+  switch (phase_) {
+    case Phase::kStartup: {
+      const double bw = bandwidth_estimate();
+      if (bw > full_bw_ * 1.25) {
+        full_bw_ = bw;  // still growing: keep doubling
+        full_bw_rounds_ = 0;
+      } else if (++full_bw_rounds_ >= 3) {
+        phase_ = Phase::kDrain;  // pipe full: drain the startup queue
+      }
+      break;
+    }
+    case Phase::kDrain:
+      if (static_cast<double>(ack.bytes_in_flight) <= bdp_bytes()) {
+        phase_ = Phase::kProbeBw;
+        probe_cycle_index_ = 0;
+      }
+      break;
+    case Phase::kProbeBw:
+      // One RTT per gain step; the 0.75 step lingers until the probe's
+      // queue has drained (as BBR's cycle logic does).
+      if (kProbeGainCycle[probe_cycle_index_] < 1.0 &&
+          static_cast<double>(ack.bytes_in_flight) > bdp_bytes()) {
+        break;
+      }
+      probe_cycle_index_ = (probe_cycle_index_ + 1) % kProbeCycleLength;
+      break;
+  }
+}
+
+void BbrLite::on_loss_event(const LossEvent& /*loss*/) {
+  // Loss is not a primary signal for BBR: the model (bw x min_rtt) already
+  // bounds the inflight, and isolated drops should not crater the rate.
+}
+
+void BbrLite::on_rto(const RtoEvent& /*rto*/) {
+  rto_collapse_ = true;  // conserve packets until delivery resumes
+}
+
+}  // namespace mahimahi::cc

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <deque>
+#include <utility>
+
+#include "cc/congestion_controller.hpp"
+
+namespace mahimahi::cc {
+
+/// BBR-lite: a compact model of BBR v1's core idea — estimate the path's
+/// bottleneck bandwidth (windowed max of delivery rate) and propagation
+/// delay (windowed min RTT), then *pace* at gain × bandwidth with the
+/// congestion window merely a safety cap of gain × BDP. Loss is not a
+/// primary signal, so deep buffers never fill: queueing delay stays near
+/// zero where loss-based controllers bloat the queue.
+///
+/// Phases, as in BBR v1:
+///   - kStartup: pacing gain 2/ln2 ≈ 2.885, doubling the sending rate
+///     each RTT until the bandwidth estimate stops growing (plateau for
+///     three rounds);
+///   - kDrain: inverse gain drains the queue startup built, until bytes
+///     in flight fall to one BDP;
+///   - kProbeBw: steady state, cycling pacing gains
+///     [1.25, 0.75, 1, 1, 1, 1, 1, 1] one RTT each to probe for more
+///     bandwidth and then drain what the probe queued.
+///
+/// Simplifications vs real BBR (hence "-lite"): delivery rate is measured
+/// per RTT epoch from cumulative acks (no per-packet rate samples or
+/// app-limited accounting), there is no ProbeRTT phase (flows here are
+/// short), and RTO recovery is plain packet conservation. Everything is
+/// driven by simulation events only — fully deterministic.
+class BbrLite : public CongestionController {
+ public:
+  enum class Phase { kStartup, kDrain, kProbeBw };
+
+  static constexpr double kStartupGain = 2.885;  // 2/ln(2)
+  static constexpr double kDrainGain = 1.0 / kStartupGain;
+  static constexpr double kCwndGain = 2.0;
+  static constexpr int kBwWindowRounds = 10;
+  static constexpr Microseconds kMinRttWindow = 10'000'000;  // 10 s
+
+  explicit BbrLite(const Params& params) : CongestionController{params} {}
+
+  [[nodiscard]] std::string_view name() const override { return "bbr"; }
+
+  void on_ack(const AckEvent& ack) override;
+  void on_loss_event(const LossEvent& loss) override;
+  void on_rto(const RtoEvent& rto) override;
+  void on_rtt_sample(Microseconds sample, Microseconds now) override;
+
+  [[nodiscard]] double cwnd_bytes() const override;
+  [[nodiscard]] double pacing_rate() const override;
+
+  // --- introspection for tests ---
+  [[nodiscard]] Phase phase() const { return phase_; }
+  [[nodiscard]] double bandwidth_estimate() const;  // bytes/second
+  [[nodiscard]] Microseconds min_rtt() const { return min_rtt_; }
+
+ private:
+  [[nodiscard]] double bdp_bytes() const;
+  [[nodiscard]] double pacing_gain() const;
+  void advance_epoch(const AckEvent& ack);
+
+  Phase phase_{Phase::kStartup};
+  // Windowed-max bandwidth filter: delivery-rate samples (bytes/sec), one
+  // per RTT epoch, newest last; capped at kBwWindowRounds entries.
+  std::deque<double> bw_samples_;
+  // Windowed-min RTT filter: (sample time, rtt) pairs within kMinRttWindow.
+  std::deque<std::pair<Microseconds, Microseconds>> rtt_samples_;
+  Microseconds min_rtt_{0};  // current windowed min; 0 = no sample yet
+  Microseconds last_rtt_{0};
+
+  Microseconds epoch_start_{0};       // current delivery-rate epoch
+  std::uint64_t epoch_acked_bytes_{0};
+
+  double full_bw_{0};     // startup plateau detection
+  int full_bw_rounds_{0};
+  int probe_cycle_index_{0};
+  bool rto_collapse_{false};  // packet conservation until the next ack
+};
+
+}  // namespace mahimahi::cc

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+#include "util/time.hpp"
+
+namespace mahimahi::cc {
+
+/// Slow-start threshold sentinel for "not yet set": effectively infinite,
+/// so a fresh connection stays in slow start until the first loss event.
+/// Both cwnd and ssthresh are measured in BYTES of application payload
+/// (header bytes are not charged against the window), matching Linux's
+/// byte-counted windows rather than the segment-counted RFC exposition.
+inline constexpr double kInfiniteSsthresh = std::numeric_limits<double>::max();
+
+/// Static per-connection parameters handed to a controller at birth.
+struct Params {
+  /// Maximum payload bytes per segment (the transport's MSS).
+  double mss_bytes{1448};
+  /// Initial congestion window in bytes (IW10 by default upstream).
+  double initial_cwnd_bytes{10 * 1448};
+};
+
+/// One cumulative or duplicate ACK, after the transport applied it.
+struct AckEvent {
+  /// Bytes newly acknowledged by this ACK; 0 for a duplicate ACK.
+  std::uint64_t newly_acked_bytes{0};
+  /// Bytes still in flight after this ACK was applied.
+  std::uint64_t bytes_in_flight{0};
+  /// Same cumulative ack repeated while data is in flight (dupack).
+  bool is_duplicate{false};
+  /// Fast recovery is active (set for the dupacks that inflate the window
+  /// and for partial acks; clear once the recovery point is crossed).
+  bool in_recovery{false};
+  /// This ACK crossed the recovery point — fast recovery ends now.
+  bool exiting_recovery{false};
+  /// Simulated clock at delivery.
+  Microseconds now{0};
+};
+
+/// Entering fast recovery: the transport saw three duplicate ACKs and is
+/// about to fast-retransmit. `bytes_in_flight` is the flight size at the
+/// moment of detection (what multiplicative decrease halves).
+struct LossEvent {
+  std::uint64_t bytes_in_flight{0};
+  Microseconds now{0};
+};
+
+/// Retransmission timeout fired: the transport collapses to one segment
+/// and retransmits from snd_una.
+struct RtoEvent {
+  std::uint64_t bytes_in_flight{0};
+  Microseconds now{0};
+};
+
+/// Pluggable congestion-control policy for the simulated TCP: the
+/// transport (net::TcpConnection) keeps all reliability mechanics —
+/// sequence tracking, dupack counting, what to retransmit and when — and
+/// delegates every window/rate decision here. The controller is a pure
+/// per-connection state machine fed only by deterministic simulation
+/// events (no wall clock, no randomness, no global state), which is what
+/// preserves the toolkit's byte-identical 1-vs-N-thread determinism
+/// contract: identical event sequences must yield identical windows.
+///
+/// Event order per incoming ACK, mirroring the transport's processing:
+///   1. on_rtt_sample()  — if this ACK completed a timed segment
+///   2. on_ack()         — window update (growth, inflation, deflation)
+/// Loss is reported once per recovery episode via on_loss_event() (at the
+/// third duplicate ACK, before the fast retransmit goes out) and via
+/// on_rto() on timeout.
+class CongestionController {
+ public:
+  explicit CongestionController(const Params& params) : params_{params} {}
+  virtual ~CongestionController() = default;
+
+  CongestionController(const CongestionController&) = delete;
+  CongestionController& operator=(const CongestionController&) = delete;
+
+  /// Registry name this controller was created under ("reno", "cubic"...).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  virtual void on_ack(const AckEvent& ack) = 0;
+  virtual void on_loss_event(const LossEvent& loss) = 0;
+  virtual void on_rto(const RtoEvent& rto) = 0;
+  virtual void on_rtt_sample(Microseconds sample, Microseconds now) = 0;
+
+  /// Current congestion window in bytes. The transport sends while
+  /// flight + segment <= cwnd. Must stay >= 1 MSS and finite, always.
+  [[nodiscard]] virtual double cwnd_bytes() const = 0;
+
+  /// Current slow-start threshold in bytes (kInfiniteSsthresh until the
+  /// first loss for loss-based controllers; informational for others).
+  [[nodiscard]] virtual double ssthresh_bytes() const {
+    return kInfiniteSsthresh;
+  }
+
+  /// Pacing rate in payload bytes per second; 0 disables pacing (the
+  /// transport then emits window-limited bursts, classic TCP style).
+  /// Rate-based controllers (BBR) return a positive rate and the
+  /// transport spaces data segments accordingly.
+  [[nodiscard]] virtual double pacing_rate() const { return 0.0; }
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ protected:
+  [[nodiscard]] double mss() const { return params_.mss_bytes; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace mahimahi::cc

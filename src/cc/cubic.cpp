@@ -1,0 +1,82 @@
+#include "cc/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mahimahi::cc {
+
+void Cubic::reset_epoch() { epoch_start_ = 0; }
+
+void Cubic::on_rtt_sample(Microseconds sample, Microseconds now) {
+  RenoNewReno::on_rtt_sample(sample, now);
+  last_rtt_ = sample;
+}
+
+void Cubic::increase_on_ack(const AckEvent& ack) {
+  if (cwnd_ < ssthresh_) {
+    RenoNewReno::increase_on_ack(ack);  // standard slow start
+    return;
+  }
+  const double cwnd_seg = cwnd_ / mss();
+  if (epoch_start_ == 0) {
+    // New avoidance epoch (first ack after a loss/RTO or after leaving
+    // slow start): anchor the cubic curve on the last loss point.
+    epoch_start_ = ack.now;
+    if (w_max_segments_ < cwnd_seg) {
+      w_max_segments_ = cwnd_seg;  // no memory of a higher window
+      k_seconds_ = 0;
+    } else {
+      k_seconds_ = std::cbrt((w_max_segments_ - cwnd_seg) / kC);
+    }
+  }
+  // Elapsed time into the epoch, advanced by one RTT (RFC 8312 computes
+  // the target the window should reach one RTT from now).
+  const double rtt_s = static_cast<double>(last_rtt_) / 1e6;
+  const double t =
+      static_cast<double>(ack.now - epoch_start_) / 1e6 + rtt_s;
+  const double offs = t - k_seconds_;
+  const double w_cubic = kC * offs * offs * offs + w_max_segments_;
+
+  // Target for one RTT ahead, clamped: never shrink on an ack, never grow
+  // more than 50% per RTT (RFC 8312 §4.1).
+  double target = std::clamp(w_cubic, cwnd_seg, 1.5 * cwnd_seg);
+
+  // TCP-friendly region (§4.2): at least what an ideal Reno flow with
+  // beta=0.7 would have reached by time t.
+  if (rtt_s > 0) {
+    const double w_est = w_max_segments_ * kBeta +
+                         (3.0 * (1.0 - kBeta) / (1.0 + kBeta)) * (t / rtt_s);
+    target = std::max(target, std::min(w_est, 1.5 * cwnd_seg));
+  }
+
+  if (target > cwnd_seg) {
+    // Spread the climb to the target over the ~cwnd acks of one RTT.
+    cwnd_ += (target - cwnd_seg) / cwnd_seg * mss();
+  }
+}
+
+void Cubic::on_loss_event(const LossEvent& /*loss*/) {
+  const double cwnd_seg = cwnd_ / mss();
+  if (cwnd_seg < w_max_segments_) {
+    // Fast convergence: the loss point is falling (a new flow is taking
+    // share) — release extra bandwidth by remembering a smaller W_max.
+    w_max_segments_ = cwnd_seg * (1.0 + kBeta) / 2.0;
+  } else {
+    w_max_segments_ = cwnd_seg;
+  }
+  ssthresh_ = std::max(cwnd_ * kBeta, 2.0 * mss());
+  cwnd_ = ssthresh_ + 3.0 * mss();  // dupack inflation entry, as in Reno
+  reset_epoch();
+}
+
+void Cubic::on_rto(const RtoEvent& /*rto*/) {
+  const double cwnd_seg = cwnd_ / mss();
+  w_max_segments_ = cwnd_seg < w_max_segments_
+                        ? cwnd_seg * (1.0 + kBeta) / 2.0
+                        : cwnd_seg;
+  ssthresh_ = std::max(cwnd_ * kBeta, 2.0 * mss());
+  cwnd_ = mss();
+  reset_epoch();
+}
+
+}  // namespace mahimahi::cc

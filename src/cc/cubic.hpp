@@ -1,0 +1,42 @@
+#pragma once
+
+#include "cc/reno.hpp"
+
+namespace mahimahi::cc {
+
+/// CUBIC (RFC 8312): window growth is a cubic function of time since the
+/// last loss, centred on the window where that loss happened (W_max), so
+/// high-BDP paths re-fill the pipe in seconds where Reno needs minutes.
+/// Includes fast convergence (release bandwidth when the loss point keeps
+/// falling) and the TCP-friendly region (never slower than an ideal Reno
+/// flow). Slow start and fast-recovery mechanics are inherited from
+/// RenoNewReno; only the avoidance growth curve and the multiplicative
+/// decrease differ.
+class Cubic : public RenoNewReno {
+ public:
+  /// RFC 8312 constants: beta = 0.7 multiplicative decrease, C = 0.4
+  /// (units of segments/second^3) cubic coefficient.
+  static constexpr double kBeta = 0.7;
+  static constexpr double kC = 0.4;
+
+  explicit Cubic(const Params& params) : RenoNewReno{params} {}
+
+  [[nodiscard]] std::string_view name() const override { return "cubic"; }
+
+  void on_loss_event(const LossEvent& loss) override;
+  void on_rto(const RtoEvent& rto) override;
+  void on_rtt_sample(Microseconds sample, Microseconds now) override;
+
+ protected:
+  void increase_on_ack(const AckEvent& ack) override;
+
+ private:
+  void reset_epoch();
+
+  double w_max_segments_{0};     // window (in MSS) at the last loss
+  double k_seconds_{0};          // time for W_cubic to return to W_max
+  Microseconds epoch_start_{0};  // 0 = epoch not started yet
+  Microseconds last_rtt_{0};     // most recent RTT sample
+};
+
+}  // namespace mahimahi::cc

@@ -1,0 +1,57 @@
+#include "cc/reno.hpp"
+
+#include <algorithm>
+
+namespace mahimahi::cc {
+
+void RenoNewReno::on_ack(const AckEvent& ack) {
+  if (ack.newly_acked_bytes == 0) {
+    if (ack.is_duplicate && ack.in_recovery) {
+      cwnd_ += mss();  // window inflation: the dupack left the network
+    }
+    return;
+  }
+  if (ack.exiting_recovery) {
+    cwnd_ = ssthresh_;  // deflate back to the post-loss operating point
+    return;
+  }
+  if (ack.in_recovery) {
+    // NewReno partial ack: deflate by what was acked, then re-inflate by
+    // one MSS for the retransmission that is about to go out.
+    cwnd_ = std::max(mss(),
+                     cwnd_ - static_cast<double>(ack.newly_acked_bytes) + mss());
+    return;
+  }
+  increase_on_ack(ack);
+}
+
+void RenoNewReno::increase_on_ack(const AckEvent& ack) {
+  if (cwnd_ < ssthresh_) {
+    // Slow start: grow by the bytes newly acknowledged (ABC), capped at
+    // one MSS per ACK.
+    cwnd_ += static_cast<double>(
+        std::min<std::uint64_t>(ack.newly_acked_bytes,
+                                static_cast<std::uint64_t>(mss())));
+  } else {
+    // Congestion avoidance: ~one MSS per RTT.
+    cwnd_ += mss() * mss() / cwnd_;
+  }
+}
+
+void RenoNewReno::on_loss_event(const LossEvent& loss) {
+  ssthresh_ =
+      std::max(static_cast<double>(loss.bytes_in_flight) / 2.0, 2.0 * mss());
+  cwnd_ = ssthresh_ + 3.0 * mss();  // the three dupacks have left the network
+}
+
+void RenoNewReno::on_rto(const RtoEvent& rto) {
+  ssthresh_ =
+      std::max(static_cast<double>(rto.bytes_in_flight) / 2.0, 2.0 * mss());
+  cwnd_ = mss();  // collapse to one segment and slow-start again
+}
+
+void RenoNewReno::on_rtt_sample(Microseconds /*sample*/, Microseconds /*now*/) {
+  // Loss-based: RTT samples do not move the window.
+}
+
+}  // namespace mahimahi::cc

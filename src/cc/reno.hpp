@@ -1,0 +1,46 @@
+#pragma once
+
+#include "cc/congestion_controller.hpp"
+
+namespace mahimahi::cc {
+
+/// Reno with NewReno fast recovery — a behavior-preserving port of the
+/// window arithmetic that used to live inline in net::TcpConnection, and
+/// the toolkit's default controller:
+///   - slow start: cwnd += min(newly_acked, MSS) per ACK (ABC, RFC 3465)
+///   - congestion avoidance: cwnd += MSS^2 / cwnd per ACK (~1 MSS / RTT)
+///   - loss event: ssthresh = max(flight/2, 2 MSS), cwnd = ssthresh + 3 MSS
+///   - recovery: +1 MSS per dupack (inflation), partial acks deflate by
+///     bytes acked then add 1 MSS; exit restores cwnd = ssthresh
+///   - RTO: ssthresh = max(flight/2, 2 MSS), cwnd = 1 MSS
+///
+/// Cubic and Vegas derive from this class and override the open-path
+/// growth (`increase_on_ack`) and/or the loss response, keeping the
+/// recovery bookkeeping identical — the genericCC layering.
+class RenoNewReno : public CongestionController {
+ public:
+  explicit RenoNewReno(const Params& params)
+      : CongestionController{params}, cwnd_{params.initial_cwnd_bytes} {}
+
+  [[nodiscard]] std::string_view name() const override { return "reno"; }
+
+  void on_ack(const AckEvent& ack) final;
+  void on_loss_event(const LossEvent& loss) override;
+  void on_rto(const RtoEvent& rto) override;
+  void on_rtt_sample(Microseconds sample, Microseconds now) override;
+
+  [[nodiscard]] double cwnd_bytes() const override { return cwnd_; }
+  [[nodiscard]] double ssthresh_bytes() const override { return ssthresh_; }
+
+ protected:
+  /// Window growth outside recovery (slow start / congestion avoidance).
+  /// The only ACK-path hook subclasses change; recovery inflation and
+  /// deflation are protocol mechanics shared by every Reno-derived
+  /// controller.
+  virtual void increase_on_ack(const AckEvent& ack);
+
+  double cwnd_;                       // bytes
+  double ssthresh_{kInfiniteSsthresh};  // bytes
+};
+
+}  // namespace mahimahi::cc

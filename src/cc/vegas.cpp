@@ -1,0 +1,67 @@
+#include "cc/vegas.hpp"
+
+#include <algorithm>
+
+namespace mahimahi::cc {
+
+void Vegas::on_rtt_sample(Microseconds sample, Microseconds now) {
+  RenoNewReno::on_rtt_sample(sample, now);
+  if (base_rtt_ == 0 || sample < base_rtt_) {
+    base_rtt_ = sample;
+  }
+  if (epoch_min_rtt_ == 0 || sample < epoch_min_rtt_) {
+    epoch_min_rtt_ = sample;
+  }
+}
+
+void Vegas::increase_on_ack(const AckEvent& ack) {
+  if (base_rtt_ == 0) {
+    // No RTT signal yet (handshake sample lost to Karn): act like Reno
+    // until the first sample arrives.
+    RenoNewReno::increase_on_ack(ack);
+    return;
+  }
+  if (epoch_start_ == 0) {
+    epoch_start_ = ack.now;
+    epoch_min_rtt_ = 0;
+    grow_this_epoch_ = true;
+  }
+  const bool in_slow_start = cwnd_ < ssthresh_;
+  if (in_slow_start && grow_this_epoch_) {
+    // Vegas slow start: double only every other RTT, so alternate epochs
+    // measure the queue at a stable window.
+    cwnd_ += static_cast<double>(
+        std::min<std::uint64_t>(ack.newly_acked_bytes,
+                                static_cast<std::uint64_t>(mss())));
+  }
+
+  // Evaluate the delay signal once per base RTT.
+  if (ack.now - epoch_start_ < base_rtt_ || epoch_min_rtt_ == 0) {
+    return;
+  }
+  const double rtt = static_cast<double>(epoch_min_rtt_);
+  const double base = static_cast<double>(base_rtt_);
+  // Bytes this flow keeps queued at the bottleneck: the gap between the
+  // throughput the window would get at propagation delay and what it
+  // actually gets at the measured RTT.
+  const double backlog_segments = (cwnd_ / mss()) * (rtt - base) / rtt;
+
+  if (in_slow_start) {
+    if (backlog_segments > kGamma) {
+      // Queue is building before any loss: exit slow start onto the
+      // window the path can actually carry.
+      const double target = cwnd_ * base / rtt;
+      cwnd_ = std::max(2.0 * mss(), std::min(cwnd_, target + mss()));
+      ssthresh_ = std::min(ssthresh_, cwnd_);
+    }
+  } else if (backlog_segments < kAlpha) {
+    cwnd_ += mss();  // too little queued: the pipe has headroom
+  } else if (backlog_segments > kBeta) {
+    cwnd_ = std::max(2.0 * mss(), cwnd_ - mss());  // draining the queue
+  }
+  epoch_start_ = ack.now;
+  epoch_min_rtt_ = 0;
+  grow_this_epoch_ = !grow_this_epoch_;
+}
+
+}  // namespace mahimahi::cc

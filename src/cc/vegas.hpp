@@ -1,0 +1,44 @@
+#pragma once
+
+#include "cc/congestion_controller.hpp"
+#include "cc/reno.hpp"
+
+namespace mahimahi::cc {
+
+/// TCP Vegas: delay-based avoidance. Tracks baseRTT (the smallest RTT
+/// ever seen — the propagation delay) and once per RTT compares how much
+/// data the window *should* deliver at baseRTT with what it actually
+/// delivers at the current RTT; the difference is the backlog this flow
+/// keeps in the bottleneck queue. The window nudges up below `alpha`
+/// segments of backlog, down above `beta`, so a Vegas flow sits at a few
+/// packets of queue instead of filling the buffer — far lower queueing
+/// delay than loss-based controllers on deep-buffered links. Slow start
+/// checks the same signal against `gamma` and exits before the first
+/// loss. Loss handling (rare for Vegas) falls back to Reno's, inherited.
+class Vegas : public RenoNewReno {
+ public:
+  /// Backlog thresholds in segments (the classic 2/4/1 tuning).
+  static constexpr double kAlpha = 2.0;
+  static constexpr double kBeta = 4.0;
+  static constexpr double kGamma = 1.0;
+
+  explicit Vegas(const Params& params) : RenoNewReno{params} {}
+
+  [[nodiscard]] std::string_view name() const override { return "vegas"; }
+
+  void on_rtt_sample(Microseconds sample, Microseconds now) override;
+
+  /// Propagation-delay estimate (introspection for tests).
+  [[nodiscard]] Microseconds base_rtt() const { return base_rtt_; }
+
+ protected:
+  void increase_on_ack(const AckEvent& ack) override;
+
+ private:
+  Microseconds base_rtt_{0};       // min RTT ever seen; 0 = none yet
+  Microseconds epoch_min_rtt_{0};  // min RTT sample this epoch
+  Microseconds epoch_start_{0};    // current once-per-RTT epoch
+  bool grow_this_epoch_{false};    // slow start doubles every *other* RTT
+};
+
+}  // namespace mahimahi::cc

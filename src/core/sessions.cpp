@@ -29,6 +29,38 @@ web::PageLoadResult run_load(net::EventLoop& loop, web::Browser& browser,
   return std::move(*result);
 }
 
+/// Browser config for one session: host-scaled compute, plus the
+/// session-level congestion-control override when set.
+web::BrowserConfig session_browser(const SessionConfig& config) {
+  web::BrowserConfig browser = scaled_browser(config.browser, config.host);
+  if (!config.congestion_control.empty()) {
+    browser.tcp.congestion_control = config.congestion_control;
+  }
+  return browser;
+}
+
+/// Live-web config for one session: the congestion-control override
+/// reaches the origin servers' side of every flow, not just the browser's.
+corpus::LiveWebConfig session_live_web(const SessionConfig& config,
+                                       corpus::LiveWebConfig web) {
+  if (!config.congestion_control.empty()) {
+    web.tcp.congestion_control = config.congestion_control;
+  }
+  return web;
+}
+
+/// Replay origin-server options for one session — same override, third
+/// flow-end flavour (ReplayShell's server farm).
+replay::OriginServerSet::Options session_origin_options(
+    const SessionConfig& config,
+    const replay::OriginServerSet::Options& base) {
+  replay::OriginServerSet::Options options = base;
+  if (!config.congestion_control.empty()) {
+    options.tcp.congestion_control = config.congestion_control;
+  }
+  return options;
+}
+
 }  // namespace
 
 web::BrowserConfig scaled_browser(const web::BrowserConfig& base,
@@ -65,8 +97,10 @@ web::PageLoadResult ReplaySession::load_once(const std::string& url,
   net::Fabric fabric{loop};
 
   // ReplayShell: spawn one server per recorded (IP, port) — or the
-  // single-server ablation — and a local DNS (dnsmasq equivalent).
-  replay::OriginServerSet servers{fabric, store_, options_};
+  // single-server ablation — and a local DNS (dnsmasq equivalent). The
+  // session-level congestion-control override reaches both flow ends.
+  replay::OriginServerSet servers{fabric, store_,
+                                  session_origin_options(config_, options_)};
 
   const net::Ipv4 dns_ip = fabric.allocate_server_ip();
   net::DnsServer dns_server{fabric, net::Address{dns_ip, net::kDnsPort},
@@ -75,8 +109,7 @@ web::PageLoadResult ReplaySession::load_once(const std::string& url,
   // Nested shells between the application and the replayed servers.
   apply_shells(fabric, config_.shells, config_.host, rng);
 
-  web::Browser browser{fabric, dns_server.address(),
-                       scaled_browser(config_.browser, config_.host),
+  web::Browser browser{fabric, dns_server.address(), session_browser(config_),
                        rng.fork("browser")};
   return run_load(loop, browser, url);
 }
@@ -120,7 +153,8 @@ record::RecordStore RecordSession::record(web::PageLoadResult* result_out) {
   loop.set_event_limit(kEventLimit);
   // Outer fabric: the Internet, with per-origin delays.
   net::Fabric outer{loop};
-  corpus::LiveWeb live{outer, site_, web_, rng.fork("live-web")};
+  corpus::LiveWeb live{outer, site_, session_live_web(config_, web_),
+                       rng.fork("live-web")};
   // Inner fabric: the namespace the application runs in; shells may nest.
   net::Fabric inner{loop};
   apply_shells(inner, config_.shells, config_.host, rng);
@@ -134,8 +168,7 @@ record::RecordStore RecordSession::record(web::PageLoadResult* result_out) {
   net::DnsServer dns_server{inner, net::Address{dns_ip, net::kDnsPort},
                             live.dns_table()};
 
-  web::Browser browser{inner, dns_server.address(),
-                       scaled_browser(config_.browser, config_.host),
+  web::Browser browser{inner, dns_server.address(), session_browser(config_),
                        rng.fork("browser")};
   auto result = run_load(loop, browser, site_.primary_url());
   if (result_out != nullptr) {
@@ -155,13 +188,13 @@ LiveWebSession::LoadOutcome LiveWebSession::load_outcome(int load_index) const {
   net::EventLoop loop;
   loop.set_event_limit(kEventLimit);
   net::Fabric fabric{loop};
-  corpus::LiveWeb live{fabric, site_, web_, rng.fork("live-web")};
+  corpus::LiveWeb live{fabric, site_, session_live_web(config_, web_),
+                       rng.fork("live-web")};
   LoadOutcome outcome;
   outcome.primary_rtt = live.primary_rtt();
   apply_shells(fabric, config_.shells, config_.host, rng);
   web::Browser browser{fabric, live.dns_server_address(),
-                       scaled_browser(config_.browser, config_.host),
-                       rng.fork("browser")};
+                       session_browser(config_), rng.fork("browser")};
   outcome.result = run_load(loop, browser, site_.primary_url());
   return outcome;
 }

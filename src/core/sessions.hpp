@@ -20,6 +20,12 @@ struct SessionConfig {
   HostProfile host{};
   web::BrowserConfig browser{};
   std::uint64_t seed{1};
+  /// Congestion-controller registry name applied to *both* ends of every
+  /// flow in the session (browser connections and replayed origin
+  /// servers). Empty = leave whatever `browser.tcp` / server options say,
+  /// i.e. the Reno default. Asymmetric setups configure the sides
+  /// directly instead of using this knob.
+  std::string congestion_control{};
 };
 
 /// ReplayShell driver: loads a page from a recorded site, optionally under

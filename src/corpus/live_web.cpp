@@ -72,7 +72,7 @@ LiveWeb::LiveWeb(net::Fabric& fabric, const GeneratedSite& site,
           http::finalize_content_length(response);
           return response;
         },
-        think));
+        think, config.tcp));
   }
 
   // The DNS server lives near the client's resolver (low-ish delay).

@@ -31,6 +31,10 @@ struct LiveWebConfig {
   /// Load-to-load variability of the above (cross traffic, CDN churn):
   /// multiplies every delay, drawn once per LiveWeb instantiation.
   double variability_sigma{0.18};
+  /// Transport knobs for every live-web origin's accepted connections
+  /// (notably the congestion controller shaping response bytes).
+  /// core::SessionConfig::congestion_control overrides the name here.
+  net::TcpConnection::Config tcp{};
 };
 
 /// The "actual web" substrate: origin servers for one generated site,

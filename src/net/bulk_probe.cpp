@@ -1,0 +1,68 @@
+#include "net/bulk_probe.hpp"
+
+#include <memory>
+
+#include "net/element.hpp"
+#include "net/event_loop.hpp"
+#include "net/fabric.hpp"
+#include "net/link.hpp"
+#include "net/tcp.hpp"
+#include "trace/synthesis.hpp"
+#include "util/random.hpp"
+
+namespace mahimahi::net {
+
+BulkFlowReport run_bulk_flow(const BulkFlowSpec& spec) {
+  EventLoop loop;
+  loop.set_event_limit(50'000'000);
+  Fabric fabric{loop};
+  fabric.chain().push_back(
+      std::make_unique<DelayBox>(loop, spec.one_way_delay));
+  auto link = std::make_unique<TraceLink>(
+      loop, trace::constant_rate(spec.link_mbps * 1e6, spec.trace_duration),
+      trace::constant_rate(spec.link_mbps * 1e6, spec.trace_duration));
+  TraceLink& link_ref = *link;
+  link_ref.enable_logging();
+  fabric.chain().push_back(std::move(link));
+  if (spec.loss > 0) {
+    fabric.chain().push_back(std::make_unique<LossBox>(
+        util::Rng{spec.loss_seed}, spec.loss, spec.loss));
+  }
+
+  const Address server_addr{Ipv4{10, 0, 0, 1}, 80};
+  std::size_t received = 0;
+  std::shared_ptr<TcpConnection> server_conn;  // keeps the acceptee alive
+  TcpListener listener{fabric, server_addr,
+                       [&](const std::shared_ptr<TcpConnection>& conn) {
+                         server_conn = conn;
+                         TcpConnection::Callbacks cb;
+                         cb.on_data = [&received](std::string_view b) {
+                           received += b.size();
+                         };
+                         cb.on_peer_close = [raw = conn.get()] {
+                           raw->close();
+                         };
+                         return cb;
+                       }};
+  TcpConnection::Config config;
+  config.congestion_control = spec.congestion_control;
+  TcpClient client{fabric, server_addr, {}, config};
+  client.connection().send(std::string(spec.bytes, 'x'));
+  client.connection().close();
+  loop.run();
+
+  const TcpConnection& conn = client.connection();
+  BulkFlowReport report;
+  report.complete = received == spec.bytes;
+  report.completed_at = loop.now();
+  report.segments_sent = conn.segments_sent();
+  report.retransmissions = conn.retransmissions();
+  report.controller = std::string{conn.congestion().name()};
+  report.final_srtt = conn.smoothed_rtt();
+  report.final_cwnd_bytes = conn.cwnd_bytes();
+  report.final_pacing_rate = conn.congestion().pacing_rate();
+  report.uplink = summarize_link_log(link_ref.log(Direction::kUplink));
+  return report;
+}
+
+}  // namespace mahimahi::net

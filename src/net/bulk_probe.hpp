@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/link_log.hpp"
+#include "util/time.hpp"
+
+namespace mahimahi::net {
+
+/// Reference single-flow rig shared by bench_cc_comparison and
+/// mm_link_report --cc: one TCP bulk transfer through a fixed one-way
+/// delay and a constant-rate bottleneck with a deep (unbounded) buffer,
+/// optionally lossy, under a named congestion controller. Isolates the
+/// controller's transport behaviour — completion time and the queue it
+/// parks at the bottleneck — with no application model on top. Fully
+/// deterministic for a given spec.
+struct BulkFlowSpec {
+  std::string congestion_control{};  // "" = the default controller (reno)
+  std::size_t bytes{3 * 1000 * 1000};
+  double link_mbps{8.0};             // symmetric bottleneck rate
+  Microseconds one_way_delay{20'000};
+  double loss{0.0};                  // i.i.d. per-packet, both directions
+  std::uint64_t loss_seed{99};
+  Microseconds trace_duration{300'000'000};  // must exceed the transfer
+};
+
+struct BulkFlowReport {
+  bool complete{false};        // every byte delivered in order
+  Microseconds completed_at{0};
+  std::uint64_t segments_sent{0};
+  std::uint64_t retransmissions{0};
+  // Final sender-side transport state, read just before teardown.
+  std::string controller;
+  Microseconds final_srtt{0};
+  double final_cwnd_bytes{0};
+  double final_pacing_rate{0};  // 0 = unpaced controller
+  // Queueing the flow induced at the bottleneck (uplink direction).
+  LinkLogSummary uplink;
+};
+
+BulkFlowReport run_bulk_flow(const BulkFlowSpec& spec);
+
+}  // namespace mahimahi::net

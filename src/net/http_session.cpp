@@ -8,14 +8,16 @@ namespace mahimahi::net {
 // --- HttpServer ---------------------------------------------------------------
 
 HttpServer::HttpServer(Fabric& fabric, Address local, Handler handler,
-                       Microseconds processing_delay)
+                       Microseconds processing_delay,
+                       TcpConnection::Config config)
     : fabric_{fabric},
       handler_{std::move(handler)},
       processing_delay_{processing_delay},
       listener_{fabric, local,
                 [this](const std::shared_ptr<TcpConnection>& c) {
                   return make_callbacks(c);
-                }} {
+                },
+                std::move(config)} {
   MAHI_ASSERT(handler_ != nullptr);
   workers_spawned_ = pool_.initial_workers;
 }

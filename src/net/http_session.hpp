@@ -41,8 +41,11 @@ class HttpServer {
   using Observer =
       std::function<void(const http::Request&, const http::Response&)>;
 
+  /// `config` applies to every accepted connection — notably the
+  /// congestion controller serving this origin's responses.
   HttpServer(Fabric& fabric, Address local, Handler handler,
-             Microseconds processing_delay = 0);
+             Microseconds processing_delay = 0,
+             TcpConnection::Config config = {});
 
   /// Install prefork-style concurrency limits. Call before traffic arrives.
   void set_worker_pool(const WorkerPool& pool);

@@ -97,7 +97,8 @@ Frame FrameParser::pop() {
 // --- MuxServer ------------------------------------------------------------------
 
 MuxServer::MuxServer(Fabric& fabric, Address local, Handler handler,
-                     Microseconds processing_delay, std::size_t chunk_bytes)
+                     Microseconds processing_delay, std::size_t chunk_bytes,
+                     TcpConnection::Config config)
     : fabric_{fabric},
       handler_{std::move(handler)},
       processing_delay_{processing_delay},
@@ -105,7 +106,8 @@ MuxServer::MuxServer(Fabric& fabric, Address local, Handler handler,
       listener_{fabric, local,
                 [this](const std::shared_ptr<TcpConnection>& c) {
                   return make_callbacks(c);
-                }} {
+                },
+                std::move(config)} {
   MAHI_ASSERT(handler_ != nullptr);
   MAHI_ASSERT(chunk_bytes_ > 0);
 }
@@ -207,7 +209,8 @@ void MuxServer::pump_writer(const std::shared_ptr<Session>& session) {
 // --- MuxClientConnection ----------------------------------------------------------
 
 MuxClientConnection::MuxClientConnection(Fabric& fabric, Address server,
-                                         ErrorCallback on_error)
+                                         ErrorCallback on_error,
+                                         TcpConnection::Config config)
     : fabric_{fabric},
       on_error_{std::move(on_error)},
       client_{fabric, server,
@@ -228,7 +231,8 @@ MuxClientConnection::MuxClientConnection(Fabric& fabric, Address server,
                         }
                         alive_ = false;
                       },
-                  .on_reset = [this] { fail("connection reset"); }}} {}
+                  .on_reset = [this] { fail("connection reset"); }},
+              std::move(config)} {}
 
 void MuxClientConnection::fetch(http::Request request,
                                 ResponseCallback callback) {

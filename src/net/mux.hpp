@@ -63,9 +63,12 @@ class MuxServer {
  public:
   using Handler = std::function<http::Response(const http::Request&)>;
 
+  static constexpr std::size_t kDefaultChunkBytes = 16 * 1024;
+
   MuxServer(Fabric& fabric, Address local, Handler handler,
             Microseconds processing_delay = 0,
-            std::size_t chunk_bytes = 16 * 1024);
+            std::size_t chunk_bytes = kDefaultChunkBytes,
+            TcpConnection::Config config = {});
 
   [[nodiscard]] Address address() const { return listener_.local_address(); }
   [[nodiscard]] std::uint64_t requests_served() const { return requests_served_; }
@@ -109,7 +112,8 @@ class MuxClientConnection {
   using ErrorCallback = std::function<void(const std::string& reason)>;
 
   MuxClientConnection(Fabric& fabric, Address server,
-                      ErrorCallback on_error = {});
+                      ErrorCallback on_error = {},
+                      TcpConnection::Config config = {});
 
   MuxClientConnection(const MuxClientConnection&) = delete;
   MuxClientConnection& operator=(const MuxClientConnection&) = delete;

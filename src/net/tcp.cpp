@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "cc/registry.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -116,8 +117,11 @@ TcpConnection::TcpConnection(Fabric& fabric, Side side, Address local,
       local_{local},
       remote_{remote},
       callbacks_{std::move(callbacks)},
-      config_{config} {
-  cwnd_ = config_.initial_window_segments * kMssBytes;
+      config_{std::move(config)} {
+  cc::Params params;
+  params.mss_bytes = kMssBytes;
+  params.initial_cwnd_bytes = config_.initial_window_segments * kMssBytes;
+  cc_ = cc::make_controller(config_.congestion_control, params);
 }
 
 void TcpConnection::start() { send_syn(); }
@@ -138,7 +142,10 @@ void TcpConnection::accept_syn(const TcpSegment& syn) {
   arm_retransmit_timer();
 }
 
-TcpConnection::~TcpConnection() { disarm_retransmit_timer(); }
+TcpConnection::~TcpConnection() {
+  disarm_retransmit_timer();
+  disarm_pacing_timer();
+}
 
 Microseconds TcpConnection::rto() const {
   if (backoff_rto_ != 0) {
@@ -234,8 +241,11 @@ void TcpConnection::try_send_data() {
   while (snd_nxt_ < data_end) {
     const std::size_t available = static_cast<std::size_t>(data_end - snd_nxt_);
     const std::size_t length = std::min<std::size_t>(kMss, available);
-    if (static_cast<double>(flight_size() + length) > cwnd_) {
+    if (static_cast<double>(flight_size() + length) > cc_->cwnd_bytes()) {
       break;  // congestion window full
+    }
+    if (!pacing_admits(length)) {
+      break;  // pacing timer armed; try_send_data resumes on release
     }
     send_data_segment(snd_nxt_, length, /*retransmit=*/false);
     snd_nxt_ += length;
@@ -257,6 +267,34 @@ void TcpConnection::try_send_data() {
   }
   if (flight_size() > 0) {
     arm_retransmit_timer();
+  }
+}
+
+bool TcpConnection::pacing_admits(std::size_t length) {
+  const double rate = cc_->pacing_rate();  // payload bytes per second
+  if (rate <= 0) {
+    return true;  // window-limited controller: burst freely
+  }
+  const Microseconds now = loop_.now();
+  if (pace_release_ > now) {
+    if (pace_event_ == 0) {
+      pace_event_ = loop_.schedule_at(pace_release_, [this] {
+        pace_event_ = 0;
+        try_send_data();
+      });
+    }
+    return false;
+  }
+  const auto gap = static_cast<Microseconds>(
+      static_cast<double>(length) * 1e6 / rate);
+  pace_release_ = std::max(pace_release_, now) + std::max<Microseconds>(gap, 1);
+  return true;
+}
+
+void TcpConnection::disarm_pacing_timer() {
+  if (pace_event_ != 0) {
+    loop_.cancel(pace_event_);
+    pace_event_ = 0;
   }
 }
 
@@ -392,27 +430,27 @@ void TcpConnection::handle_ack(const TcpSegment& seg) {
       rtt_sample(loop_.now() - rtt_sample_sent_at_);
     }
 
+    // Recovery mechanics stay in the transport; the window response is
+    // the controller's (Reno deflates/exits, CUBIC re-anchors its curve).
+    cc::AckEvent ack_event;
+    ack_event.newly_acked_bytes = newly_acked;
+    ack_event.now = loop_.now();
     if (in_recovery_) {
       if (seg.ack >= recovery_point_) {
         in_recovery_ = false;
-        cwnd_ = ssthresh_;
+        ack_event.exiting_recovery = true;
       } else {
+        ack_event.in_recovery = true;
         // NewReno partial ack: retransmit the next hole immediately.
         const std::uint64_t hole_len =
             std::min<std::uint64_t>(kMss, data_end - snd_una_);
         if (hole_len > 0 && snd_una_ >= send_buffer_.base()) {
           send_data_segment(snd_una_, static_cast<std::size_t>(hole_len), true);
         }
-        cwnd_ = std::max(kMssBytes, cwnd_ - static_cast<double>(newly_acked) +
-                                        kMssBytes);
       }
-    } else if (cwnd_ < ssthresh_) {
-      // Slow start: cwnd grows by the bytes newly acknowledged (ABC).
-      cwnd_ += static_cast<double>(std::min<std::uint64_t>(newly_acked, kMss));
-    } else {
-      // Congestion avoidance: ~one MSS per RTT.
-      cwnd_ += kMssBytes * kMssBytes / cwnd_;
     }
+    ack_event.bytes_in_flight = flight_size();
+    cc_->on_ack(ack_event);
 
     if (fin_sent_ && seg.ack > fin_seq_) {
       our_fin_acked_ = true;
@@ -440,19 +478,27 @@ void TcpConnection::handle_ack(const TcpSegment& seg) {
     ++dup_acks_;
     if (!in_recovery_ && dup_acks_ == 3) {
       enter_recovery();
-    } else if (in_recovery_) {
-      cwnd_ += kMssBytes;  // inflate during recovery
-      try_send_data();
+    } else {
+      cc::AckEvent dup;
+      dup.is_duplicate = true;
+      dup.bytes_in_flight = flight_size();
+      dup.in_recovery = in_recovery_;
+      dup.now = loop_.now();
+      cc_->on_ack(dup);  // Reno inflates during recovery; others observe
+      if (in_recovery_) {
+        try_send_data();
+      }
     }
   }
 }
 
 void TcpConnection::enter_recovery() {
-  const double flight = static_cast<double>(flight_size());
-  ssthresh_ = std::max(flight / 2.0, 2.0 * kMssBytes);
+  cc::LossEvent loss;
+  loss.bytes_in_flight = flight_size();
+  loss.now = loop_.now();
   in_recovery_ = true;
   recovery_point_ = snd_nxt_;
-  cwnd_ = ssthresh_ + 3.0 * kMssBytes;
+  cc_->on_loss_event(loss);
   const std::uint64_t data_end = send_buffer_.end();
   if (snd_una_ < data_end) {
     const std::uint64_t len = std::min<std::uint64_t>(kMss, data_end - snd_una_);
@@ -585,9 +631,12 @@ void TcpConnection::on_rto_expired() {
     become_closed();
     return;
   }
-  // Collapse to one segment and slow-start again.
-  ssthresh_ = std::max(static_cast<double>(flight_size()) / 2.0, 2.0 * kMssBytes);
-  cwnd_ = kMssBytes;
+  // Collapse to one segment; the controller decides where slow start
+  // resumes from.
+  cc::RtoEvent rto_event;
+  rto_event.bytes_in_flight = flight_size();
+  rto_event.now = loop_.now();
+  cc_->on_rto(rto_event);
   in_recovery_ = false;
   dup_acks_ = 0;
   const std::uint64_t data_end = send_buffer_.end();
@@ -623,11 +672,12 @@ void TcpConnection::rtt_sample(Microseconds sample) {
   if (srtt_ == 0) {
     srtt_ = sample;
     rttvar_ = sample / 2;
-    return;
+  } else {
+    const Microseconds err = std::abs(srtt_ - sample);
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + sample) / 8;
   }
-  const Microseconds err = std::abs(srtt_ - sample);
-  rttvar_ = (3 * rttvar_ + err) / 4;
-  srtt_ = (7 * srtt_ + sample) / 8;
+  cc_->on_rtt_sample(sample, loop_.now());
 }
 
 void TcpConnection::maybe_finish_close() {
@@ -643,6 +693,7 @@ void TcpConnection::maybe_finish_close() {
 void TcpConnection::become_closed() {
   state_ = State::kClosed;
   disarm_retransmit_timer();
+  disarm_pacing_timer();
   if (on_destroyed) {
     on_destroyed();
   }

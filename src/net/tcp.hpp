@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "cc/congestion_controller.hpp"
 #include "net/fabric.hpp"
 #include "net/packet.hpp"
 #include "util/time.hpp"
@@ -78,11 +79,19 @@ class SendBuffer {
 };
 
 /// Simulated TCP with the mechanisms that shape page-load time: three-way
-/// handshake, slow start (IW10), AIMD congestion avoidance, fast
-/// retransmit/recovery (Reno with NewReno partial-ack retransmission),
-/// RFC 6298 RTO estimation with exponential backoff, cumulative ACKs and
-/// out-of-order reassembly. Flow control (rwnd) is not modelled — the
-/// receiver is assumed able to keep up, which holds for page loads.
+/// handshake, pluggable congestion control (slow start, avoidance and the
+/// loss response live in a cc::CongestionController — Reno/NewReno by
+/// default, CUBIC/Vegas/BBR-lite by name via Config::congestion_control),
+/// fast retransmit/recovery with NewReno partial-ack retransmission,
+/// RFC 6298 RTO estimation with exponential backoff, cumulative ACKs,
+/// out-of-order reassembly, and optional pacing (segments are spaced at
+/// the controller's pacing_rate() when it advertises one, as BBR does).
+/// Flow control (rwnd) is not modelled — the receiver is assumed able to
+/// keep up, which holds for page loads.
+///
+/// Windows are byte-denominated throughout: cwnd_bytes() and the
+/// controller's ssthresh count application payload bytes (headers are
+/// free), with cc::kInfiniteSsthresh marking "no loss seen yet".
 ///
 /// Segments are modelled structurally (see TcpSegment); payload bytes are
 /// real, so HTTP messages cross the emulated network byte-for-byte.
@@ -106,6 +115,10 @@ class TcpConnection {
     Microseconds max_rto{60'000'000};
     int max_syn_retries{6};
     int max_rto_retries{8};  // consecutive timeouts before giving up
+    /// Congestion-controller registry name ("reno", "cubic", "vegas",
+    /// "bbr", ...); empty selects cc::kDefaultController. Unknown names
+    /// throw std::invalid_argument at connection construction.
+    std::string congestion_control{};
   };
 
   /// Constructs an idle connection. The caller's wrapper binds `local` in
@@ -170,8 +183,13 @@ class TcpConnection {
   [[nodiscard]] std::uint64_t payload_copy_bytes() const {
     return send_buffer_.copied_bytes();
   }
-  [[nodiscard]] double cwnd_bytes() const { return cwnd_; }
+  [[nodiscard]] double cwnd_bytes() const { return cc_->cwnd_bytes(); }
   [[nodiscard]] Microseconds smoothed_rtt() const { return srtt_; }
+  /// The congestion-control state machine driving this connection —
+  /// meters read its name(), ssthresh_bytes() and pacing_rate().
+  [[nodiscard]] const cc::CongestionController& congestion() const {
+    return *cc_;
+  }
 
   /// Called when this connection fully closes; wrappers use it to unbind.
   std::function<void()> on_destroyed;
@@ -190,6 +208,11 @@ class TcpConnection {
   void send_syn();
   void send_pure_ack();
   void try_send_data();
+  /// Pacing gate: true = this segment may go out now (and its serialization
+  /// time is charged); false = the pacing timer is armed and try_send_data
+  /// resumes at the next release time. Always true for unpaced controllers.
+  bool pacing_admits(std::size_t length);
+  void disarm_pacing_timer();
   void send_data_segment(std::uint64_t seq, std::size_t length, bool retransmit);
   void handle_ack(const TcpSegment& seg);
   void handle_payload(const Packet& packet);
@@ -222,12 +245,16 @@ class TcpConnection {
   bool fin_queued_{false};
   bool fin_sent_{false};
   std::uint64_t fin_seq_{0};
-  double cwnd_{0};
-  double ssthresh_{1e18};
-  // Fast retransmit / recovery.
+  // Congestion control: all window/rate policy is delegated; the fields
+  // below are reliability mechanics (what to retransmit, when), which stay
+  // in the transport regardless of controller.
+  std::unique_ptr<cc::CongestionController> cc_;
   int dup_acks_{0};
   bool in_recovery_{false};
   std::uint64_t recovery_point_{0};
+  // Pacing (active only when cc_->pacing_rate() > 0).
+  Microseconds pace_release_{0};
+  EventLoop::EventId pace_event_{0};
   // RTT estimation (Karn's algorithm via a single untimed-on-retransmit sample).
   bool rtt_sample_pending_{false};
   std::uint64_t rtt_sample_end_seq_{0};

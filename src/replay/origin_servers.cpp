@@ -18,10 +18,11 @@ OriginServerSet::OriginServerSet(net::Fabric& fabric,
   const auto spawn = [&](const net::Address& address) {
     if (options.multiplexed) {
       mux_servers_.push_back(std::make_unique<net::mux::MuxServer>(
-          fabric, address, handler, options.processing_delay));
+          fabric, address, handler, options.processing_delay,
+          net::mux::MuxServer::kDefaultChunkBytes, options.tcp));
     } else {
       servers_.push_back(std::make_unique<net::HttpServer>(
-          fabric, address, handler, options.processing_delay));
+          fabric, address, handler, options.processing_delay, options.tcp));
       servers_.back()->set_worker_pool(options.worker_pool);
     }
   };

@@ -44,6 +44,10 @@ class OriginServerSet {
     /// connection per client the prefork pool is irrelevant and not
     /// applied.
     bool multiplexed{false};
+    /// Transport knobs for every origin's accepted connections. The
+    /// congestion controller named here shapes the downlink (response
+    /// bytes) — the side that dominates page-load time.
+    net::TcpConnection::Config tcp{};
   };
 
   OriginServerSet(net::Fabric& fabric, const record::RecordStore& store,

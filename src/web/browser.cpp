@@ -170,7 +170,8 @@ void Browser::pump(OriginPool& pool) {
             if (loading_) {
               pump_all();
             }
-          });
+          },
+          config_.tcp);
       pool.entries.push_back(std::move(entry));
       ++result_.connections_opened;
       idle = raw;
@@ -198,7 +199,8 @@ void Browser::pump_mux(OriginPool& pool) {
             // All outstanding streams on this origin just died.
             (void)pool;
             MAHI_WARN("browser") << "mux error: " << reason;
-          });
+          },
+          config_.tcp);
       ++result_.connections_opened;
     }
   }

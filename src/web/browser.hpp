@@ -62,6 +62,12 @@ struct BrowserConfig {
 
   /// Give up on a page when nothing completes for this long.
   Microseconds stall_timeout{60'000'000};
+
+  /// Transport knobs for every connection the browser opens — notably
+  /// `tcp.congestion_control`, the uplink-side controller (request bytes;
+  /// the server side is configured where the servers are built, e.g.
+  /// replay::OriginServerSet::Options::tcp).
+  net::TcpConnection::Config tcp{};
 };
 
 /// Outcome of one page load.

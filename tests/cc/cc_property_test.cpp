@@ -1,0 +1,154 @@
+// Property test: no controller, fed any plausible event sequence, may
+// ever report a window below one MSS, a non-finite window, or a negative
+// or non-finite pacing rate. Event sequences are randomized but seeded —
+// failures reproduce exactly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cc/congestion_controller.hpp"
+#include "cc/registry.hpp"
+#include "util/random.hpp"
+
+namespace mahimahi::cc {
+namespace {
+
+constexpr double kMss = 1448.0;
+
+void check_invariants(const CongestionController& controller,
+                      const std::string& name, int step) {
+  const double cwnd = controller.cwnd_bytes();
+  ASSERT_TRUE(std::isfinite(cwnd))
+      << name << " produced non-finite cwnd at step " << step;
+  ASSERT_GE(cwnd, kMss)
+      << name << " dropped below one MSS at step " << step;
+  const double ssthresh = controller.ssthresh_bytes();
+  ASSERT_FALSE(std::isnan(ssthresh))
+      << name << " produced NaN ssthresh at step " << step;
+  const double rate = controller.pacing_rate();
+  ASSERT_TRUE(std::isfinite(rate) && rate >= 0.0)
+      << name << " produced invalid pacing rate " << rate << " at step "
+      << step;
+}
+
+TEST(CcProperty, RandomizedEventSequencesNeverBreakWindowInvariants) {
+  Params params;
+  params.mss_bytes = kMss;
+  params.initial_cwnd_bytes = 10 * kMss;
+
+  for (const std::string& name : registered_controllers()) {
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+      util::Rng rng{seed * 7919};
+      const auto controller = make_controller(name, params);
+      Microseconds now = 0;
+      bool in_recovery = false;
+      for (int step = 0; step < 1'000; ++step) {
+        now += rng.uniform_int(1, 200'000);
+        switch (rng.uniform_int(0, 9)) {
+          case 0: {  // loss event (enter recovery)
+            if (!in_recovery) {
+              LossEvent loss;
+              loss.bytes_in_flight =
+                  static_cast<std::uint64_t>(rng.uniform_int(0, 4'000'000));
+              loss.now = now;
+              controller->on_loss_event(loss);
+              in_recovery = true;
+            }
+            break;
+          }
+          case 1: {  // RTO
+            RtoEvent rto;
+            rto.bytes_in_flight =
+                static_cast<std::uint64_t>(rng.uniform_int(0, 4'000'000));
+            rto.now = now;
+            controller->on_rto(rto);
+            in_recovery = false;
+            break;
+          }
+          case 2: {  // RTT sample (including pathological extremes)
+            const Microseconds sample = rng.chance(0.1)
+                ? rng.uniform_int(1, 10)
+                : rng.uniform_int(1'000, 2'000'000);
+            controller->on_rtt_sample(sample, now);
+            break;
+          }
+          case 3: {  // duplicate ack
+            AckEvent dup;
+            dup.is_duplicate = true;
+            dup.in_recovery = in_recovery;
+            dup.bytes_in_flight =
+                static_cast<std::uint64_t>(rng.uniform_int(0, 4'000'000));
+            dup.now = now;
+            controller->on_ack(dup);
+            break;
+          }
+          default: {  // cumulative ack (sometimes exiting recovery)
+            AckEvent ack;
+            ack.newly_acked_bytes =
+                static_cast<std::uint64_t>(rng.uniform_int(1, 3 * 1448));
+            ack.bytes_in_flight =
+                static_cast<std::uint64_t>(rng.uniform_int(0, 4'000'000));
+            if (in_recovery && rng.chance(0.3)) {
+              ack.exiting_recovery = true;
+              in_recovery = false;
+            } else {
+              ack.in_recovery = in_recovery;
+            }
+            ack.now = now;
+            controller->on_ack(ack);
+            break;
+          }
+        }
+        check_invariants(*controller, name, step);
+        if (::testing::Test::HasFatalFailure()) {
+          return;
+        }
+      }
+    }
+  }
+}
+
+TEST(CcProperty, IdenticalEventSequencesYieldIdenticalWindows) {
+  // The determinism contract: a controller is a pure state machine over
+  // its event stream, so replaying the same stream twice must produce
+  // bit-identical window trajectories (this is what makes parallel
+  // measurement byte-identical at any thread count).
+  Params params;
+  params.mss_bytes = kMss;
+  params.initial_cwnd_bytes = 10 * kMss;
+
+  for (const std::string& name : registered_controllers()) {
+    std::vector<double> first;
+    std::vector<double> second;
+    for (std::vector<double>* trajectory : {&first, &second}) {
+      util::Rng rng{424242};
+      const auto controller = make_controller(name, params);
+      Microseconds now = 0;
+      for (int step = 0; step < 500; ++step) {
+        now += rng.uniform_int(1, 100'000);
+        if (rng.chance(0.05)) {
+          LossEvent loss;
+          loss.bytes_in_flight =
+              static_cast<std::uint64_t>(rng.uniform_int(0, 1'000'000));
+          loss.now = now;
+          controller->on_loss_event(loss);
+        } else if (rng.chance(0.2)) {
+          controller->on_rtt_sample(rng.uniform_int(1'000, 500'000), now);
+        } else {
+          AckEvent ack;
+          ack.newly_acked_bytes = 1448;
+          ack.bytes_in_flight =
+              static_cast<std::uint64_t>(rng.uniform_int(0, 1'000'000));
+          ack.now = now;
+          controller->on_ack(ack);
+        }
+        trajectory->push_back(controller->cwnd_bytes());
+      }
+    }
+    EXPECT_EQ(first, second) << name;  // exact double equality
+  }
+}
+
+}  // namespace
+}  // namespace mahimahi::cc

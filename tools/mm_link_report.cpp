@@ -2,21 +2,99 @@
 // the mm-throughput-graph / mm-delay-graph equivalent.
 //
 //   usage: mm_link_report <log-file> [bin-ms]
+//          mm_link_report --cc [controller ...]
+//
+// The --cc mode generates the log itself: it drives one bulk flow per
+// congestion controller (default: every registered one) across a
+// reference bottleneck (8 Mbit/s, 40 ms RTT, deep buffer), prints each
+// flow's transport endpoint state — controller name, final smoothed_rtt()
+// and cwnd_bytes(), pacing rate, retransmissions — and then the usual
+// link-log summary for the queue that flow built.
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "cc/registry.hpp"
+#include "net/bulk_probe.hpp"
 #include "net/link_log.hpp"
 
 using namespace mahimahi;
 using namespace mahimahi::net;
 
+namespace {
+
+void print_summary(const LinkLogSummary& summary) {
+  std::printf("  arrivals %llu, departures %llu, drops %llu\n",
+              (unsigned long long)summary.arrivals,
+              (unsigned long long)summary.departures,
+              (unsigned long long)summary.drops);
+  std::printf("  average throughput:  %.3f Mbit/s\n",
+              summary.average_throughput_bps / 1e6);
+  std::printf("  queueing delay:      p50 %.1f ms, p95 %.1f ms, max %.1f ms\n",
+              summary.delay_p50_ms, summary.delay_p95_ms, summary.delay_max_ms);
+}
+
+int run_cc_flows(const std::vector<std::string>& controllers) {
+  BulkFlowSpec spec;  // defaults: 8 Mbit/s, 40 ms RTT, deep buffer, 3 MB
+  std::printf("reference bottleneck: %.0f Mbit/s, %lld ms RTT, deep buffer, "
+              "%.0f MB bulk flow per controller\n\n",
+              spec.link_mbps, (long long)(2 * spec.one_way_delay / 1000),
+              static_cast<double>(spec.bytes) / 1e6);
+  for (const std::string& controller : controllers) {
+    if (!cc::is_registered(controller)) {
+      std::fprintf(stderr, "error: '%s' is not a registered controller\n",
+                   controller.c_str());
+      return 2;
+    }
+    spec.congestion_control = controller;
+    const BulkFlowReport flow = run_bulk_flow(spec);
+
+    const std::string pacing_text =
+        flow.final_pacing_rate > 0
+            ? std::to_string(
+                  static_cast<long long>(flow.final_pacing_rate * 8 / 1e3)) +
+                  " kbit/s"
+            : "off";
+    std::printf("flow: cc=%-6s  srtt=%6.1f ms  cwnd=%8.0f B  "
+                "pacing=%s  rexmit=%llu  completed=%.2f s%s\n",
+                flow.controller.c_str(),
+                static_cast<double>(flow.final_srtt) / 1e3,
+                flow.final_cwnd_bytes, pacing_text.c_str(),
+                (unsigned long long)flow.retransmissions,
+                static_cast<double>(flow.completed_at) / 1e6,
+                flow.complete ? "" : "  [INCOMPLETE]");
+    print_summary(flow.uplink);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <log-file> [bin-ms]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <log-file> [bin-ms]\n"
+                 "       %s --cc [controller ...]\n",
+                 argv[0], argv[0]);
     return 2;
   }
+
+  if (std::strcmp(argv[1], "--cc") == 0) {
+    std::vector<std::string> controllers;
+    for (int i = 2; i < argc; ++i) {
+      controllers.emplace_back(argv[i]);
+    }
+    if (controllers.empty()) {
+      controllers = cc::registered_controllers();
+    }
+    return run_cc_flows(controllers);
+  }
+
   const Microseconds bin_width =
       argc > 2 ? static_cast<Microseconds>(std::atoll(argv[2])) * 1000 : 500'000;
 
