@@ -4,8 +4,10 @@
 // protocol designer can answer "CUBIC vs BBR on an LTE trace" with one
 // command. Two measurements per (network, controller) cell:
 //
-//   - application view: median page-load time of MAHI_CC_LOADS replays
-//     (the metric the paper builds everything on);
+//   - application view: median page-load time of MAHI_CC_LOADS replays —
+//     since PR 5 this grid is one declarative ExperimentSpec executed by
+//     the experiment engine (src/experiment/), making this bench the
+//     engine's first library consumer;
 //   - transport view: a 3 MB bulk transfer straight over the cell's link,
 //     reporting completion time and the p95 queueing delay the controller
 //     induced at the bottleneck (the bufferbloat axis where delay-based
@@ -16,11 +18,10 @@
 // and BBR-lite hold far shorter queues on the deep-buffered LTE cell.
 //
 // The whole PLT grid re-runs at a different thread count and must be
-// byte-identical — controllers are per-connection state machines fed only
-// by deterministic simulation events, so thread count cannot leak into
-// results. Exit status is 1 on any divergence *or* when an
-// expected-shape check fails (the grid is deterministic, so a failed
-// check is a controller regression, not noise).
+// byte-identical — the engine serializes its report deterministically, so
+// the check compares JSON bytes. Exit status is 1 on any divergence *or*
+// when an expected-shape check fails (the grid is deterministic, so a
+// failed check is a controller regression, not noise).
 //
 // Scale knob: MAHI_CC_LOADS (default 5 loads per cell).
 // Output:     BENCH_cc.json (override with MAHI_CC_JSON).
@@ -29,12 +30,13 @@
 
 #include "bench/common.hpp"
 #include "cc/registry.hpp"
+#include "experiment/runner.hpp"
 #include "net/bulk_probe.hpp"
-#include "trace/synthesis.hpp"
+#include "util/assert.hpp"
 
 using namespace mahimahi;
 using namespace mahimahi::bench;
-using namespace mahimahi::core;
+using namespace mahimahi::experiment;
 using namespace mahimahi::literals;
 
 namespace {
@@ -43,12 +45,42 @@ constexpr const char* kControllers[] = {"reno", "cubic", "vegas", "bbr"};
 
 struct Network {
   const char* label;
-  const char* key;  // short slug for JSON row names
-  std::vector<ShellSpec> shells;
+  const char* key;  // short slug: the shell-axis label and JSON row name
+  std::vector<ShellLayerSpec> layers;
   double loss{0.0};            // i.i.d. loss for the bulk probe
   double link_mbps{8.0};       // symmetric bulk-probe bottleneck
   Microseconds one_way{20'000};  // bulk-probe propagation delay
 };
+
+ShellLayerSpec delay_layer(Microseconds one_way) {
+  ShellLayerSpec layer;
+  layer.kind = ShellLayerSpec::Kind::kDelay;
+  layer.delay_one_way = one_way;
+  return layer;
+}
+
+ShellLayerSpec link_layer(double up_mbps, double down_mbps) {
+  ShellLayerSpec layer;
+  layer.kind = ShellLayerSpec::Kind::kLink;
+  layer.up_mbps = up_mbps;
+  layer.down_mbps = down_mbps;
+  return layer;
+}
+
+ShellLayerSpec lte_link_layer() {
+  ShellLayerSpec layer;
+  layer.kind = ShellLayerSpec::Kind::kLink;
+  layer.trace_name = "lte";
+  return layer;
+}
+
+ShellLayerSpec loss_layer(double rate) {
+  ShellLayerSpec layer;
+  layer.kind = ShellLayerSpec::Kind::kLoss;
+  layer.uplink_loss = rate;
+  layer.downlink_loss = rate;
+  return layer;
+}
 
 struct BulkOutcome {
   double seconds{0};
@@ -88,62 +120,60 @@ int main() {
   const int loads = env_int("MAHI_CC_LOADS", 5);
   std::printf("=== Congestion-control comparison (%d loads/cell) ===\n", loads);
 
-  const auto site = corpus::generate_site(corpus::nytimes_like_spec());
-  SessionConfig base;
-  base.seed = 0xCC01;
-  RecordSession recorder{site, corpus::LiveWebConfig{}, base};
-  const auto store = recorder.record();
-  std::printf("page: %zu objects, %zu origins, %.1f MB\n\n",
-              site.objects.size(), site.hostnames.size(),
-              site.total_bytes() / 1e6);
-
-  util::Rng trace_rng{77};
-  LinkShellSpec lte;
-  lte.uplink = std::make_shared<const trace::PacketTrace>(
-      trace::constant_rate(6e6, 2_s));
-  lte.downlink = std::make_shared<const trace::PacketTrace>(
-      trace::cellular_like(trace_rng, 20_s, 2e6, 24e6));
-
   const Network networks[] = {
       {"LTE-like trace, 60 ms RTT, deep buffer",
        "lte",
-       {DelayShellSpec{30_ms}, lte},
+       {delay_layer(30_ms), lte_link_layer()},
        0.0, 10.0, 30'000},
       {"high-BDP 20 Mbit/s, 200 ms RTT, 0.5% loss",
        "high-bdp",
-       {DelayShellSpec{100_ms}, LinkShellSpec::constant_rate_mbps(20, 20),
-        LossShellSpec{0.005, 0.005}},
+       {delay_layer(100_ms), link_layer(20, 20), loss_layer(0.005)},
        0.005, 20.0, 100'000},
       {"lossy cable (2%), 40 ms RTT",
        "lossy-cable",
-       {DelayShellSpec{20_ms}, LinkShellSpec::constant_rate_mbps(5, 20),
-        LossShellSpec{0.02, 0.02}},
+       {delay_layer(20_ms), link_layer(5, 20), loss_layer(0.02)},
        0.02, 20.0, 20'000},
   };
 
-  PerfReport report;
+  // --- application view: the PLT grid as one declarative experiment ------
+  ExperimentSpec spec;
+  spec.name = "cc-comparison";
+  spec.seed = 0xCC01;
+  spec.loads_per_cell = loads;
+  spec.sites = {SiteAxis{"nytimes", site_spec_for_label("nytimes")}};
+  spec.protocols = {web::AppProtocol::kHttp11};
+  for (const Network& network : networks) {
+    spec.shells.push_back(ShellAxis{network.key, network.layers});
+  }
+  spec.queues = {QueueAxis{"fifo", net::QueueSpec{}}};
+  for (const char* controller : kControllers) {
+    spec.ccs.push_back(CcAxis{controller, {controller}});
+  }
 
-  // --- application view: replayed page loads ------------------------------
+  RunOptions options;
+  options.runner = &shared_runner();
+  options.transport_probes = false;  // this bench runs its own, below
+  const Report grid = run_experiment(spec, options);
+
+  PerfReport report;
+  const std::size_t cc_count = std::size(kControllers);
   std::printf("%-44s", "median PLT");
   for (const char* controller : kControllers) {
     std::printf(" %9s", controller);
   }
   std::printf("\n");
-  // PLT samples per (network, controller), kept for the determinism pass.
-  std::vector<std::vector<double>> grid_samples;
-  for (const auto& network : networks) {
-    std::printf("%-44s", network.label);
-    for (const char* controller : kControllers) {
-      SessionConfig config = base;
-      config.shells = network.shells;
-      config.congestion_control = controller;
-      ReplaySession session{store, config};
-      const auto samples =
-          session.measure(site.primary_url(), loads, shared_runner());
-      grid_samples.push_back(samples.values());
-      std::printf(" %7.0fms", samples.median());
-      report.add({std::string("cc_plt/") + network.key + "/" + controller,
-                  samples.median() * 1e6, 0, 0});
+  for (std::size_t n = 0; n < std::size(networks); ++n) {
+    std::printf("%-44s", networks[n].label);
+    for (std::size_t c = 0; c < cc_count; ++c) {
+      // Engine cell order: shell-major, cc innermost (one site/protocol/
+      // queue) — exactly this grid's row-major layout.
+      const CellResult& cell = grid.cells[n * cc_count + c];
+      MAHI_ASSERT(cell.shell == networks[n].key);
+      MAHI_ASSERT(cell.cc == kControllers[c]);
+      std::printf(" %7.0fms", cell.plt_ms.median());
+      report.add({std::string("cc_plt/") + networks[n].key + "/" +
+                      kControllers[c],
+                  cell.plt_ms.median() * 1e6, 0, 0});
     }
     std::printf("\n");
   }
@@ -189,24 +219,16 @@ int main() {
               low_delay ? "yes" : "NO", vegas_lte_q, bbr_lte_q, reno_lte_q);
 
   // --- determinism: the full PLT grid at a different thread count ---------
-  // The first pass ran on shared_runner(); one rerun at a deliberately
-  // different thread count must reproduce it byte for byte.
+  // The first pass ran on shared_runner(); one engine rerun at a
+  // deliberately different thread count must serialize byte-for-byte.
   bool deterministic = true;
   {
     const int other_threads = shared_runner().thread_count() == 1 ? 8 : 1;
-    ParallelRunner other{other_threads};
-    std::size_t cell = 0;
-    for (const auto& network : networks) {
-      for (const char* controller : kControllers) {
-        SessionConfig config = base;
-        config.shells = network.shells;
-        config.congestion_control = controller;
-        ReplaySession session{store, config};
-        const auto rerun = session.measure(site.primary_url(), loads, other);
-        deterministic = deterministic && rerun.values() == grid_samples[cell];
-        ++cell;
-      }
-    }
+    core::ParallelRunner other{other_threads};
+    RunOptions rerun_options = options;
+    rerun_options.runner = &other;
+    const Report rerun = run_experiment(spec, rerun_options);
+    deterministic = rerun.to_json() == grid.to_json();
     // Thread counts deliberately left out of stdout: bench output must
     // diff clean across MAHI_THREADS settings (the repo-wide probe).
     std::fprintf(stderr, "[cc] determinism rerun at %d thread(s) vs %d\n",

@@ -36,6 +36,9 @@ web::BrowserConfig session_browser(const SessionConfig& config) {
   if (!config.congestion_control.empty()) {
     browser.tcp.congestion_control = config.congestion_control;
   }
+  if (!config.cc_fleet.empty()) {
+    browser.cc_fleet = config.cc_fleet;
+  }
   return browser;
 }
 
@@ -57,6 +60,9 @@ replay::OriginServerSet::Options session_origin_options(
   replay::OriginServerSet::Options options = base;
   if (!config.congestion_control.empty()) {
     options.tcp.congestion_control = config.congestion_control;
+  }
+  if (!config.cc_fleet.empty()) {
+    options.cc_fleet = config.cc_fleet;
   }
   return options;
 }

@@ -26,6 +26,14 @@ struct SessionConfig {
   /// i.e. the Reno default. Asymmetric setups configure the sides
   /// directly instead of using this knob.
   std::string congestion_control{};
+  /// Mixed-fleet variant of the knob above (the ROADMAP's per-flow CC
+  /// heterogeneity): when non-empty, browser connection k runs
+  /// cc_fleet[k % size()] (per-connection-index, opening order) and
+  /// replayed origin server j serves under cc_fleet[j % size()]
+  /// (per-origin, spawn order) — e.g. {"bbr", "cubic"} alternates
+  /// controllers across a shared bottleneck. Takes precedence over
+  /// `congestion_control`.
+  std::vector<std::string> cc_fleet;
 };
 
 /// ReplayShell driver: loads a page from a recorded site, optionally under

@@ -1,0 +1,145 @@
+#include "experiment/matrix.hpp"
+
+#include "cc/registry.hpp"
+#include "trace/synthesis.hpp"
+#include "util/random.hpp"
+
+namespace mahimahi::experiment {
+
+using namespace mahimahi::literals;
+
+namespace {
+
+/// The built-in "lte" trace pair: 6 Mbit/s uplink, a cellular-like
+/// downlink walking between 2 and 24 Mbit/s — the same shape
+/// bench_cc_comparison uses. Synthesized from fixed seeds so every
+/// expansion of every spec sees the identical trace.
+std::pair<std::shared_ptr<const trace::PacketTrace>,
+          std::shared_ptr<const trace::PacketTrace>>
+lte_traces() {
+  // Synthesized once per process (immutable, shared): every cell of every
+  // expansion aliases the same trace instead of re-walking the 20 s
+  // random walk per materialization.
+  static const auto traces = [] {
+    util::Rng rng{77};
+    auto up = std::make_shared<const trace::PacketTrace>(
+        trace::constant_rate(6e6, 2_s));
+    auto down = std::make_shared<const trace::PacketTrace>(
+        trace::cellular_like(rng, 20_s, 2e6, 24e6));
+    return std::pair{std::move(up), std::move(down)};
+  }();
+  return traces;
+}
+
+ExperimentSpec with_defaults(ExperimentSpec spec) {
+  if (spec.sites.empty()) {
+    spec.sites.push_back(
+        SiteAxis{"nytimes", site_spec_for_label("nytimes")});
+  }
+  if (spec.protocols.empty()) {
+    spec.protocols.push_back(web::AppProtocol::kHttp11);
+  }
+  if (spec.shells.empty()) {
+    spec.shells.push_back(ShellAxis{"bare", {}});
+  }
+  if (spec.queues.empty()) {
+    spec.queues.push_back(QueueAxis{"fifo", net::QueueSpec{}});
+  }
+  if (spec.ccs.empty()) {
+    spec.ccs.push_back(
+        CcAxis{cc::kDefaultController, {cc::kDefaultController}});
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::string Cell::label() const {
+  const char* protocol_name =
+      protocol == web::AppProtocol::kMultiplexed ? "mux" : "http11";
+  return site.label + "/" + protocol_name + "/" + shell.label + "/" +
+         queue.label + "/" + cc.label;
+}
+
+std::uint64_t derive_cell_seed(std::uint64_t experiment_seed, int cell_index) {
+  util::Rng root{experiment_seed};
+  return root.fork("cell-" + std::to_string(cell_index)).next();
+}
+
+std::vector<Cell> expand_matrix(const ExperimentSpec& raw) {
+  validate_spec(raw);
+  const ExperimentSpec spec = with_defaults(raw);
+  // A "bare" default shell has no layers, which validate_spec rejects for
+  // explicit entries — it is only reachable as the default, by design.
+  std::vector<Cell> cells;
+  cells.reserve(spec.sites.size() * spec.protocols.size() *
+                spec.shells.size() * spec.queues.size() * spec.ccs.size());
+  int index = 0;
+  for (const auto& site : spec.sites) {
+    for (const auto protocol : spec.protocols) {
+      for (const auto& shell : spec.shells) {
+        for (const auto& queue : spec.queues) {
+          for (const auto& cc : spec.ccs) {
+            Cell cell;
+            cell.index = index;
+            cell.site = site;
+            cell.protocol = protocol;
+            cell.shell = shell;
+            cell.queue = queue;
+            cell.cc = cc;
+            cell.cell_seed = derive_cell_seed(spec.seed, index);
+            cells.push_back(std::move(cell));
+            ++index;
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+MaterializedCell materialize_cell(const Cell& cell) {
+  MaterializedCell materialized;
+  for (const auto& layer : cell.shell.layers) {
+    switch (layer.kind) {
+      case ShellLayerSpec::Kind::kDelay: {
+        materialized.shells.push_back(
+            core::DelayShellSpec{layer.delay_one_way});
+        materialized.total_one_way_delay += layer.delay_one_way;
+        break;
+      }
+      case ShellLayerSpec::Kind::kLink: {
+        core::LinkShellSpec link;
+        if (layer.trace_name == "lte") {
+          auto [up, down] = lte_traces();
+          link.uplink = std::move(up);
+          link.downlink = std::move(down);
+        } else {
+          link.uplink = std::make_shared<const trace::PacketTrace>(
+              trace::constant_rate(layer.up_mbps * 1e6, 2_s));
+          link.downlink = std::make_shared<const trace::PacketTrace>(
+              trace::constant_rate(layer.down_mbps * 1e6, 2_s));
+        }
+        link.uplink_queue = cell.queue.queue;
+        link.downlink_queue = cell.queue.queue;
+        // Decorrelate the AQM drop coins per cell and per direction
+        // (deterministically: pure function of the cell seed).
+        link.uplink_queue.pie_seed = cell.cell_seed ^ 0xA17;
+        link.downlink_queue.pie_seed = cell.cell_seed ^ 0xB26;
+        materialized.uplink = link.uplink;
+        materialized.downlink = link.downlink;
+        materialized.shells.push_back(std::move(link));
+        break;
+      }
+      case ShellLayerSpec::Kind::kLoss: {
+        materialized.shells.push_back(
+            core::LossShellSpec{layer.uplink_loss, layer.downlink_loss});
+        materialized.loss = layer.downlink_loss;
+        break;
+      }
+    }
+  }
+  return materialized;
+}
+
+}  // namespace mahimahi::experiment

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/shells.hpp"
+#include "experiment/spec.hpp"
+#include "trace/trace.hpp"
+
+namespace mahimahi::experiment {
+
+/// One fully-resolved point of the scenario matrix. Cells carry copies of
+/// their axis entries (not pointers into the spec), so a cell outlives
+/// the spec it was expanded from.
+struct Cell {
+  /// Position in the full (unsharded) matrix — the determinism anchor:
+  /// every per-cell random stream derives from (spec.seed, index).
+  int index{0};
+  SiteAxis site;
+  web::AppProtocol protocol{web::AppProtocol::kHttp11};
+  ShellAxis shell;
+  QueueAxis queue;
+  CcAxis cc;
+  std::uint64_t cell_seed{0};
+
+  /// "site/protocol/shell/queue/cc" — the stable row name in reports.
+  [[nodiscard]] std::string label() const;
+};
+
+/// Deterministic seed for cell `cell_index` of an experiment: forked from
+/// the experiment seed by index, never by thread or execution order.
+/// Per-load randomness then derives from (cell_seed, load_index) inside
+/// the session layer — the (seed, cell, load) contract.
+std::uint64_t derive_cell_seed(std::uint64_t experiment_seed, int cell_index);
+
+/// Expand the cartesian product in canonical nesting order — site
+/// (outermost), protocol, shell, queue, cc (innermost) — assigning cell
+/// indices 0..n-1. Empty axes are filled with their single default entry
+/// first (see ExperimentSpec). Validates the spec.
+std::vector<Cell> expand_matrix(const ExperimentSpec& spec);
+
+/// Everything the runner needs to instantiate a cell's network: the shell
+/// stack with the cell's queue discipline installed on its link layer,
+/// plus the probe-facing view of the bottleneck.
+struct MaterializedCell {
+  std::vector<core::ShellSpec> shells;
+  /// The link layer's traces (shared with `shells`); null when the stack
+  /// has no link layer — the probe then uses an effectively-unshaped
+  /// 1000 Mbit/s bottleneck and the queue axis is inert.
+  std::shared_ptr<const trace::PacketTrace> uplink;
+  std::shared_ptr<const trace::PacketTrace> downlink;
+  Microseconds total_one_way_delay{0};
+  double loss{0};  // the loss layer's downlink rate (the probed direction)
+};
+
+/// Materialize a cell's shells and probe parameters. Pure function of the
+/// cell: two calls produce identical traces (built-in traces are
+/// synthesized from fixed seeds), which is what makes re-expansion at a
+/// different thread count byte-identical.
+MaterializedCell materialize_cell(const Cell& cell);
+
+}  // namespace mahimahi::experiment

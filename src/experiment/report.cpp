@@ -1,0 +1,165 @@
+#include "experiment/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace mahimahi::experiment {
+namespace {
+
+/// Fixed-precision double formatting — the determinism backbone of the
+/// report: printf of a finite double with a fixed precision is a pure
+/// function of the value, so byte-identical samples serialize to
+/// byte-identical text.
+std::string fmt(double value, int precision = 6) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      escaped += '\\';
+    }
+    escaped += c;
+  }
+  return escaped;
+}
+
+void append_summary_fields(std::string& out, const util::Samples& plt) {
+  out += "\"plt_median_ms\": " + fmt(plt.empty() ? 0 : plt.median());
+  out += ", \"plt_mean_ms\": " + fmt(plt.empty() ? 0 : plt.mean());
+  out += ", \"plt_p95_ms\": " + fmt(plt.empty() ? 0 : plt.percentile(95));
+  out += ", \"plt_min_ms\": " + fmt(plt.empty() ? 0 : plt.min());
+  out += ", \"plt_max_ms\": " + fmt(plt.empty() ? 0 : plt.max());
+}
+
+}  // namespace
+
+std::string Report::to_json() const {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"mahimahi-experiment-v1\",\n";
+  out += "  \"name\": \"" + json_escape(name) + "\",\n";
+  out += "  \"seed\": " + std::to_string(seed) + ",\n";
+  out += "  \"loads_per_cell\": " + std::to_string(loads_per_cell) + ",\n";
+  out += "  \"total_cells\": " + std::to_string(total_cells) + ",\n";
+  out += "  \"shard\": \"" + std::to_string(shard_index) + "/" +
+         std::to_string(shard_count) + "\",\n";
+  out += "  \"cells\": [";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& cell = cells[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"index\": " + std::to_string(cell.index);
+    out += ", \"site\": \"" + json_escape(cell.site) + "\"";
+    out += ", \"protocol\": \"" + json_escape(cell.protocol) + "\"";
+    out += ", \"shell\": \"" + json_escape(cell.shell) + "\"";
+    out += ", \"queue\": \"" + json_escape(cell.queue) + "\"";
+    out += ", \"cc\": \"" + json_escape(cell.cc) + "\"";
+    out += ", \"failed_loads\": " + std::to_string(cell.failed_loads);
+    out += ", ";
+    append_summary_fields(out, cell.plt_ms);
+    out += ", \"plt_ms\": [";
+    const auto& values = cell.plt_ms.values();
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      out += j == 0 ? "" : ", ";
+      out += fmt(values[j]);
+    }
+    out += "]";
+    if (cell.probe_ran) {
+      out += ", \"probe\": {\"queue_delay_p95_ms\": " +
+             fmt(cell.queue_delay_p95_ms, 3);
+      out += ", \"jain_index\": " + fmt(cell.jain_index);
+      out += ", \"flows\": [";
+      for (std::size_t j = 0; j < cell.flows.size(); ++j) {
+        const FlowResult& flow = cell.flows[j];
+        out += j == 0 ? "" : ", ";
+        out += "{\"cc\": \"" + json_escape(flow.controller) + "\"";
+        out += ", \"bytes\": " + std::to_string(flow.bytes_delivered);
+        out += ", \"throughput_bps\": " + fmt(flow.throughput_bps, 1);
+        out += ", \"share\": " + fmt(flow.share);
+        out += ", \"retransmissions\": " +
+               std::to_string(flow.retransmissions) + "}";
+      }
+      out += "]}";
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string Report::to_csv() const {
+  std::string out =
+      "cell,site,protocol,shell,queue,cc,loads,failed_loads,plt_median_ms,"
+      "plt_mean_ms,plt_p95_ms,plt_min_ms,plt_max_ms,queue_delay_p95_ms,"
+      "jain_index,flow_shares\n";
+  for (const CellResult& cell : cells) {
+    out += std::to_string(cell.index) + ",";
+    out += cell.site + "," + cell.protocol + "," + cell.shell + "," +
+           cell.queue + "," + cell.cc + ",";
+    out += std::to_string(cell.plt_ms.size()) + ",";
+    out += std::to_string(cell.failed_loads) + ",";
+    const util::Samples& plt = cell.plt_ms;
+    out += fmt(plt.empty() ? 0 : plt.median()) + ",";
+    out += fmt(plt.empty() ? 0 : plt.mean()) + ",";
+    out += fmt(plt.empty() ? 0 : plt.percentile(95)) + ",";
+    out += fmt(plt.empty() ? 0 : plt.min()) + ",";
+    out += fmt(plt.empty() ? 0 : plt.max()) + ",";
+    if (cell.probe_ran) {
+      out += fmt(cell.queue_delay_p95_ms, 3) + ",";
+      out += fmt(cell.jain_index) + ",";
+      std::string shares;
+      for (const FlowResult& flow : cell.flows) {
+        shares += shares.empty() ? "" : "|";
+        shares += flow.controller + ":" + fmt(flow.share, 4);
+      }
+      out += shares;
+    } else {
+      out += ",,";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Report::to_bench_json() const {
+  std::string out;
+  out += "{\n  \"schema\": \"mahimahi-bench-v1\",\n  \"benchmarks\": [";
+  bool first = true;
+  const auto add = [&](const std::string& row_name, double ns_per_op) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"" + json_escape(row_name) +
+           "\", \"ns_per_op\": " + fmt(ns_per_op, 1) +
+           ", \"items_per_second\": 0, \"bytes_per_second\": 0}";
+  };
+  for (const CellResult& cell : cells) {
+    const std::string label = cell.site + "/" + cell.protocol + "/" +
+                              cell.shell + "/" + cell.queue + "/" + cell.cc;
+    if (!cell.plt_ms.empty()) {
+      add("exp_plt_median/" + label, cell.plt_ms.median() * 1e6);
+    }
+    if (cell.probe_ran) {
+      add("exp_queue_p95_ms/" + label, cell.queue_delay_p95_ms * 1e6);
+      add("exp_jain/" + label, cell.jain_index * 1e9);
+    }
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool Report::write_file(const std::string& path, const std::string& content) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) {
+    std::fprintf(stderr, "[experiment] cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace mahimahi::experiment

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/statistics.hpp"
+
+namespace mahimahi::experiment {
+
+/// One flow of a cell's transport probe.
+struct FlowResult {
+  std::string controller;
+  std::uint64_t bytes_delivered{0};
+  double throughput_bps{0};
+  double share{0};
+  std::uint64_t retransmissions{0};
+};
+
+/// Everything measured for one cell.
+struct CellResult {
+  int index{0};  // global (unsharded) matrix index
+  std::string site;
+  std::string protocol;
+  std::string shell;
+  std::string queue;
+  std::string cc;
+  /// Page-load times, one per load, in load-index order.
+  util::Samples plt_ms;
+  std::size_t failed_loads{0};
+  /// Transport probe: one bulk flow per fleet entry over the cell's
+  /// bottleneck. probe_ran is false when probes were disabled.
+  bool probe_ran{false};
+  double queue_delay_p95_ms{0};
+  double jain_index{0};
+  std::vector<FlowResult> flows;
+};
+
+/// The experiment's result set with deterministic serializations: every
+/// number is formatted with fixed precision and cells are emitted in
+/// index order, so two runs of the same spec — at any thread count —
+/// produce byte-identical JSON and CSV. That byte-identity is the
+/// engine's reproducibility check (mm_experiment --selfcheck).
+class Report {
+ public:
+  std::string name;
+  std::uint64_t seed{0};
+  int loads_per_cell{0};
+  int total_cells{0};  // full matrix size (>= cells.size() when sharded)
+  int shard_index{0};
+  int shard_count{1};
+  std::vector<CellResult> cells;
+
+  /// Schema "mahimahi-experiment-v1": metadata + one object per cell with
+  /// full PLT samples, summary stats and the fairness block.
+  [[nodiscard]] std::string to_json() const;
+
+  /// One row per cell: labels, PLT summary stats, queue-delay p95, Jain's
+  /// index, and per-flow shares packed "controller:share|..." .
+  [[nodiscard]] std::string to_csv() const;
+
+  /// The repo-wide "mahimahi-bench-v1" perf-row schema (BENCH_*.json):
+  /// median PLT, queue p95 and Jain rows per cell, diffable across PRs.
+  [[nodiscard]] std::string to_bench_json() const;
+
+  /// Write `content` to `path`; warns on stderr and returns false on
+  /// failure (bench/tool convention).
+  static bool write_file(const std::string& path, const std::string& content);
+};
+
+}  // namespace mahimahi::experiment

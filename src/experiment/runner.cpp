@@ -1,0 +1,213 @@
+#include "experiment/runner.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "core/sessions.hpp"
+#include "net/bulk_probe.hpp"
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace mahimahi::experiment {
+namespace {
+
+/// Work unit: one page load of one cell, or one transport probe.
+struct Task {
+  std::size_t cell_pos{0};  // position in the sharded cell list
+  int load_index{0};
+  bool is_probe{false};
+};
+
+/// Result slot — default-constructible so ParallelRunner can preallocate.
+struct TaskOutcome {
+  double plt_ms{0};
+  char load_ok{1};
+  net::MultiBulkFlowReport probe{};
+};
+
+core::SessionConfig cell_session_config(const Cell& cell,
+                                        const MaterializedCell& materialized) {
+  core::SessionConfig config;
+  config.seed = cell.cell_seed;
+  config.shells = materialized.shells;
+  config.browser.protocol = cell.protocol;
+  if (cell.cc.fleet.size() == 1) {
+    config.congestion_control = cell.cc.fleet.front();
+  } else {
+    config.cc_fleet = cell.cc.fleet;
+  }
+  return config;
+}
+
+replay::OriginServerSet::Options cell_origin_options(const Cell& cell) {
+  replay::OriginServerSet::Options options;
+  options.multiplexed = cell.protocol == web::AppProtocol::kMultiplexed;
+  return options;
+}
+
+net::MultiBulkFlowSpec cell_probe_spec(const Cell& cell,
+                                       const MaterializedCell& materialized,
+                                       Microseconds duration) {
+  net::MultiBulkFlowSpec probe;
+  probe.controllers = cell.cc.fleet;
+  probe.duration = duration;
+  probe.queue = cell.queue.queue;
+  probe.one_way_delay = materialized.total_one_way_delay;
+  probe.loss = materialized.loss;
+  // The probe's random streams (loss coin, AQM drop coin) must differ per
+  // cell but never per thread.
+  probe.loss_seed = cell.cell_seed ^ 0x1055;
+  probe.queue.pie_seed = cell.cell_seed ^ 0xC37;
+  if (materialized.uplink != nullptr) {
+    probe.uplink_trace = materialized.uplink;
+    probe.downlink_trace = materialized.downlink;
+  } else {
+    // No link layer: an effectively-unshaped bottleneck so the probe
+    // still reports shares (the queue axis is inert without a link).
+    probe.link_mbps = 1000.0;
+  }
+  return probe;
+}
+
+}  // namespace
+
+Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
+  if (options.shard_count < 1 || options.shard_index < 0 ||
+      options.shard_index >= options.shard_count) {
+    throw std::invalid_argument{
+        "experiment shard must satisfy 0 <= index < count"};
+  }
+  core::ParallelRunner& pool =
+      options.runner != nullptr ? *options.runner
+                                : core::ParallelRunner::shared();
+  const int loads = options.loads_override > 0 ? options.loads_override
+                                               : spec.loads_per_cell;
+
+  const std::vector<Cell> matrix = expand_matrix(spec);
+  std::vector<Cell> cells;
+  for (const Cell& cell : matrix) {
+    if (cell.index % options.shard_count == options.shard_index) {
+      cells.push_back(cell);
+    }
+  }
+
+  // --- record each referenced site once (they are shared, read-only) ----
+  // Distinct site labels in first-appearance order; recording seeds fork
+  // from (spec.seed, label), so the corpus is independent of the axis
+  // order and of which shard runs.
+  std::vector<const SiteAxis*> distinct_sites;
+  std::map<std::string, std::size_t> site_pos;
+  for (const Cell& cell : cells) {
+    if (site_pos.emplace(cell.site.label, distinct_sites.size()).second) {
+      distinct_sites.push_back(&cell.site);
+    }
+  }
+  struct RecordedSite {
+    corpus::GeneratedSite site;
+    record::RecordStore store;
+  };
+  const util::Rng seed_root{spec.seed};
+  const std::vector<RecordedSite> recorded = pool.map(
+      static_cast<int>(distinct_sites.size()), [&](int i) {
+        const SiteAxis& axis = *distinct_sites[static_cast<std::size_t>(i)];
+        RecordedSite entry{corpus::generate_site(axis.site),
+                           record::RecordStore{}};
+        core::SessionConfig config;
+        config.seed = seed_root.fork("record-" + axis.label).next();
+        core::RecordSession session{entry.site, corpus::LiveWebConfig{},
+                                    config};
+        entry.store = session.record();
+        return entry;
+      });
+
+  // Materialize each cell once (traces are immutable and shared): the
+  // fan-out below reads these concurrently but never mutates them.
+  std::vector<MaterializedCell> materialized;
+  materialized.reserve(cells.size());
+  for (const Cell& cell : cells) {
+    materialized.push_back(materialize_cell(cell));
+  }
+
+  // --- flatten the work: every load and probe is one independent task ---
+  std::vector<Task> tasks;
+  tasks.reserve(cells.size() * (static_cast<std::size_t>(loads) + 1));
+  for (std::size_t pos = 0; pos < cells.size(); ++pos) {
+    for (int load = 0; load < loads; ++load) {
+      tasks.push_back(Task{pos, load, false});
+    }
+    if (options.transport_probes) {
+      tasks.push_back(Task{pos, 0, true});
+    }
+  }
+
+  const std::vector<TaskOutcome> outcomes = pool.map(
+      static_cast<int>(tasks.size()), [&](int task_index) {
+        const Task& task = tasks[static_cast<std::size_t>(task_index)];
+        const Cell& cell = cells[task.cell_pos];
+        const MaterializedCell& cell_net = materialized[task.cell_pos];
+        TaskOutcome outcome;
+        if (task.is_probe) {
+          outcome.probe = net::run_multi_bulk_flow(
+              cell_probe_spec(cell, cell_net, spec.probe_duration));
+          return outcome;
+        }
+        const RecordedSite& entry =
+            recorded[site_pos.at(cell.site.label)];
+        const core::ReplaySession session{
+            entry.store, cell_session_config(cell, cell_net),
+            cell_origin_options(cell)};
+        const web::PageLoadResult result =
+            session.load_once(entry.site.primary_url(), task.load_index);
+        outcome.plt_ms = to_ms(result.page_load_time);
+        outcome.load_ok = result.success ? 1 : 0;
+        return outcome;
+      });
+
+  // --- assemble, in cell order (failure logs after the merge, so even
+  // diagnostics are deterministic) ---------------------------------------
+  Report report;
+  report.name = spec.name;
+  report.seed = spec.seed;
+  report.loads_per_cell = loads;
+  report.total_cells = static_cast<int>(matrix.size());
+  report.shard_index = options.shard_index;
+  report.shard_count = options.shard_count;
+  report.cells.resize(cells.size());
+  for (std::size_t pos = 0; pos < cells.size(); ++pos) {
+    const Cell& cell = cells[pos];
+    CellResult& row = report.cells[pos];
+    row.index = cell.index;
+    row.site = cell.site.label;
+    row.protocol =
+        cell.protocol == web::AppProtocol::kMultiplexed ? "mux" : "http11";
+    row.shell = cell.shell.label;
+    row.queue = cell.queue.label;
+    row.cc = cell.cc.label;
+  }
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const Task& task = tasks[i];
+    const TaskOutcome& outcome = outcomes[i];
+    CellResult& row = report.cells[task.cell_pos];
+    if (task.is_probe) {
+      row.probe_ran = true;
+      row.queue_delay_p95_ms = outcome.probe.bottleneck.delay_p95_ms;
+      row.jain_index = outcome.probe.jain_index;
+      for (const auto& flow : outcome.probe.flows) {
+        row.flows.push_back(FlowResult{flow.controller, flow.bytes_delivered,
+                                       flow.throughput_bps, flow.share,
+                                       flow.retransmissions});
+      }
+      continue;
+    }
+    row.plt_ms.add(outcome.plt_ms);
+    if (outcome.load_ok == 0) {
+      ++row.failed_loads;
+      MAHI_WARN("experiment")
+          << "cell " << row.index << " (" << cells[task.cell_pos].label()
+          << ") load " << task.load_index << " had failures";
+    }
+  }
+  return report;
+}
+
+}  // namespace mahimahi::experiment

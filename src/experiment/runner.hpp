@@ -1,0 +1,42 @@
+#pragma once
+
+#include "core/parallel_runner.hpp"
+#include "experiment/matrix.hpp"
+#include "experiment/report.hpp"
+#include "experiment/spec.hpp"
+
+namespace mahimahi::experiment {
+
+/// Execution knobs — everything here changes *what* runs or *where*, never
+/// the measured numbers of a cell that runs.
+struct RunOptions {
+  /// Thread pool; null = the process-wide ParallelRunner::shared().
+  core::ParallelRunner* runner{nullptr};
+  /// CI sharding: run only cells with index % shard_count == shard_index.
+  /// Cell indices and seeds come from the full matrix, so shard results
+  /// are the exact rows the unsharded run would produce.
+  int shard_index{0};
+  int shard_count{1};
+  /// > 0 replaces spec.loads_per_cell (CLI/CI scale cap). Changing it
+  /// changes which loads run, not the value of any (cell, load) sample.
+  int loads_override{0};
+  /// Run the per-cell transport probe (throughput shares, Jain's index,
+  /// queue-delay p95). Off = page loads only.
+  bool transport_probes{true};
+};
+
+/// Expand the spec's matrix, record each corpus site once, fan every
+/// (cell, load) page load and every per-cell transport probe as an
+/// independent task across the pool, and assemble the Report in cell
+/// order.
+///
+/// Determinism contract: each site records under a seed forked from
+/// (spec.seed, site label); each cell's SessionConfig.seed is forked from
+/// (spec.seed, cell index); each load forks (cell seed, load index)
+/// inside the session layer. No task reads shared mutable state, and
+/// results merge by index — so the Report (and its JSON/CSV bytes) is
+/// identical at any thread count.
+Report run_experiment(const ExperimentSpec& spec,
+                      const RunOptions& options = {});
+
+}  // namespace mahimahi::experiment

@@ -1,0 +1,453 @@
+#include "experiment/spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "cc/registry.hpp"
+#include "util/strings.hpp"
+
+namespace mahimahi::experiment {
+namespace {
+
+[[noreturn]] void fail(int line_number, const std::string& message) {
+  throw std::invalid_argument{"spec line " + std::to_string(line_number) +
+                              ": " + message};
+}
+
+/// "30ms" / "30" -> 30 ms; "2s" -> 2000 ms; never negative.
+Microseconds parse_duration_ms(std::string_view text, int line_number) {
+  std::string_view digits = text;
+  Microseconds unit = 1'000;  // default: milliseconds
+  if (util::ends_with(text, "ms")) {
+    digits = text.substr(0, text.size() - 2);
+  } else if (util::ends_with(text, "s")) {
+    digits = text.substr(0, text.size() - 1);
+    unit = 1'000'000;
+  }
+  std::uint64_t value = 0;
+  if (!util::parse_u64(digits, value)) {
+    fail(line_number, "expected a duration like '30ms' or '2s', got '" +
+                          std::string{text} + "'");
+  }
+  return static_cast<Microseconds>(value) * unit;
+}
+
+double parse_double(std::string_view text, int line_number) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(std::string{text}, &consumed);
+    if (consumed != text.size()) {
+      throw std::invalid_argument{"trailing junk"};
+    }
+    return value;
+  } catch (const std::exception&) {
+    fail(line_number,
+         "expected a number, got '" + std::string{text} + "'");
+  }
+}
+
+std::uint64_t parse_u64_or_fail(std::string_view text, int line_number) {
+  std::uint64_t value = 0;
+  if (!util::parse_u64(text, value)) {
+    fail(line_number,
+         "expected a non-negative integer, got '" + std::string{text} + "'");
+  }
+  return value;
+}
+
+/// "12x1.5" -> {12, 1.5}; "8" -> {8, 8} (symmetric).
+std::pair<double, double> parse_rate_pair(std::string_view text,
+                                          int line_number) {
+  const auto [first, second] = util::split_once(text, 'x');
+  const double up = parse_double(first, line_number);
+  const double down = second.empty() ? up : parse_double(second, line_number);
+  return {up, down};
+}
+
+ShellAxis parse_shell_line(const std::vector<std::string_view>& tokens,
+                           int line_number) {
+  if (tokens.size() < 3) {
+    fail(line_number, "shell needs a label and at least one layer, e.g. "
+                      "'shell lte delay=30ms link=lte'");
+  }
+  ShellAxis axis;
+  axis.label = std::string{tokens[1]};
+  // Canonical stack order regardless of token order: delay outermost,
+  // then link, then loss — matching the bench networks' nesting.
+  std::optional<ShellLayerSpec> delay;
+  std::optional<ShellLayerSpec> link;
+  std::optional<ShellLayerSpec> loss;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const auto [key, value] = util::split_once(tokens[i], '=');
+    if (key == "delay") {
+      if (delay.has_value()) {
+        fail(line_number, "duplicate delay= token");
+      }
+      ShellLayerSpec layer;
+      layer.kind = ShellLayerSpec::Kind::kDelay;
+      layer.delay_one_way = parse_duration_ms(value, line_number);
+      delay = layer;
+    } else if (key == "link") {
+      if (link.has_value()) {
+        fail(line_number, "duplicate link= token");
+      }
+      ShellLayerSpec layer;
+      layer.kind = ShellLayerSpec::Kind::kLink;
+      if (value == "lte") {
+        layer.trace_name = "lte";
+      } else {
+        const auto [up, down] = parse_rate_pair(value, line_number);
+        if (up <= 0 || down <= 0) {
+          fail(line_number, "link rates must be positive Mbit/s");
+        }
+        layer.up_mbps = up;
+        layer.down_mbps = down;
+      }
+      link = layer;
+    } else if (key == "loss") {
+      if (loss.has_value()) {
+        fail(line_number, "duplicate loss= token");
+      }
+      ShellLayerSpec layer;
+      layer.kind = ShellLayerSpec::Kind::kLoss;
+      const auto [up, down] = parse_rate_pair(value, line_number);
+      layer.uplink_loss = up;
+      layer.downlink_loss = down;
+      loss = layer;
+    } else {
+      fail(line_number, "unknown shell token '" + std::string{tokens[i]} +
+                            "' (expected delay=, link= or loss=)");
+    }
+  }
+  if (delay.has_value()) {
+    axis.layers.push_back(*delay);
+  }
+  if (link.has_value()) {
+    axis.layers.push_back(*link);
+  }
+  if (loss.has_value()) {
+    axis.layers.push_back(*loss);
+  }
+  return axis;
+}
+
+QueueAxis parse_queue_line(const std::vector<std::string_view>& tokens,
+                           int line_number) {
+  if (tokens.size() < 3) {
+    fail(line_number, "queue needs a label and a discipline, e.g. "
+                      "'queue dt droptail packets=100'");
+  }
+  QueueAxis axis;
+  axis.label = std::string{tokens[1]};
+  axis.queue.discipline = std::string{tokens[2]};
+  // Each discipline accepts only its own parameters — 'interval=' on a
+  // pie queue (or any knob on infinite) would otherwise be stored into an
+  // ignored QueueSpec field and silently measure the wrong queue.
+  const auto accepts = [&](std::string_view key) {
+    const std::string& d = axis.queue.discipline;
+    if (key == "packets") {
+      return d == "droptail" || d == "drophead" || d == "codel" || d == "pie";
+    }
+    if (key == "bytes") {
+      return d == "droptail" || d == "drophead";
+    }
+    if (key == "target") {
+      return d == "codel" || d == "pie";
+    }
+    if (key == "interval") {
+      return d == "codel";
+    }
+    if (key == "tupdate") {
+      return d == "pie";
+    }
+    return false;
+  };
+  for (std::size_t i = 3; i < tokens.size(); ++i) {
+    const auto [key, value] = util::split_once(tokens[i], '=');
+    if (!accepts(key)) {
+      fail(line_number, "queue discipline '" + axis.queue.discipline +
+                            "' does not take '" + std::string{tokens[i]} +
+                            "' (droptail/drophead: packets=, bytes=; codel: "
+                            "target=, interval=, packets=; pie: target=, "
+                            "tupdate=, packets=; infinite: none)");
+    }
+    if (key == "packets") {
+      axis.queue.max_packets =
+          static_cast<std::size_t>(parse_u64_or_fail(value, line_number));
+    } else if (key == "bytes") {
+      axis.queue.max_bytes =
+          static_cast<std::size_t>(parse_u64_or_fail(value, line_number));
+    } else if (key == "target") {
+      const Microseconds t = parse_duration_ms(value, line_number);
+      axis.queue.codel_target = t;
+      axis.queue.pie_target = t;
+    } else if (key == "interval") {
+      axis.queue.codel_interval = parse_duration_ms(value, line_number);
+    } else if (key == "tupdate") {
+      axis.queue.pie_tupdate = parse_duration_ms(value, line_number);
+    }
+  }
+  return axis;
+}
+
+/// "1xbbr+5xcubic" or "cubic" -> expanded fleet.
+std::vector<std::string> parse_fleet(std::string_view text, int line_number) {
+  constexpr std::uint64_t kMaxFlows = 64;
+  std::vector<std::string> fleet;
+  for (const auto part : util::split(text, '+')) {
+    const auto [count_text, controller] = util::split_once(part, 'x');
+    if (controller.empty()) {
+      fleet.emplace_back(part);  // plain controller name, one flow
+      continue;
+    }
+    const std::uint64_t count = parse_u64_or_fail(count_text, line_number);
+    if (count == 0 || count > kMaxFlows) {
+      fail(line_number, "fleet count must be in [1, 64], got '" +
+                            std::string{count_text} + "'");
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+      fleet.emplace_back(controller);
+    }
+  }
+  if (fleet.empty() || fleet.size() > kMaxFlows) {
+    fail(line_number, "fleet must expand to between 1 and 64 flows");
+  }
+  return fleet;
+}
+
+}  // namespace
+
+std::vector<std::string> known_site_labels() {
+  return {"cnbc", "nytimes", "wikihow"};
+}
+
+corpus::SiteSpec site_spec_for_label(const std::string& label) {
+  if (label == "cnbc") {
+    return corpus::cnbc_like_spec();
+  }
+  if (label == "nytimes") {
+    return corpus::nytimes_like_spec();
+  }
+  if (label == "wikihow") {
+    return corpus::wikihow_like_spec();
+  }
+  std::string known;
+  for (const std::string& name : known_site_labels()) {
+    known += known.empty() ? name : ", " + name;
+  }
+  throw std::invalid_argument{"unknown site '" + label +
+                              "' (known: " + known + ")"};
+}
+
+ExperimentSpec parse_spec(std::string_view text) {
+  ExperimentSpec spec;
+  spec.loads_per_cell = 3;
+  int line_number = 0;
+  for (const auto raw_line : util::split(text, '\n')) {
+    ++line_number;
+    // Strip comments and surrounding whitespace.
+    const auto [content, comment] = util::split_once(raw_line, '#');
+    (void)comment;
+    const std::string_view line = util::trim(content);
+    if (line.empty()) {
+      continue;
+    }
+    std::vector<std::string_view> tokens;
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+      while (pos < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[pos])) != 0) {
+        ++pos;
+      }
+      std::size_t end = pos;
+      while (end < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[end])) == 0) {
+        ++end;
+      }
+      if (end > pos) {
+        tokens.push_back(line.substr(pos, end - pos));
+      }
+      pos = end;
+    }
+    if (tokens.empty()) {
+      continue;
+    }
+    const std::string_view key = tokens[0];
+    if (key == "name") {
+      if (tokens.size() != 2) {
+        fail(line_number, "name takes exactly one value");
+      }
+      spec.name = std::string{tokens[1]};
+    } else if (key == "seed") {
+      if (tokens.size() != 2) {
+        fail(line_number, "seed takes exactly one value");
+      }
+      spec.seed = parse_u64_or_fail(tokens[1], line_number);
+    } else if (key == "loads") {
+      if (tokens.size() != 2) {
+        fail(line_number, "loads takes exactly one value");
+      }
+      spec.loads_per_cell =
+          static_cast<int>(parse_u64_or_fail(tokens[1], line_number));
+    } else if (key == "probe-seconds") {
+      if (tokens.size() != 2) {
+        fail(line_number, "probe-seconds takes exactly one value");
+      }
+      spec.probe_duration = static_cast<Microseconds>(
+          parse_u64_or_fail(tokens[1], line_number) * 1'000'000);
+    } else if (key == "site") {
+      if (tokens.size() != 2) {
+        fail(line_number, "site takes exactly one label");
+      }
+      SiteAxis axis;
+      axis.label = std::string{tokens[1]};
+      try {
+        axis.site = site_spec_for_label(axis.label);
+      } catch (const std::invalid_argument& e) {
+        fail(line_number, e.what());
+      }
+      spec.sites.push_back(std::move(axis));
+    } else if (key == "protocol") {
+      if (tokens.size() != 2) {
+        fail(line_number, "protocol takes exactly one value");
+      }
+      if (tokens[1] == "http11") {
+        spec.protocols.push_back(web::AppProtocol::kHttp11);
+      } else if (tokens[1] == "mux") {
+        spec.protocols.push_back(web::AppProtocol::kMultiplexed);
+      } else {
+        fail(line_number, "unknown protocol '" + std::string{tokens[1]} +
+                              "' (known: http11, mux)");
+      }
+    } else if (key == "shell") {
+      spec.shells.push_back(parse_shell_line(tokens, line_number));
+    } else if (key == "queue") {
+      spec.queues.push_back(parse_queue_line(tokens, line_number));
+    } else if (key == "cc") {
+      if (tokens.size() != 2 && tokens.size() != 3) {
+        fail(line_number,
+             "cc takes '<fleet>' or '<label> <fleet>', e.g. 'cc cubic' or "
+             "'cc mixed 1xbbr+5xcubic'");
+      }
+      CcAxis axis;
+      axis.label = std::string{tokens[1]};
+      axis.fleet =
+          parse_fleet(tokens.size() == 3 ? tokens[2] : tokens[1], line_number);
+      spec.ccs.push_back(std::move(axis));
+    } else {
+      fail(line_number,
+           "unknown key '" + std::string{key} +
+               "' (known: name, seed, loads, probe-seconds, site, protocol, "
+               "shell, queue, cc)");
+    }
+  }
+  validate_spec(spec);
+  return spec;
+}
+
+ExperimentSpec load_spec_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::invalid_argument{"cannot open spec file: " + path};
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  try {
+    return parse_spec(contents.str());
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument{path + ": " + e.what()};
+  }
+}
+
+void validate_spec(const ExperimentSpec& spec) {
+  const auto require = [](bool ok, const std::string& message) {
+    if (!ok) {
+      throw std::invalid_argument{"invalid experiment spec: " + message};
+    }
+  };
+  require(!spec.name.empty(), "name must not be empty");
+  require(spec.loads_per_cell >= 1, "loads must be >= 1");
+  require(spec.probe_duration > 0, "probe duration must be positive");
+
+  const auto check_unique = [&require](const std::vector<std::string>& labels,
+                                       const char* axis) {
+    std::set<std::string> seen;
+    for (const std::string& label : labels) {
+      require(!label.empty(), std::string{axis} + " label must not be empty");
+      require(seen.insert(label).second,
+              std::string{axis} + " label '" + label +
+                  "' appears twice (cells must be uniquely addressable)");
+    }
+  };
+  std::vector<std::string> labels;
+  for (const auto& site : spec.sites) {
+    labels.push_back(site.label);
+  }
+  check_unique(labels, "site");
+  labels.clear();
+  for (const auto& shell : spec.shells) {
+    labels.push_back(shell.label);
+  }
+  check_unique(labels, "shell");
+  labels.clear();
+  for (const auto& queue : spec.queues) {
+    labels.push_back(queue.label);
+  }
+  check_unique(labels, "queue");
+  labels.clear();
+  for (const auto& cc : spec.ccs) {
+    labels.push_back(cc.label);
+  }
+  check_unique(labels, "cc");
+
+  for (const auto& shell : spec.shells) {
+    require(!shell.layers.empty(),
+            "shell '" + shell.label + "' has no layers");
+    for (const auto& layer : shell.layers) {
+      switch (layer.kind) {
+        case ShellLayerSpec::Kind::kDelay:
+          require(layer.delay_one_way >= 0,
+                  "shell '" + shell.label + "': delay must be >= 0");
+          break;
+        case ShellLayerSpec::Kind::kLink:
+          require(layer.trace_name == "lte" ||
+                      (layer.trace_name.empty() && layer.up_mbps > 0 &&
+                       layer.down_mbps > 0),
+                  "shell '" + shell.label +
+                      "': link needs positive rates or the 'lte' trace");
+          break;
+        case ShellLayerSpec::Kind::kLoss:
+          require(layer.uplink_loss >= 0 && layer.uplink_loss < 1 &&
+                      layer.downlink_loss >= 0 && layer.downlink_loss < 1,
+                  "shell '" + shell.label + "': loss rates must be in [0, 1)");
+          break;
+      }
+    }
+  }
+  for (const auto& queue : spec.queues) {
+    try {
+      (void)net::make_queue(queue.queue);  // dry-run the validating factory
+    } catch (const std::invalid_argument& e) {
+      require(false, "queue '" + queue.label + "': " + e.what());
+    }
+  }
+  for (const auto& cc : spec.ccs) {
+    require(!cc.fleet.empty(), "cc '" + cc.label + "' has an empty fleet");
+    for (const std::string& controller : cc.fleet) {
+      require(cc::is_registered(controller),
+              "cc '" + cc.label + "': '" + controller +
+                  "' is not a registered congestion controller");
+    }
+  }
+  for (const auto& site : spec.sites) {
+    require(site.site.object_count > 0 && site.site.server_count > 0,
+            "site '" + site.label + "' has an empty site spec");
+  }
+}
+
+}  // namespace mahimahi::experiment

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/site_generator.hpp"
+#include "net/queue.hpp"
+#include "util/time.hpp"
+#include "web/browser.hpp"
+
+namespace mahimahi::experiment {
+
+/// One layer of a declarative shell stack. Declarative (no live trace
+/// pointers) so a spec can round-trip through text and two expansions of
+/// the same spec are guaranteed to materialize identical shells.
+struct ShellLayerSpec {
+  enum class Kind { kDelay, kLink, kLoss };
+  Kind kind{Kind::kDelay};
+  // kDelay
+  Microseconds delay_one_way{0};
+  // kLink: either a named built-in trace ("lte") or constant rates.
+  std::string trace_name;
+  double up_mbps{0};
+  double down_mbps{0};
+  // kLoss: i.i.d. per-direction rates.
+  double uplink_loss{0};
+  double downlink_loss{0};
+};
+
+/// Axis entry: a named stack of shells, outermost first (mm-delay ...
+/// mm-link ... mm-loss ... <app>, exactly like nesting the real tools).
+struct ShellAxis {
+  std::string label;
+  std::vector<ShellLayerSpec> layers;
+};
+
+/// Axis entry: a queue discipline applied to both directions of the
+/// stack's link layer (cells whose stack has no link ignore it).
+struct QueueAxis {
+  std::string label;
+  net::QueueSpec queue{};
+};
+
+/// Axis entry: a congestion-controller fleet. One entry = homogeneous
+/// (both flow ends run it); several = the mixed-CC axis — browser
+/// connection k runs fleet[k % size], origin server j serves under
+/// fleet[j % size], and the cell's fairness probe runs one bulk flow per
+/// entry across the cell's bottleneck.
+struct CcAxis {
+  std::string label;
+  std::vector<std::string> fleet;
+};
+
+/// Axis entry: a corpus site (generated + recorded once per experiment).
+struct SiteAxis {
+  std::string label;
+  corpus::SiteSpec site{};
+};
+
+/// A declarative experiment: the cartesian product of its axes. Parse one
+/// from text with parse_spec(), or build it programmatically (the bench
+/// drivers do) — the two are equivalent by construction.
+struct ExperimentSpec {
+  std::string name{"experiment"};
+  std::uint64_t seed{1};
+  int loads_per_cell{3};
+  /// Measurement window of the per-cell transport probe (multi-flow bulk
+  /// rig reporting throughput shares, Jain's index and queue-delay p95).
+  Microseconds probe_duration{12'000'000};
+
+  // Axes. An empty axis means "the single default": nytimes-like site,
+  // HTTP/1.1, bare shell stack, infinite FIFO, default controller.
+  std::vector<SiteAxis> sites;
+  std::vector<web::AppProtocol> protocols;
+  std::vector<ShellAxis> shells;
+  std::vector<QueueAxis> queues;
+  std::vector<CcAxis> ccs;
+};
+
+/// Parse the line-oriented keyval format (see README "Experiments"):
+///
+///   # comment
+///   name smoke
+///   seed 42
+///   loads 3
+///   probe-seconds 8
+///   site nytimes
+///   protocol http11
+///   shell lte delay=30ms link=lte
+///   shell cable delay=10ms link=12x1.5 loss=0.002
+///   queue fifo infinite
+///   queue dt droptail packets=100
+///   queue aqm pie target=15ms tupdate=15ms
+///   cc cubic
+///   cc mixed 1xbbr+5xcubic
+///
+/// Throws std::invalid_argument naming the offending line and what was
+/// expected. The result is validated (see validate_spec).
+ExperimentSpec parse_spec(std::string_view text);
+
+/// Read and parse a spec file; errors mention the path.
+ExperimentSpec load_spec_file(const std::string& path);
+
+/// Reject a spec that could not run exactly as written: unknown
+/// congestion controllers (against the cc registry), queue specs
+/// make_queue would refuse, non-positive loads, duplicate axis labels
+/// (cells must be uniquely addressable), malformed shell layers.
+/// parse_spec calls this; programmatic builders should too.
+void validate_spec(const ExperimentSpec& spec);
+
+/// Parse helpers shared with mm_experiment's CLI.
+[[nodiscard]] std::vector<std::string> known_site_labels();
+[[nodiscard]] corpus::SiteSpec site_spec_for_label(const std::string& label);
+
+}  // namespace mahimahi::experiment

@@ -1,9 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "net/link_log.hpp"
+#include "net/queue.hpp"
+#include "trace/trace.hpp"
 #include "util/time.hpp"
 
 namespace mahimahi::net {
@@ -40,5 +44,53 @@ struct BulkFlowReport {
 };
 
 BulkFlowReport run_bulk_flow(const BulkFlowSpec& spec);
+
+/// Multi-flow fairness rig: N long-lived bulk flows — one per entry in
+/// `controllers`, each under its own congestion controller — share one
+/// bottleneck (constant-rate or trace-driven, with a configurable queue
+/// discipline). Data flows *server → client*, mirroring web responses, so
+/// the downlink trace/queue is the contested resource. Every sender keeps
+/// its pipe full until the measurement window closes; the report carries
+/// each flow's delivered bytes, throughput and share of the total, plus
+/// Jain's fairness index and the bottleneck's queueing-delay summary.
+/// Fully deterministic for a given spec (single event loop, seeded loss,
+/// seeded AQM) — thread count and wall clock never enter.
+struct MultiBulkFlowSpec {
+  /// One flow per entry; the name configures the *sender* (server) side,
+  /// the side whose controller governs the contested direction. "" = the
+  /// default controller (reno).
+  std::vector<std::string> controllers;
+  /// Measurement window: shares are delivered-byte counts at this instant.
+  Microseconds duration{20'000'000};
+  /// Bottleneck: traces when set, else a symmetric constant `link_mbps`.
+  std::shared_ptr<const trace::PacketTrace> uplink_trace;
+  std::shared_ptr<const trace::PacketTrace> downlink_trace;
+  double link_mbps{8.0};
+  /// Queue discipline at the bottleneck, both directions.
+  QueueSpec queue{};
+  Microseconds one_way_delay{20'000};
+  double loss{0.0};  // i.i.d. per-packet, both directions
+  std::uint64_t loss_seed{99};
+  /// Flow i opens its connection at i * start_stagger (0 = all at once).
+  Microseconds start_stagger{0};
+};
+
+struct MultiBulkFlowReport {
+  struct Flow {
+    std::string controller;
+    std::uint64_t bytes_delivered{0};  // in-order bytes at the receiver
+    double throughput_bps{0};
+    double share{0};  // bytes_delivered / total across flows
+    Microseconds final_srtt{0};
+    double final_cwnd_bytes{0};
+    std::uint64_t retransmissions{0};
+  };
+  std::vector<Flow> flows;
+  double jain_index{0};  // over per-flow throughputs, in [1/n, 1]
+  /// Bottleneck behaviour in the contested (downlink) direction.
+  LinkLogSummary bottleneck;
+};
+
+MultiBulkFlowReport run_multi_bulk_flow(const MultiBulkFlowSpec& spec);
 
 }  // namespace mahimahi::net

@@ -1,5 +1,6 @@
 #include "net/queue.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -170,21 +171,153 @@ std::optional<Packet> CoDelQueue::dequeue(Microseconds now) {
   return std::nullopt;
 }
 
+// --- PieQueue ---------------------------------------------------------------
+
+PieQueue::PieQueue(Microseconds target, Microseconds tupdate,
+                   std::size_t max_packets, std::uint64_t seed)
+    : target_{target},
+      tupdate_{tupdate},
+      max_packets_{max_packets},
+      rng_{seed} {
+  if (target_ <= 0 || tupdate_ <= 0) {
+    throw std::invalid_argument{"pie target/tupdate must be positive"};
+  }
+}
+
+void PieQueue::maybe_update(Microseconds now) {
+  if (!update_armed_) {
+    // First packet since (re)idle: controller wakes with the queue.
+    next_update_ = now + tupdate_;
+    update_armed_ = true;
+    return;
+  }
+  while (now >= next_update_) {
+    // Sojourn of the current head approximates the queueing delay a new
+    // arrival will see (RFC 8033 §5.2's timestamp alternative to
+    // departure-rate estimation).
+    const Microseconds qdelay =
+        queue_.empty() ? 0 : next_update_ - queue_.front().queued_at;
+
+    // Auto-tuning: shrink the control steps while p is small so the
+    // controller stays stable near zero (RFC 8033 §5.1 scale table).
+    double scale = 1.0;
+    if (p_ < 0.000001) {
+      scale = 1.0 / 2048;
+    } else if (p_ < 0.00001) {
+      scale = 1.0 / 512;
+    } else if (p_ < 0.0001) {
+      scale = 1.0 / 128;
+    } else if (p_ < 0.001) {
+      scale = 1.0 / 32;
+    } else if (p_ < 0.01) {
+      scale = 1.0 / 8;
+    } else if (p_ < 0.1) {
+      scale = 1.0 / 2;
+    }
+    p_ += scale * (kAlpha * static_cast<double>(qdelay - target_) +
+                   kBeta * static_cast<double>(qdelay - qdelay_old_)) /
+          1e6;
+    // Decay toward zero while the standing queue is gone, so a long-idle
+    // queue does not greet the next burst with a stale drop rate.
+    if (qdelay == 0 && qdelay_old_ == 0) {
+      p_ *= 0.98;
+    }
+    p_ = std::min(1.0, std::max(0.0, p_));
+    // Re-arm the burst allowance once the controller has fully relaxed.
+    if (p_ == 0.0 && qdelay < target_ / 2 && qdelay_old_ < target_ / 2) {
+      burst_allowance_ = kMaxBurst;
+    } else if (burst_allowance_ > 0) {
+      burst_allowance_ = burst_allowance_ > tupdate_
+                             ? burst_allowance_ - tupdate_
+                             : 0;
+    }
+    qdelay_old_ = qdelay;
+    next_update_ += tupdate_;
+  }
+}
+
+bool PieQueue::should_drop(const Packet& packet) {
+  (void)packet;
+  if (burst_allowance_ > 0) {
+    return false;  // let short bursts through untouched (RFC 8033 §4.4)
+  }
+  // Safeguards (§4.1): never random-drop when the delay is clearly under
+  // control or the queue is nearly empty — avoids starving slow flows.
+  if ((qdelay_old_ < target_ / 2 && p_ < 0.2) || queue_.size() <= 2) {
+    return false;
+  }
+  return rng_.chance(p_);
+}
+
+void PieQueue::enqueue(Packet&& packet, Microseconds now) {
+  maybe_update(now);
+  if (max_packets_ != 0 && queue_.size() >= max_packets_) {
+    ++drops_;  // hard tail limit, like the RFC's TAIL_DROP backstop
+    return;
+  }
+  if (should_drop(packet)) {
+    ++drops_;
+    return;
+  }
+  packet.queued_at = now;
+  bytes_ += packet.wire_size();
+  queue_.push_back(std::move(packet));
+}
+
+std::optional<Packet> PieQueue::dequeue(Microseconds now) {
+  maybe_update(now);
+  if (queue_.empty()) {
+    // Idle: disarm so the next arrival restarts the update clock instead
+    // of replaying every missed tupdate tick.
+    update_armed_ = false;
+    return std::nullopt;
+  }
+  Packet packet = std::move(queue_.front());
+  queue_.pop_front();
+  bytes_ -= packet.wire_size();
+  return packet;
+}
+
+std::vector<std::string> known_queue_disciplines() {
+  return {"codel", "drophead", "droptail", "infinite", "pie"};
+}
+
 std::unique_ptr<PacketQueue> make_queue(const QueueSpec& spec) {
   if (spec.discipline == "infinite") {
     return std::make_unique<InfiniteQueue>();
   }
-  if (spec.discipline == "droptail") {
-    return std::make_unique<DropTailQueue>(spec.max_packets, spec.max_bytes);
-  }
-  if (spec.discipline == "drophead") {
+  if (spec.discipline == "droptail" || spec.discipline == "drophead") {
+    if (spec.max_packets == 0 && spec.max_bytes == 0) {
+      throw std::invalid_argument{
+          spec.discipline +
+          " spec needs max_packets or max_bytes (a bound-less bounded queue "
+          "would silently behave as infinite)"};
+    }
+    if (spec.discipline == "droptail") {
+      return std::make_unique<DropTailQueue>(spec.max_packets, spec.max_bytes);
+    }
     return std::make_unique<DropHeadQueue>(spec.max_packets, spec.max_bytes);
   }
   if (spec.discipline == "codel") {
+    if (spec.codel_target <= 0 || spec.codel_interval <= 0) {
+      throw std::invalid_argument{"codel spec needs positive target/interval"};
+    }
     return std::make_unique<CoDelQueue>(spec.codel_target, spec.codel_interval,
                                         spec.max_packets);
   }
-  throw std::invalid_argument{"unknown queue discipline: " + spec.discipline};
+  if (spec.discipline == "pie") {
+    if (spec.pie_target <= 0 || spec.pie_tupdate <= 0) {
+      throw std::invalid_argument{"pie spec needs positive target/tupdate"};
+    }
+    return std::make_unique<PieQueue>(spec.pie_target, spec.pie_tupdate,
+                                      spec.max_packets, spec.pie_seed);
+  }
+  std::string known;
+  for (const std::string& name : known_queue_disciplines()) {
+    known += known.empty() ? name : ", " + name;
+  }
+  throw std::invalid_argument{"unknown queue discipline '" + spec.discipline +
+                              "' (known: " + known + ")"};
 }
 
 }  // namespace mahimahi::net

@@ -4,8 +4,10 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/packet.hpp"
+#include "util/random.hpp"
 #include "util/time.hpp"
 
 namespace mahimahi::net {
@@ -125,16 +127,85 @@ class CoDelQueue final : public PacketQueue {
   std::uint32_t drop_count_{0};
 };
 
+/// PIE AQM (RFC 8033) — Proportional Integral controller Enhanced, the
+/// DOCSIS-favoured alternative to CoDel. Drops at *enqueue* with a
+/// probability the controller updates every `tupdate` from the head
+/// packet's sojourn time (the RFC 8033 §5.2 timestamp variant, which fits
+/// a simulator where every packet carries its arrival time):
+///
+///   p += alpha * (qdelay - target) + beta * (qdelay - qdelay_old)
+///
+/// with the RFC's auto-tuned step scaling, burst allowance, the §5.1
+/// small-queue safeguard, and exponential decay of p when the queue
+/// drains. The drop coin comes from a self-contained util::Rng seeded
+/// from the spec, so a PIE queue is bit-deterministic: same packet
+/// arrival sequence, same drops — thread count and wall clock never
+/// enter.
+class PieQueue final : public PacketQueue {
+ public:
+  explicit PieQueue(Microseconds target = 15'000 /* 15 ms */,
+                    Microseconds tupdate = 15'000 /* 15 ms */,
+                    std::size_t max_packets = 0 /* 0 = unbounded */,
+                    std::uint64_t seed = 0x91E);
+
+  void enqueue(Packet&& packet, Microseconds now) override;
+  std::optional<Packet> dequeue(Microseconds now) override;
+  [[nodiscard]] std::size_t packet_count() const override { return queue_.size(); }
+  [[nodiscard]] std::size_t byte_count() const override { return bytes_; }
+  [[nodiscard]] std::uint64_t drops() const override { return drops_; }
+  [[nodiscard]] std::string name() const override { return "pie"; }
+
+  /// Current drop probability (test/meter introspection).
+  [[nodiscard]] double drop_probability() const { return p_; }
+
+ private:
+  static constexpr Microseconds kMaxBurst = 150'000;  // RFC 8033 §4.4
+  static constexpr double kAlpha = 0.125;             // Hz, RFC 8033 §4.2
+  static constexpr double kBeta = 1.25;
+
+  void maybe_update(Microseconds now);
+  [[nodiscard]] bool should_drop(const Packet& packet);
+
+  Microseconds target_;
+  Microseconds tupdate_;
+  std::size_t max_packets_;
+  util::Rng rng_;
+  std::deque<Packet> queue_;
+  std::size_t bytes_{0};
+  std::uint64_t drops_{0};
+  // Controller state.
+  double p_{0.0};
+  Microseconds qdelay_old_{0};
+  Microseconds burst_allowance_{kMaxBurst};
+  Microseconds next_update_{0};
+  bool update_armed_{false};
+};
+
 /// Construct a queue from mm-link-style spec: "infinite", "droptail",
-/// "drophead" (with packet/byte limits), or "codel".
+/// "drophead" (with packet/byte limits), "codel", or "pie".
 struct QueueSpec {
   std::string discipline{"infinite"};
   std::size_t max_packets{0};
   std::size_t max_bytes{0};
   Microseconds codel_target{5'000};
   Microseconds codel_interval{100'000};
+  Microseconds pie_target{15'000};
+  Microseconds pie_tupdate{15'000};
+  /// Seed of PIE's drop coin. Callers instantiating several PIE queues
+  /// (two link directions, many experiment cells) should derive distinct
+  /// seeds here, or their random drops correlate artificially.
+  std::uint64_t pie_seed{0x91E};
 };
 
+/// Validating factory. Throws std::invalid_argument with an actionable
+/// message for an unknown discipline (listing what exists), a droptail/
+/// drophead spec with neither a packet nor a byte bound, or non-positive
+/// AQM timing parameters — a misspelled spec must never silently fall
+/// back to a different queue than the experiment asked for.
 std::unique_ptr<PacketQueue> make_queue(const QueueSpec& spec);
+
+/// The discipline names make_queue accepts, sorted (error messages and
+/// the experiment engine's axis validation share this list).
+[[nodiscard]] std::vector<std::string> known_queue_disciplines();
 
 }  // namespace mahimahi::net

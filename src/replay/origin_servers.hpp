@@ -1,6 +1,8 @@
 #pragma once
 
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/dns.hpp"
@@ -48,6 +50,20 @@ class OriginServerSet {
     /// congestion controller named here shapes the downlink (response
     /// bytes) — the side that dominates page-load time.
     net::TcpConnection::Config tcp{};
+    /// Per-origin controller fleet (ROADMAP's mixed-CC axis): when
+    /// non-empty, origin server j — in spawn order, which follows
+    /// RecordStore::distinct_servers()' sorted (IP, port) order and is
+    /// therefore deterministic — serves responses under
+    /// cc_fleet[j % size()] instead of tcp.congestion_control.
+    std::vector<std::string> cc_fleet;
+    /// Hostname-targeted override, applied after cc_fleet: every origin
+    /// server whose recorded IP backs `hostname` serves under the named
+    /// controller. Lets a spec pin "www.site.test runs bbr" regardless of
+    /// spawn order. Strict by construction: a hostname matching nothing
+    /// in the store throws, as do two co-recorded hostnames pinning the
+    /// same IP to different controllers (servers are per-IP; an ambiguous
+    /// pin must never silently measure the wrong fleet).
+    std::map<std::string, std::string> cc_by_origin;
   };
 
   OriginServerSet(net::Fabric& fabric, const record::RecordStore& store,
@@ -66,6 +82,12 @@ class OriginServerSet {
   [[nodiscard]] std::uint64_t requests_served() const;
   [[nodiscard]] std::uint64_t connections_accepted() const;
 
+  /// Controller each spawned server serves under, in spawn order —
+  /// introspection for tests and the experiment report (mixed fleets).
+  [[nodiscard]] const std::vector<std::string>& server_controllers() const {
+    return server_controllers_;
+  }
+
   [[nodiscard]] const Matcher& matcher() const { return matcher_; }
 
  private:
@@ -73,6 +95,7 @@ class OriginServerSet {
   net::DnsTable dns_;
   std::vector<std::unique_ptr<net::HttpServer>> servers_;
   std::vector<std::unique_ptr<net::mux::MuxServer>> mux_servers_;
+  std::vector<std::string> server_controllers_;
 };
 
 }  // namespace mahimahi::replay

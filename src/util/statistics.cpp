@@ -173,4 +173,21 @@ double percent_difference(double a, double b) {
   return 100.0 * (b - a) / a;
 }
 
+double jain_fairness_index(const std::vector<double>& allocations) {
+  if (allocations.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : allocations) {
+    MAHI_ASSERT(x >= 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) {
+    return 0.0;  // all-zero allocations: fairness is undefined, report 0
+  }
+  return (sum * sum) / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
 }  // namespace mahimahi::util

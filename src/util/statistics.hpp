@@ -86,4 +86,10 @@ std::string render_table(const std::vector<std::vector<std::string>>& rows);
 /// Percent difference of b relative to a: 100 * (b - a) / a.
 double percent_difference(double a, double b);
 
+/// Jain's fairness index over per-flow allocations (throughputs, shares —
+/// any non-negative resource metric): (Σx)² / (n·Σx²). 1.0 = perfectly
+/// equal, 1/n = one flow has everything. Returns 0 for an empty vector or
+/// when every allocation is zero.
+double jain_fairness_index(const std::vector<double>& allocations);
+
 }  // namespace mahimahi::util

@@ -114,6 +114,15 @@ Browser::OriginPool& Browser::pool_for(const http::Url& url, net::Ipv4 ip) {
   return ref;
 }
 
+net::TcpConnection::Config Browser::next_connection_config() const {
+  net::TcpConnection::Config config = config_.tcp;
+  if (!config_.cc_fleet.empty()) {
+    config.congestion_control =
+        config_.cc_fleet[result_.connections_opened % config_.cc_fleet.size()];
+  }
+  return config;
+}
+
 void Browser::pump_all() {
   for (auto& [key, pool] : pools_) {
     pump(*pool);
@@ -171,7 +180,7 @@ void Browser::pump(OriginPool& pool) {
               pump_all();
             }
           },
-          config_.tcp);
+          next_connection_config());
       pool.entries.push_back(std::move(entry));
       ++result_.connections_opened;
       idle = raw;
@@ -200,7 +209,7 @@ void Browser::pump_mux(OriginPool& pool) {
             (void)pool;
             MAHI_WARN("browser") << "mux error: " << reason;
           },
-          config_.tcp);
+          next_connection_config());
       ++result_.connections_opened;
     }
   }

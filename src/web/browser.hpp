@@ -68,6 +68,14 @@ struct BrowserConfig {
   /// the server side is configured where the servers are built, e.g.
   /// replay::OriginServerSet::Options::tcp).
   net::TcpConnection::Config tcp{};
+
+  /// Per-connection-index controller fleet (ROADMAP's mixed-CC axis): when
+  /// non-empty, the k-th connection this load opens — counted across all
+  /// origins in opening order, HTTP/1.1 pool entries and mux connections
+  /// alike — runs cc_fleet[k % size()] instead of tcp.congestion_control.
+  /// Opening order is deterministic under the measurement engine, so the
+  /// assignment is reproducible. Empty = homogeneous (tcp's controller).
+  std::vector<std::string> cc_fleet;
 };
 
 /// Outcome of one page load.
@@ -110,6 +118,10 @@ class Browser {
   struct FetchTask {
     http::Url url;
   };
+
+  /// Transport config for the next connection to open: tcp, with the
+  /// fleet's per-connection-index controller applied when one is set.
+  [[nodiscard]] net::TcpConnection::Config next_connection_config() const;
 
   void schedule_fetch(const http::Url& url);
   void on_resolved(const http::Url& url, std::optional<net::Ipv4> ip);

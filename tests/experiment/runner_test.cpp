@@ -1,0 +1,159 @@
+// End-to-end tests of the experiment engine on a deliberately tiny corpus
+// site: matrix execution, thread-count byte-identity of the serialized
+// reports (the engine's core contract), sharding, and the mixed-CC
+// fairness cell.
+
+#include "experiment/runner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mahimahi::experiment {
+namespace {
+
+/// A small site so each page load stays cheap (the real corpus profiles
+/// are exercised by the bench drivers and integration tier).
+SiteAxis tiny_site() {
+  SiteAxis axis;
+  axis.label = "tiny";
+  axis.site.name = "tiny";
+  axis.site.seed = 7;
+  axis.site.server_count = 3;
+  axis.site.object_count = 8;
+  axis.site.size_scale = 0.25;
+  return axis;
+}
+
+ExperimentSpec small_spec() {
+  ExperimentSpec spec;
+  spec.name = "unit";
+  spec.seed = 99;
+  spec.loads_per_cell = 2;
+  spec.probe_duration = 2'000'000;  // 2 s window keeps probes quick
+  spec.sites = {tiny_site()};
+  spec.protocols = {web::AppProtocol::kHttp11};
+  ShellAxis cable;
+  cable.label = "cable";
+  ShellLayerSpec delay;
+  delay.kind = ShellLayerSpec::Kind::kDelay;
+  delay.delay_one_way = 10'000;
+  ShellLayerSpec link;
+  link.kind = ShellLayerSpec::Kind::kLink;
+  link.up_mbps = 8;
+  link.down_mbps = 8;
+  cable.layers = {delay, link};
+  spec.shells = {cable};
+  spec.queues = {QueueAxis{"fifo", net::QueueSpec{}}};
+  spec.ccs = {CcAxis{"reno", {"reno"}}, CcAxis{"cubic", {"cubic"}}};
+  return spec;
+}
+
+TEST(ExperimentRunner, RunsEveryCellAndReportsSamples) {
+  const Report report = run_experiment(small_spec());
+  ASSERT_EQ(report.cells.size(), 2u);
+  EXPECT_EQ(report.total_cells, 2);
+  for (const CellResult& cell : report.cells) {
+    EXPECT_EQ(cell.plt_ms.size(), 2u);
+    EXPECT_EQ(cell.failed_loads, 0u);
+    for (const double plt : cell.plt_ms.values()) {
+      EXPECT_GT(plt, 0.0);
+    }
+    ASSERT_TRUE(cell.probe_ran);
+    ASSERT_EQ(cell.flows.size(), 1u);
+    EXPECT_DOUBLE_EQ(cell.jain_index, 1.0);  // single flow
+    EXPECT_NEAR(cell.flows[0].share, 1.0, 1e-12);
+  }
+  EXPECT_EQ(report.cells[0].cc, "reno");
+  EXPECT_EQ(report.cells[1].cc, "cubic");
+  // The probe really ran each cell's controller (both fully utilize the
+  // clean 8 Mbit/s bottleneck, so byte counts alone cannot tell them
+  // apart — the transport-visible difference shows on lossy cells, which
+  // bench_cc_comparison's shape checks cover).
+  EXPECT_EQ(report.cells[0].flows[0].controller, "reno");
+  EXPECT_EQ(report.cells[1].flows[0].controller, "cubic");
+}
+
+TEST(ExperimentRunner, ReportsAreByteIdenticalAcrossThreadCounts) {
+  const ExperimentSpec spec = small_spec();
+  core::ParallelRunner one{1};
+  core::ParallelRunner four{4};
+  RunOptions options_one;
+  options_one.runner = &one;
+  RunOptions options_four;
+  options_four.runner = &four;
+  const Report a = run_experiment(spec, options_one);
+  const Report b = run_experiment(spec, options_four);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+  EXPECT_EQ(a.to_bench_json(), b.to_bench_json());
+}
+
+TEST(ExperimentRunner, ShardsPartitionTheMatrixExactly) {
+  const ExperimentSpec spec = small_spec();
+  const Report full = run_experiment(spec);
+  RunOptions shard0;
+  shard0.shard_count = 2;
+  shard0.shard_index = 0;
+  RunOptions shard1;
+  shard1.shard_count = 2;
+  shard1.shard_index = 1;
+  const Report a = run_experiment(spec, shard0);
+  const Report b = run_experiment(spec, shard1);
+  ASSERT_EQ(a.cells.size() + b.cells.size(), full.cells.size());
+  // Shard rows are the exact rows of the full run (same seeds, same
+  // samples) — sharding changes where cells run, never what they measure.
+  const auto row_json = [](const Report& report, std::size_t i) {
+    Report one;
+    one.name = report.name;
+    one.seed = report.seed;
+    one.loads_per_cell = report.loads_per_cell;
+    one.total_cells = report.total_cells;
+    one.cells = {report.cells[i]};
+    return one.to_json();
+  };
+  EXPECT_EQ(row_json(a, 0), row_json(full, 0));
+  EXPECT_EQ(row_json(b, 0), row_json(full, 1));
+}
+
+TEST(ExperimentRunner, LoadsOverrideCapsWork) {
+  RunOptions options;
+  options.loads_override = 1;
+  options.transport_probes = false;
+  const Report report = run_experiment(small_spec(), options);
+  for (const CellResult& cell : report.cells) {
+    EXPECT_EQ(cell.plt_ms.size(), 1u);
+    EXPECT_FALSE(cell.probe_ran);
+  }
+}
+
+TEST(ExperimentRunner, MixedFleetCellReportsFairness) {
+  ExperimentSpec spec = small_spec();
+  spec.ccs = {CcAxis{"mixed", {"bbr", "cubic", "cubic"}}};
+  const Report report = run_experiment(spec);
+  ASSERT_EQ(report.cells.size(), 1u);
+  const CellResult& cell = report.cells[0];
+  // Page loads run with the heterogeneous fleet plumbed through browser
+  // and origin servers.
+  EXPECT_EQ(cell.failed_loads, 0u);
+  ASSERT_TRUE(cell.probe_ran);
+  ASSERT_EQ(cell.flows.size(), 3u);
+  EXPECT_EQ(cell.flows[0].controller, "bbr");
+  EXPECT_EQ(cell.flows[1].controller, "cubic");
+  double total_share = 0;
+  for (const FlowResult& flow : cell.flows) {
+    EXPECT_GT(flow.bytes_delivered, 0u) << flow.controller << " starved";
+    total_share += flow.share;
+  }
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+  EXPECT_GT(cell.jain_index, 0.0);
+  EXPECT_LE(cell.jain_index, 1.0);
+}
+
+TEST(ExperimentRunner, RejectsBadShards) {
+  RunOptions options;
+  options.shard_index = 2;
+  options.shard_count = 2;
+  EXPECT_THROW(run_experiment(small_spec(), options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mahimahi::experiment

@@ -1,0 +1,187 @@
+#include "experiment/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "experiment/matrix.hpp"
+
+namespace mahimahi::experiment {
+namespace {
+
+constexpr const char* kFullSpec = R"(
+# A spec exercising every key.
+name demo
+seed 42
+loads 4
+probe-seconds 8
+site nytimes
+site wikihow
+protocol http11
+protocol mux
+shell lte delay=30ms link=lte
+shell cable delay=10ms link=12x1.5 loss=0.002
+queue fifo infinite
+queue dt droptail packets=100
+queue aqm pie target=15ms tupdate=15ms
+cc cubic
+cc mixed 1xbbr+5xcubic
+)";
+
+TEST(SpecParse, FullSpecRoundTrips) {
+  const ExperimentSpec spec = parse_spec(kFullSpec);
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_EQ(spec.loads_per_cell, 4);
+  EXPECT_EQ(spec.probe_duration, 8'000'000);
+  ASSERT_EQ(spec.sites.size(), 2u);
+  EXPECT_EQ(spec.sites[0].label, "nytimes");
+  ASSERT_EQ(spec.protocols.size(), 2u);
+  ASSERT_EQ(spec.shells.size(), 2u);
+  EXPECT_EQ(spec.shells[0].label, "lte");
+  ASSERT_EQ(spec.shells[0].layers.size(), 2u);
+  EXPECT_EQ(spec.shells[0].layers[0].kind, ShellLayerSpec::Kind::kDelay);
+  EXPECT_EQ(spec.shells[0].layers[0].delay_one_way, 30'000);
+  EXPECT_EQ(spec.shells[0].layers[1].trace_name, "lte");
+  ASSERT_EQ(spec.shells[1].layers.size(), 3u);
+  EXPECT_DOUBLE_EQ(spec.shells[1].layers[1].up_mbps, 12.0);
+  EXPECT_DOUBLE_EQ(spec.shells[1].layers[1].down_mbps, 1.5);
+  EXPECT_DOUBLE_EQ(spec.shells[1].layers[2].downlink_loss, 0.002);
+  ASSERT_EQ(spec.queues.size(), 3u);
+  EXPECT_EQ(spec.queues[1].queue.discipline, "droptail");
+  EXPECT_EQ(spec.queues[1].queue.max_packets, 100u);
+  EXPECT_EQ(spec.queues[2].queue.discipline, "pie");
+  EXPECT_EQ(spec.queues[2].queue.pie_target, 15'000);
+  ASSERT_EQ(spec.ccs.size(), 2u);
+  EXPECT_EQ(spec.ccs[0].label, "cubic");
+  EXPECT_EQ(spec.ccs[0].fleet, std::vector<std::string>{"cubic"});
+  EXPECT_EQ(spec.ccs[1].label, "mixed");
+  ASSERT_EQ(spec.ccs[1].fleet.size(), 6u);
+  EXPECT_EQ(spec.ccs[1].fleet[0], "bbr");
+  EXPECT_EQ(spec.ccs[1].fleet[5], "cubic");
+}
+
+TEST(SpecParse, ErrorsNameTheLine) {
+  try {
+    parse_spec("name demo\nfrobnicate 3\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+    EXPECT_NE(message.find("frobnicate"), std::string::npos) << message;
+  }
+}
+
+TEST(SpecParse, RejectsUnknownController) {
+  EXPECT_THROW(parse_spec("cc warp 1xwarpspeed\n"), std::invalid_argument);
+}
+
+TEST(SpecParse, RejectsUnknownQueueDiscipline) {
+  try {
+    parse_spec("queue q red packets=10\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("red"), std::string::npos);
+  }
+}
+
+TEST(SpecParse, RejectsBoundLessDroptail) {
+  EXPECT_THROW(parse_spec("queue q droptail\n"), std::invalid_argument);
+}
+
+TEST(SpecParse, RejectsParamsForeignToTheDiscipline) {
+  // 'interval=' belongs to codel; storing it silently on a pie queue
+  // would measure a different AQM than the spec author intended.
+  EXPECT_THROW(parse_spec("queue q pie interval=20ms\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_spec("queue q codel tupdate=20ms\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_spec("queue q infinite packets=10\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_spec("queue q droptail packets=10 target=5ms\n"),
+               std::invalid_argument);
+  // ...while each discipline's own knobs parse.
+  EXPECT_NO_THROW(parse_spec("queue q codel target=5ms interval=100ms\n"));
+  EXPECT_NO_THROW(parse_spec("queue q pie target=15ms tupdate=15ms\n"));
+}
+
+TEST(SpecParse, RejectsUnknownSiteListingKnown) {
+  try {
+    parse_spec("site geocities\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("geocities"), std::string::npos) << message;
+    EXPECT_NE(message.find("nytimes"), std::string::npos) << message;
+  }
+}
+
+TEST(SpecParse, RejectsDuplicateAxisLabels) {
+  EXPECT_THROW(parse_spec("cc cubic\ncc cubic\n"), std::invalid_argument);
+  EXPECT_THROW(
+      parse_spec("shell a delay=1ms\nshell a delay=2ms\n"),
+      std::invalid_argument);
+}
+
+TEST(SpecParse, RejectsZeroFleetCount) {
+  EXPECT_THROW(parse_spec("cc z 0xcubic\n"), std::invalid_argument);
+}
+
+TEST(Matrix, ExpansionOrderAndCount) {
+  const ExperimentSpec spec = parse_spec(kFullSpec);
+  const std::vector<Cell> cells = expand_matrix(spec);
+  // 2 sites x 2 protocols x 2 shells x 3 queues x 2 ccs.
+  ASSERT_EQ(cells.size(), 48u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, static_cast<int>(i));
+  }
+  // cc is the innermost axis; site the outermost.
+  EXPECT_EQ(cells[0].label(), "nytimes/http11/lte/fifo/cubic");
+  EXPECT_EQ(cells[1].label(), "nytimes/http11/lte/fifo/mixed");
+  EXPECT_EQ(cells[2].label(), "nytimes/http11/lte/dt/cubic");
+  EXPECT_EQ(cells[47].label(), "wikihow/mux/cable/aqm/mixed");
+}
+
+TEST(Matrix, EmptyAxesGetDefaults) {
+  const std::vector<Cell> cells = expand_matrix(parse_spec("name minimal\n"));
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].label(), "nytimes/http11/bare/fifo/reno");
+}
+
+TEST(Matrix, CellSeedsAreStableAndDistinct) {
+  // The (seed, cell) derivation is part of the determinism contract: the
+  // same spec must map cell k to the same seed forever.
+  EXPECT_EQ(derive_cell_seed(42, 0), derive_cell_seed(42, 0));
+  EXPECT_NE(derive_cell_seed(42, 0), derive_cell_seed(42, 1));
+  EXPECT_NE(derive_cell_seed(42, 0), derive_cell_seed(43, 0));
+  const ExperimentSpec spec = parse_spec(kFullSpec);
+  const std::vector<Cell> a = expand_matrix(spec);
+  const std::vector<Cell> b = expand_matrix(spec);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cell_seed, b[i].cell_seed);
+    EXPECT_EQ(a[i].cell_seed, derive_cell_seed(spec.seed, a[i].index));
+  }
+}
+
+TEST(Matrix, MaterializeInstallsQueueOnLink) {
+  const ExperimentSpec spec =
+      parse_spec("shell s delay=5ms link=8 loss=0.01\n"
+                 "queue dt droptail packets=7\n");
+  const std::vector<Cell> cells = expand_matrix(spec);
+  ASSERT_EQ(cells.size(), 1u);
+  const MaterializedCell materialized = materialize_cell(cells[0]);
+  ASSERT_EQ(materialized.shells.size(), 3u);
+  const auto* link = std::get_if<core::LinkShellSpec>(&materialized.shells[1]);
+  ASSERT_NE(link, nullptr);
+  EXPECT_EQ(link->uplink_queue.discipline, "droptail");
+  EXPECT_EQ(link->uplink_queue.max_packets, 7u);
+  EXPECT_EQ(link->downlink_queue.discipline, "droptail");
+  EXPECT_EQ(materialized.total_one_way_delay, 5'000);
+  EXPECT_DOUBLE_EQ(materialized.loss, 0.01);
+  EXPECT_NE(materialized.uplink, nullptr);
+  // Two materializations of the same cell produce identical traces.
+  const MaterializedCell again = materialize_cell(cells[0]);
+  EXPECT_EQ(materialized.uplink->opportunities(),
+            again.uplink->opportunities());
+}
+
+}  // namespace
+}  // namespace mahimahi::experiment

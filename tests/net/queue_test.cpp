@@ -114,6 +114,162 @@ TEST(CoDelQueue, RejectsBadParameters) {
   EXPECT_THROW(CoDelQueue(5'000, 0), std::invalid_argument);
 }
 
+TEST(CoDelQueue, ByteCountConsistentAfterAqmDrops) {
+  CoDelQueue q{5'000, 100'000};
+  for (int i = 0; i < 300; ++i) {
+    q.enqueue(make_packet(100, static_cast<std::uint64_t>(i)), 0);
+  }
+  // Drain slowly so CoDel drops some packets at dequeue; after every
+  // dequeue, byte_count must equal exactly what remains queued.
+  Microseconds now = 0;
+  while (true) {
+    now += 10'000;
+    const auto p = q.dequeue(now);
+    EXPECT_EQ(q.byte_count(),
+              q.packet_count() * make_packet(100).wire_size());
+    if (!p) {
+      break;
+    }
+  }
+  EXPECT_GT(q.drops(), 0u);
+  EXPECT_EQ(q.byte_count(), 0u);
+}
+
+TEST(CoDelQueue, EmptyQueueExitsDroppingState) {
+  CoDelQueue q{5'000, 100'000};
+  // Build a standing queue and drain until CoDel is mid-dropping-state.
+  for (int i = 0; i < 100; ++i) {
+    q.enqueue(make_packet(100, static_cast<std::uint64_t>(i)), 0);
+  }
+  Microseconds now = 0;
+  while (q.packet_count() > 0) {
+    now += 20'000;
+    q.dequeue(now);
+  }
+  const std::uint64_t drops_at_empty = q.drops();
+  EXPECT_GT(drops_at_empty, 0u);
+  EXPECT_FALSE(q.dequeue(now + 1).has_value());
+  // Fresh, immediately-drained traffic after the drain must sail through:
+  // the dropping state must not leak across the empty period.
+  for (int i = 0; i < 50; ++i) {
+    now += 1'000;
+    q.enqueue(make_packet(100, static_cast<std::uint64_t>(1000 + i)), now);
+    const auto p = q.dequeue(now + 100);  // sojourn 100 us << 5 ms target
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->id, static_cast<std::uint64_t>(1000 + i));
+  }
+  EXPECT_EQ(q.drops(), drops_at_empty);
+}
+
+TEST(CoDelQueue, ReentryWithinIntervalDecaysDropCount) {
+  // RFC 8289 §5.2: re-entering the dropping state shortly after leaving it
+  // restarts at drop_count - 2, so the drop rate ramps faster than a cold
+  // start. Observable effect: the second congestion episode drops its
+  // first packet and keeps control-law state — compare against a fresh
+  // queue experiencing the same second episode, which must behave
+  // identically *only* if enough time passed. Here we assert the re-entry
+  // drops at least as aggressively as the cold start.
+  const auto run_episode = [](CoDelQueue& q, Microseconds start, int packets,
+                              Microseconds drain_step) {
+    for (int i = 0; i < packets; ++i) {
+      q.enqueue(make_packet(100, static_cast<std::uint64_t>(i)), start);
+    }
+    Microseconds now = start;
+    while (q.packet_count() > 0) {
+      now += drain_step;
+      q.dequeue(now);
+    }
+    return now;
+  };
+
+  CoDelQueue reentrant{5'000, 100'000};
+  const Microseconds after_first = run_episode(reentrant, 0, 200, 10'000);
+  const std::uint64_t first_drops = reentrant.drops();
+  EXPECT_GT(first_drops, 0u);
+  // Second episode begins within one interval of leaving dropping state.
+  run_episode(reentrant, after_first + 50'000, 200, 10'000);
+  const std::uint64_t second_drops = reentrant.drops() - first_drops;
+
+  CoDelQueue cold{5'000, 100'000};
+  run_episode(cold, 0, 200, 10'000);
+  const std::uint64_t cold_drops = cold.drops();
+
+  // The decayed drop_count re-entry must drop at least as many packets as
+  // a cold start on the identical episode (it skips the initial ramp).
+  EXPECT_GE(second_drops, cold_drops);
+}
+
+TEST(PieQueue, NoDropsUnderLightLoad) {
+  PieQueue q;
+  Microseconds now = 0;
+  for (int i = 0; i < 500; ++i) {
+    now += 5'000;
+    q.enqueue(make_packet(kMss, static_cast<std::uint64_t>(i)), now);
+    EXPECT_TRUE(q.dequeue(now + 500).has_value());  // sojourn 0.5 ms
+  }
+  EXPECT_EQ(q.drops(), 0u);
+  EXPECT_DOUBLE_EQ(q.drop_probability(), 0.0);
+}
+
+TEST(PieQueue, DropsUnderSustainedOverload) {
+  PieQueue q;  // 15 ms target
+  // Arrivals at 2 packets/ms, service at 1 packet/ms: queue grows without
+  // bound unless PIE sheds load. Run well past the 150 ms burst allowance.
+  Microseconds now = 0;
+  std::uint64_t id = 0;
+  for (int ms = 0; ms < 2'000; ++ms) {
+    now = ms * 1'000;
+    q.enqueue(make_packet(kMss, id++), now);
+    q.enqueue(make_packet(kMss, id++), now + 500);
+    q.dequeue(now + 900);
+  }
+  EXPECT_GT(q.drops(), 0u);
+  EXPECT_GT(q.drop_probability(), 0.0);
+  // The standing queue must be bounded far below the no-AQM level (~2000
+  // packets would have accumulated by now without drops).
+  EXPECT_LT(q.packet_count(), 1'000u);
+}
+
+TEST(PieQueue, BurstAllowancePassesShortBursts) {
+  PieQueue q;
+  // A 100 ms burst (inside the 150 ms allowance) then full drain.
+  for (int i = 0; i < 100; ++i) {
+    q.enqueue(make_packet(kMss, static_cast<std::uint64_t>(i)), i * 1'000);
+  }
+  Microseconds now = 100'000;
+  std::size_t out = 0;
+  while (q.dequeue(now).has_value()) {
+    now += 1'000;
+    ++out;
+  }
+  EXPECT_EQ(out, 100u);
+  EXPECT_EQ(q.drops(), 0u);
+}
+
+TEST(PieQueue, DeterministicGivenSameSeed) {
+  const auto run = [] {
+    PieQueue q{15'000, 15'000, 0, 42};
+    std::vector<std::uint64_t> delivered;
+    Microseconds now = 0;
+    std::uint64_t id = 0;
+    for (int ms = 0; ms < 1'000; ++ms) {
+      now = ms * 1'000;
+      q.enqueue(make_packet(kMss, id++), now);
+      q.enqueue(make_packet(kMss, id++), now + 400);
+      if (const auto p = q.dequeue(now + 800)) {
+        delivered.push_back(p->id);
+      }
+    }
+    return delivered;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(PieQueue, RejectsBadParameters) {
+  EXPECT_THROW(PieQueue(0, 15'000), std::invalid_argument);
+  EXPECT_THROW(PieQueue(15'000, 0), std::invalid_argument);
+}
+
 TEST(MakeQueue, BuildsEveryDiscipline) {
   EXPECT_EQ(make_queue({.discipline = "infinite"})->name(), "infinite");
   EXPECT_EQ(make_queue({.discipline = "droptail", .max_packets = 10})->name(),
@@ -121,7 +277,45 @@ TEST(MakeQueue, BuildsEveryDiscipline) {
   EXPECT_EQ(make_queue({.discipline = "drophead", .max_packets = 10})->name(),
             "drophead");
   EXPECT_EQ(make_queue({.discipline = "codel"})->name(), "codel");
+  EXPECT_EQ(make_queue({.discipline = "pie"})->name(), "pie");
   EXPECT_THROW(make_queue({.discipline = "red"}), std::invalid_argument);
+}
+
+TEST(MakeQueue, UnknownDisciplineErrorNamesTheCulpritAndTheChoices) {
+  try {
+    make_queue({.discipline = "fq_codel"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("fq_codel"), std::string::npos) << message;
+    for (const std::string& name : known_queue_disciplines()) {
+      EXPECT_NE(message.find(name), std::string::npos) << message;
+    }
+  }
+}
+
+TEST(MakeQueue, BoundLessBoundedSpecsAreRejectedWithClearError) {
+  for (const char* discipline : {"droptail", "drophead"}) {
+    try {
+      make_queue({.discipline = discipline});
+      FAIL() << discipline << " spec with no bound must not build";
+    } catch (const std::invalid_argument& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find(discipline), std::string::npos) << message;
+      EXPECT_NE(message.find("max_packets"), std::string::npos) << message;
+    }
+  }
+}
+
+TEST(MakeQueue, RejectsNonPositiveAqmTimings) {
+  EXPECT_THROW(make_queue({.discipline = "codel", .codel_target = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(make_queue({.discipline = "codel", .codel_interval = -1}),
+               std::invalid_argument);
+  EXPECT_THROW(make_queue({.discipline = "pie", .pie_target = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(make_queue({.discipline = "pie", .pie_tupdate = -5}),
+               std::invalid_argument);
 }
 
 // Conservation property: whatever the discipline, packets out + drops ==
@@ -151,7 +345,7 @@ TEST_P(QueueConservation, InEqualsOutPlusDrops) {
 
 INSTANTIATE_TEST_SUITE_P(AllDisciplines, QueueConservation,
                          ::testing::Values("infinite", "droptail", "drophead",
-                                           "codel"));
+                                           "codel", "pie"));
 
 }  // namespace
 }  // namespace mahimahi::net

@@ -43,6 +43,63 @@ TEST(OriginServerSet, MultiOriginSpawnsOneServerPerRecordedAddress) {
   EXPECT_EQ(servers.dns_table().lookup("cdn.site.test"), kB.ip);
 }
 
+TEST(OriginServerSet, HomogeneousFleetDefaultsToRegistryDefault) {
+  net::EventLoop loop;
+  net::Fabric fabric{loop};
+  const auto store = three_origin_store();
+  OriginServerSet servers{fabric, store};
+  ASSERT_EQ(servers.server_controllers().size(), 3u);
+  for (const auto& name : servers.server_controllers()) {
+    EXPECT_EQ(name, "reno");
+  }
+}
+
+TEST(OriginServerSet, CcFleetAssignsControllersBySpawnOrder) {
+  net::EventLoop loop;
+  net::Fabric fabric{loop};
+  const auto store = three_origin_store();
+  OriginServerSet::Options options;
+  options.cc_fleet = {"bbr", "cubic"};
+  OriginServerSet servers{fabric, store, options};
+  // Spawn order follows distinct_servers()' sorted (ip, port) order:
+  // 93.184.216.34:80, 151.101.1.1:80, 151.101.1.1:443 — so the two-entry
+  // fleet wraps around on the third server.
+  ASSERT_EQ(servers.server_controllers().size(), 3u);
+  EXPECT_EQ(servers.server_controllers()[0], "bbr");
+  EXPECT_EQ(servers.server_controllers()[1], "cubic");
+  EXPECT_EQ(servers.server_controllers()[2], "bbr");
+}
+
+TEST(OriginServerSet, CcByOriginPinsAHostnamesServers) {
+  net::EventLoop loop;
+  net::Fabric fabric{loop};
+  const auto store = three_origin_store();
+  OriginServerSet::Options options;
+  options.tcp.congestion_control = "cubic";
+  options.cc_by_origin["cdn.site.test"] = "vegas";
+  OriginServerSet servers{fabric, store, options};
+  ASSERT_EQ(servers.server_controllers().size(), 3u);
+  // Both of cdn.site.test's (ip,port) servers run vegas; www stays cubic.
+  int vegas = 0;
+  int cubic = 0;
+  for (const auto& name : servers.server_controllers()) {
+    vegas += name == "vegas" ? 1 : 0;
+    cubic += name == "cubic" ? 1 : 0;
+  }
+  EXPECT_EQ(vegas, 2);
+  EXPECT_EQ(cubic, 1);
+}
+
+TEST(OriginServerSet, CcByOriginRejectsUnknownHostname) {
+  net::EventLoop loop;
+  net::Fabric fabric{loop};
+  const auto store = three_origin_store();
+  OriginServerSet::Options options;
+  options.cc_by_origin["cdn.site.tset"] = "bbr";  // typo must not be a no-op
+  EXPECT_THROW((OriginServerSet{fabric, store, options}),
+               std::invalid_argument);
+}
+
 TEST(OriginServerSet, ServersAnswerWithRecordedBytes) {
   net::EventLoop loop;
   net::Fabric fabric{loop};

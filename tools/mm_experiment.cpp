@@ -1,0 +1,228 @@
+// mm-experiment: run a declarative scenario-matrix experiment.
+//
+//   usage: mm_experiment <spec-file> [options]
+//     --list              expand the matrix, print one line per cell, exit
+//     --shard i/n         run only cells with index % n == i (CI fan-out;
+//                         cell indices and seeds come from the full
+//                         matrix, so shard rows equal the unsharded rows)
+//     --loads N           override the spec's loads-per-cell
+//     --no-probes         skip the per-cell transport probes
+//     --json PATH         write the experiment report JSON (default
+//                         <name>.json)
+//     --csv PATH          write the report CSV (default <name>.csv)
+//     --bench-json PATH   also write mahimahi-bench-v1 perf rows
+//                         (CI uploads BENCH_experiment.json)
+//     --selfcheck         run the whole experiment twice — once on 1
+//                         thread, once on several — and fail unless the
+//                         serialized reports are byte-identical (the
+//                         engine's reproducibility contract)
+//
+//   env: MAHI_EXP_LOADS caps loads-per-cell when --loads is absent;
+//        MAHI_THREADS sizes the shared pool, as everywhere in the repo.
+//
+// Exit status: 0 ok, 1 runtime/selfcheck failure, 2 usage/spec error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "experiment/runner.hpp"
+
+using namespace mahimahi;
+using namespace mahimahi::experiment;
+
+namespace {
+
+void print_cells(const ExperimentSpec& spec) {
+  const std::vector<Cell> cells = expand_matrix(spec);
+  std::printf("# %zu cells (site/protocol/shell/queue/cc), seed %llu, "
+              "%d loads per cell\n",
+              cells.size(), static_cast<unsigned long long>(spec.seed),
+              spec.loads_per_cell);
+  for (const Cell& cell : cells) {
+    std::printf("%4d  %-48s flows=%zu\n", cell.index, cell.label().c_str(),
+                cell.cc.fleet.size());
+  }
+}
+
+void print_summary(const Report& report) {
+  std::printf("%-4s %-44s %10s %10s %8s %6s\n", "cell", "label",
+              "median-plt", "queue-p95", "jain", "loads");
+  for (const CellResult& cell : report.cells) {
+    const std::string label = cell.site + "/" + cell.protocol + "/" +
+                              cell.shell + "/" + cell.queue + "/" + cell.cc;
+    std::printf("%-4d %-44s %8.0fms", cell.index, label.c_str(),
+                cell.plt_ms.empty() ? 0.0 : cell.plt_ms.median());
+    if (cell.probe_ran) {
+      std::printf(" %8.1fms %8.4f", cell.queue_delay_p95_ms, cell.jain_index);
+    } else {
+      std::printf(" %10s %8s", "-", "-");
+    }
+    std::printf(" %6zu\n", cell.plt_ms.size());
+    if (cell.probe_ran && cell.flows.size() > 1) {
+      for (const FlowResult& flow : cell.flows) {
+        std::printf("       flow %-8s share=%.4f  %8.0f kbit/s  rexmit=%llu\n",
+                    flow.controller.c_str(), flow.share,
+                    flow.throughput_bps / 1e3,
+                    static_cast<unsigned long long>(flow.retransmissions));
+      }
+    }
+  }
+}
+
+int env_loads() {
+  const char* value = std::getenv("MAHI_EXP_LOADS");
+  if (value == nullptr) {
+    return 0;
+  }
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : 0;
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <spec-file> [--list] [--shard i/n] [--loads N] "
+      "[--no-probes] [--json PATH] [--csv PATH] [--bench-json PATH] "
+      "[--selfcheck]\n",
+      argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(argv[0]);
+  }
+  const std::string spec_path = argv[1];
+  bool list = false;
+  bool selfcheck = false;
+  RunOptions options;
+  std::string json_path;
+  std::string csv_path;
+  std::string bench_json_path;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--selfcheck") {
+      selfcheck = true;
+    } else if (arg == "--no-probes") {
+      options.transport_probes = false;
+    } else if (arg == "--loads") {
+      options.loads_override = std::atoi(value().c_str());
+      if (options.loads_override < 1) {
+        std::fprintf(stderr, "error: --loads must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--shard") {
+      const std::string shard = value();
+      const std::size_t slash = shard.find('/');
+      if (slash == std::string::npos) {
+        std::fprintf(stderr, "error: --shard expects i/n, e.g. 0/4\n");
+        return 2;
+      }
+      options.shard_index = std::atoi(shard.substr(0, slash).c_str());
+      options.shard_count = std::atoi(shard.substr(slash + 1).c_str());
+      if (options.shard_count < 1 || options.shard_index < 0 ||
+          options.shard_index >= options.shard_count) {
+        std::fprintf(stderr, "error: --shard needs 0 <= i < n\n");
+        return 2;
+      }
+    } else if (arg == "--json") {
+      json_path = value();
+    } else if (arg == "--csv") {
+      csv_path = value();
+    } else if (arg == "--bench-json") {
+      bench_json_path = value();
+    } else {
+      std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+
+  ExperimentSpec spec;
+  try {
+    spec = load_spec_file(spec_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  // MAHI_EXP_LOADS is a *cap* (CI scale guard), never an amplifier; an
+  // explicit --loads wins over both it and the spec.
+  if (options.loads_override == 0) {
+    const int cap = env_loads();
+    if (cap > 0 && cap < spec.loads_per_cell) {
+      options.loads_override = cap;
+    }
+  }
+
+  if (list) {
+    print_cells(spec);
+    return 0;
+  }
+
+  try {
+    const Report report = run_experiment(spec, options);
+    std::printf("=== experiment %s: %zu/%d cells (shard %d/%d), "
+                "%d loads/cell ===\n",
+                report.name.c_str(), report.cells.size(), report.total_cells,
+                report.shard_index, report.shard_count,
+                report.loads_per_cell);
+    print_summary(report);
+
+    // Reports are written before the selfcheck verdict decides the exit
+    // status: when the selfcheck fails, the (divergent) report files are
+    // precisely the diagnostic CI must upload.
+    const std::string json_out =
+        json_path.empty() ? spec.name + ".json" : json_path;
+    const std::string csv_out =
+        csv_path.empty() ? spec.name + ".csv" : csv_path;
+    bool wrote = Report::write_file(json_out, report.to_json());
+    wrote = Report::write_file(csv_out, report.to_csv()) && wrote;
+    if (!bench_json_path.empty()) {
+      wrote =
+          Report::write_file(bench_json_path, report.to_bench_json()) && wrote;
+    }
+    std::fprintf(stderr, "[experiment] wrote %s and %s\n", json_out.c_str(),
+                 csv_out.c_str());
+
+    if (selfcheck) {
+      // Rerun the identical experiment at a deliberately different thread
+      // count; the serialized reports must match byte for byte.
+      const int current = (options.runner != nullptr
+                               ? options.runner->thread_count()
+                               : core::ParallelRunner::shared().thread_count());
+      core::ParallelRunner other{current == 1 ? 4 : 1};
+      RunOptions rerun_options = options;
+      rerun_options.runner = &other;
+      const Report rerun = run_experiment(spec, rerun_options);
+      const bool identical = rerun.to_json() == report.to_json() &&
+                             rerun.to_csv() == report.to_csv();
+      std::printf("selfcheck: reports byte-identical at %d vs %d "
+                  "thread(s): %s\n",
+                  current, other.thread_count(), identical ? "yes" : "NO");
+      if (!identical) {
+        // Both sides of the divergence on disk, diffable.
+        Report::write_file(json_out + ".selfcheck-divergent",
+                           rerun.to_json());
+        return 1;
+      }
+    }
+    return wrote ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
