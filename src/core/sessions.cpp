@@ -12,12 +12,6 @@ namespace {
 
 constexpr std::size_t kEventLimit = 200'000'000;
 
-/// Seed stream for one load: experiment seed + machine salt + load index.
-util::Rng load_rng(const SessionConfig& config, int load_index) {
-  util::Rng root{config.seed ^ config.host.seed_salt};
-  return root.fork("load-" + std::to_string(load_index));
-}
-
 web::PageLoadResult run_load(net::EventLoop& loop, web::Browser& browser,
                              const std::string& url) {
   std::optional<web::PageLoadResult> result;
@@ -27,19 +21,6 @@ web::PageLoadResult run_load(net::EventLoop& loop, web::Browser& browser,
     throw std::runtime_error{"page load never completed (event loop drained)"};
   }
   return std::move(*result);
-}
-
-/// Browser config for one session: host-scaled compute, plus the
-/// session-level congestion-control override when set.
-web::BrowserConfig session_browser(const SessionConfig& config) {
-  web::BrowserConfig browser = scaled_browser(config.browser, config.host);
-  if (!config.congestion_control.empty()) {
-    browser.tcp.congestion_control = config.congestion_control;
-  }
-  if (!config.cc_fleet.empty()) {
-    browser.cc_fleet = config.cc_fleet;
-  }
-  return browser;
 }
 
 /// Live-web config for one session: the congestion-control override
@@ -52,8 +33,24 @@ corpus::LiveWebConfig session_live_web(const SessionConfig& config,
   return web;
 }
 
-/// Replay origin-server options for one session — same override, third
-/// flow-end flavour (ReplayShell's server farm).
+}  // namespace
+
+util::Rng session_load_rng(const SessionConfig& config, int load_index) {
+  util::Rng root{config.seed ^ config.host.seed_salt};
+  return root.fork("load-" + std::to_string(load_index));
+}
+
+web::BrowserConfig session_browser_config(const SessionConfig& config) {
+  web::BrowserConfig browser = scaled_browser(config.browser, config.host);
+  if (!config.congestion_control.empty()) {
+    browser.tcp.congestion_control = config.congestion_control;
+  }
+  if (!config.cc_fleet.empty()) {
+    browser.cc_fleet = config.cc_fleet;
+  }
+  return browser;
+}
+
 replay::OriginServerSet::Options session_origin_options(
     const SessionConfig& config,
     const replay::OriginServerSet::Options& base) {
@@ -67,7 +64,36 @@ replay::OriginServerSet::Options session_origin_options(
   return options;
 }
 
-}  // namespace
+// --- ReplayWorld ---------------------------------------------------------
+
+ReplayWorld::ReplayWorld(net::EventLoop& loop,
+                         const record::RecordStore& store,
+                         const SessionConfig& config,
+                         const replay::OriginServerSet::Options& options,
+                         int load_index) {
+  util::Rng rng = session_load_rng(config, load_index);
+
+  fabric_ = std::make_unique<net::Fabric>(loop);
+
+  // ReplayShell: one server per recorded (IP, port) — or the
+  // single-server ablation — plus a local DNS (dnsmasq equivalent). The
+  // session-level congestion-control override reaches both flow ends.
+  servers_ = std::make_unique<replay::OriginServerSet>(
+      *fabric_, store, session_origin_options(config, options));
+
+  const net::Ipv4 dns_ip = fabric_->allocate_server_ip();
+  dns_server_ = std::make_unique<net::DnsServer>(
+      *fabric_, net::Address{dns_ip, net::kDnsPort}, servers_->dns_table());
+
+  // Nested shells between the application and the replayed servers.
+  apply_shells(*fabric_, config.shells, config.host, rng);
+
+  browser_ = std::make_unique<web::Browser>(*fabric_, dns_server_->address(),
+                                            session_browser_config(config),
+                                            rng.fork("browser"));
+}
+
+ReplayWorld::~ReplayWorld() = default;
 
 web::BrowserConfig scaled_browser(const web::BrowserConfig& base,
                                   const HostProfile& host) {
@@ -96,28 +122,10 @@ ReplaySession::ReplaySession(const record::RecordStore& store,
 
 web::PageLoadResult ReplaySession::load_once(const std::string& url,
                                              int load_index) const {
-  util::Rng rng = load_rng(config_, load_index);
-
   net::EventLoop loop;
   loop.set_event_limit(kEventLimit);
-  net::Fabric fabric{loop};
-
-  // ReplayShell: spawn one server per recorded (IP, port) — or the
-  // single-server ablation — and a local DNS (dnsmasq equivalent). The
-  // session-level congestion-control override reaches both flow ends.
-  replay::OriginServerSet servers{fabric, store_,
-                                  session_origin_options(config_, options_)};
-
-  const net::Ipv4 dns_ip = fabric.allocate_server_ip();
-  net::DnsServer dns_server{fabric, net::Address{dns_ip, net::kDnsPort},
-                            servers.dns_table()};
-
-  // Nested shells between the application and the replayed servers.
-  apply_shells(fabric, config_.shells, config_.host, rng);
-
-  web::Browser browser{fabric, dns_server.address(), session_browser(config_),
-                       rng.fork("browser")};
-  return run_load(loop, browser, url);
+  ReplayWorld world{loop, store_, config_, options_, load_index};
+  return run_load(loop, world.browser(), url);
 }
 
 util::Samples ReplaySession::measure(const std::string& url, int count,
@@ -153,7 +161,7 @@ RecordSession::RecordSession(const corpus::GeneratedSite& site,
     : site_{site}, web_{web}, config_{std::move(config)} {}
 
 record::RecordStore RecordSession::record(web::PageLoadResult* result_out) {
-  util::Rng rng = load_rng(config_, 0);
+  util::Rng rng = session_load_rng(config_, 0);
 
   net::EventLoop loop;
   loop.set_event_limit(kEventLimit);
@@ -174,7 +182,7 @@ record::RecordStore RecordSession::record(web::PageLoadResult* result_out) {
   net::DnsServer dns_server{inner, net::Address{dns_ip, net::kDnsPort},
                             live.dns_table()};
 
-  web::Browser browser{inner, dns_server.address(), session_browser(config_),
+  web::Browser browser{inner, dns_server.address(), session_browser_config(config_),
                        rng.fork("browser")};
   auto result = run_load(loop, browser, site_.primary_url());
   if (result_out != nullptr) {
@@ -190,7 +198,7 @@ LiveWebSession::LiveWebSession(const corpus::GeneratedSite& site,
     : site_{site}, web_{web}, config_{std::move(config)} {}
 
 LiveWebSession::LoadOutcome LiveWebSession::load_outcome(int load_index) const {
-  util::Rng rng = load_rng(config_, load_index);
+  util::Rng rng = session_load_rng(config_, load_index);
   net::EventLoop loop;
   loop.set_event_limit(kEventLimit);
   net::Fabric fabric{loop};
@@ -200,7 +208,7 @@ LiveWebSession::LoadOutcome LiveWebSession::load_outcome(int load_index) const {
   outcome.primary_rtt = live.primary_rtt();
   apply_shells(fabric, config_.shells, config_.host, rng);
   web::Browser browser{fabric, live.dns_server_address(),
-                       session_browser(config_), rng.fork("browser")};
+                       session_browser_config(config_), rng.fork("browser")};
   outcome.result = run_load(loop, browser, site_.primary_url());
   return outcome;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,51 @@ struct SessionConfig {
   /// controllers across a shared bottleneck. Takes precedence over
   /// `congestion_control`.
   std::vector<std::string> cc_fleet;
+};
+
+/// Browser config for one session: host-scaled compute, plus the
+/// session-level congestion-control override (single controller or mixed
+/// fleet) when set.
+web::BrowserConfig session_browser_config(const SessionConfig& config);
+
+/// Replay origin-server options for one session: `base` with the
+/// session-level congestion-control override applied to the server side
+/// of every flow.
+replay::OriginServerSet::Options session_origin_options(
+    const SessionConfig& config, const replay::OriginServerSet::Options& base);
+
+/// Root random stream for one load of a session: (seed, machine salt,
+/// load index) — fixed before any simulation work, per the ParallelRunner
+/// determinism contract.
+util::Rng session_load_rng(const SessionConfig& config, int load_index);
+
+/// One replay session's fully-materialized namespace stack — origin
+/// server farm, DNS, nested shells and browser — on a *caller-owned*
+/// event loop. ReplaySession::load_once builds one per load on a private
+/// loop; fleet::SessionMux multiplexes many of them onto a shared loop
+/// (each world is its own connection namespace: worlds share nothing but
+/// the loop, so sessions cannot alias each other's sockets or timers).
+class ReplayWorld {
+ public:
+  ReplayWorld(net::EventLoop& loop, const record::RecordStore& store,
+              const SessionConfig& config,
+              const replay::OriginServerSet::Options& options, int load_index);
+  ~ReplayWorld();
+
+  ReplayWorld(const ReplayWorld&) = delete;
+  ReplayWorld& operator=(const ReplayWorld&) = delete;
+
+  [[nodiscard]] web::Browser& browser() { return *browser_; }
+  [[nodiscard]] net::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] const replay::OriginServerSet& servers() const {
+    return *servers_;
+  }
+
+ private:
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<replay::OriginServerSet> servers_;
+  std::unique_ptr<net::DnsServer> dns_server_;
+  std::unique_ptr<web::Browser> browser_;
 };
 
 /// ReplayShell driver: loads a page from a recorded site, optionally under

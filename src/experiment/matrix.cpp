@@ -49,6 +49,9 @@ ExperimentSpec with_defaults(ExperimentSpec spec) {
     spec.ccs.push_back(
         CcAxis{cc::kDefaultController, {cc::kDefaultController}});
   }
+  if (spec.fleets.empty()) {
+    spec.fleets.push_back(FleetAxis{"solo", 1});
+  }
   return spec;
 }
 
@@ -58,7 +61,7 @@ std::string Cell::label() const {
   const char* protocol_name =
       protocol == web::AppProtocol::kMultiplexed ? "mux" : "http11";
   return site.label + "/" + protocol_name + "/" + shell.label + "/" +
-         queue.label + "/" + cc.label;
+         queue.label + "/" + cc.label + "/" + fleet.label;
 }
 
 std::uint64_t derive_cell_seed(std::uint64_t experiment_seed, int cell_index) {
@@ -73,23 +76,27 @@ std::vector<Cell> expand_matrix(const ExperimentSpec& raw) {
   // explicit entries — it is only reachable as the default, by design.
   std::vector<Cell> cells;
   cells.reserve(spec.sites.size() * spec.protocols.size() *
-                spec.shells.size() * spec.queues.size() * spec.ccs.size());
+                spec.shells.size() * spec.queues.size() * spec.ccs.size() *
+                spec.fleets.size());
   int index = 0;
   for (const auto& site : spec.sites) {
     for (const auto protocol : spec.protocols) {
       for (const auto& shell : spec.shells) {
         for (const auto& queue : spec.queues) {
           for (const auto& cc : spec.ccs) {
-            Cell cell;
-            cell.index = index;
-            cell.site = site;
-            cell.protocol = protocol;
-            cell.shell = shell;
-            cell.queue = queue;
-            cell.cc = cc;
-            cell.cell_seed = derive_cell_seed(spec.seed, index);
-            cells.push_back(std::move(cell));
-            ++index;
+            for (const auto& fleet : spec.fleets) {
+              Cell cell;
+              cell.index = index;
+              cell.site = site;
+              cell.protocol = protocol;
+              cell.shell = shell;
+              cell.queue = queue;
+              cell.cc = cc;
+              cell.fleet = fleet;
+              cell.cell_seed = derive_cell_seed(spec.seed, index);
+              cells.push_back(std::move(cell));
+              ++index;
+            }
           }
         }
       }

@@ -22,9 +22,11 @@ struct Cell {
   ShellAxis shell;
   QueueAxis queue;
   CcAxis cc;
+  FleetAxis fleet;
   std::uint64_t cell_seed{0};
 
-  /// "site/protocol/shell/queue/cc" — the stable row name in reports.
+  /// "site/protocol/shell/queue/cc/fleet" — the stable row name in
+  /// reports.
   [[nodiscard]] std::string label() const;
 };
 
@@ -35,9 +37,10 @@ struct Cell {
 std::uint64_t derive_cell_seed(std::uint64_t experiment_seed, int cell_index);
 
 /// Expand the cartesian product in canonical nesting order — site
-/// (outermost), protocol, shell, queue, cc (innermost) — assigning cell
-/// indices 0..n-1. Empty axes are filled with their single default entry
-/// first (see ExperimentSpec). Validates the spec.
+/// (outermost), protocol, shell, queue, cc, fleet (innermost) — assigning
+/// cell indices 0..n-1. Empty axes are filled with their single default
+/// entry first (see ExperimentSpec; the default fleet is "solo", one
+/// session). Validates the spec.
 std::vector<Cell> expand_matrix(const ExperimentSpec& spec);
 
 /// Everything the runner needs to instantiate a cell's network: the shell

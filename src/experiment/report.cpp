@@ -59,6 +59,8 @@ std::string Report::to_json() const {
     out += ", \"shell\": \"" + json_escape(cell.shell) + "\"";
     out += ", \"queue\": \"" + json_escape(cell.queue) + "\"";
     out += ", \"cc\": \"" + json_escape(cell.cc) + "\"";
+    out += ", \"fleet\": \"" + json_escape(cell.fleet) + "\"";
+    out += ", \"fleet_sessions\": " + std::to_string(cell.fleet_sessions);
     out += ", \"failed_loads\": " + std::to_string(cell.failed_loads);
     out += ", ";
     append_summary_fields(out, cell.plt_ms);
@@ -94,13 +96,14 @@ std::string Report::to_json() const {
 
 std::string Report::to_csv() const {
   std::string out =
-      "cell,site,protocol,shell,queue,cc,loads,failed_loads,plt_median_ms,"
-      "plt_mean_ms,plt_p95_ms,plt_min_ms,plt_max_ms,queue_delay_p95_ms,"
-      "jain_index,flow_shares\n";
+      "cell,site,protocol,shell,queue,cc,fleet,fleet_sessions,loads,"
+      "failed_loads,plt_median_ms,plt_mean_ms,plt_p95_ms,plt_min_ms,"
+      "plt_max_ms,queue_delay_p95_ms,jain_index,flow_shares\n";
   for (const CellResult& cell : cells) {
     out += std::to_string(cell.index) + ",";
     out += cell.site + "," + cell.protocol + "," + cell.shell + "," +
-           cell.queue + "," + cell.cc + ",";
+           cell.queue + "," + cell.cc + "," + cell.fleet + "," +
+           std::to_string(cell.fleet_sessions) + ",";
     out += std::to_string(cell.plt_ms.size()) + ",";
     out += std::to_string(cell.failed_loads) + ",";
     const util::Samples& plt = cell.plt_ms;
@@ -139,7 +142,8 @@ std::string Report::to_bench_json() const {
   };
   for (const CellResult& cell : cells) {
     const std::string label = cell.site + "/" + cell.protocol + "/" +
-                              cell.shell + "/" + cell.queue + "/" + cell.cc;
+                              cell.shell + "/" + cell.queue + "/" + cell.cc +
+                              "/" + cell.fleet;
     if (!cell.plt_ms.empty()) {
       add("exp_plt_median/" + label, cell.plt_ms.median() * 1e6);
     }

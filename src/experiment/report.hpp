@@ -25,7 +25,12 @@ struct CellResult {
   std::string shell;
   std::string queue;
   std::string cc;
-  /// Page-load times, one per load, in load-index order.
+  std::string fleet;
+  /// Concurrent users per load (the offered-load axis); 1 = classic
+  /// single-user cell.
+  int fleet_sessions{1};
+  /// Page-load times in (load-index, session-index) order — one sample
+  /// per load for a single-user cell, fleet_sessions per load otherwise.
   util::Samples plt_ms;
   std::size_t failed_loads{0};
   /// Transport probe: one bulk flow per fleet entry over the cell's

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/sessions.hpp"
+#include "fleet/session_mux.hpp"
 #include "net/bulk_probe.hpp"
 #include "util/logging.hpp"
 #include "util/random.hpp"
@@ -19,9 +20,12 @@ struct Task {
 };
 
 /// Result slot — default-constructible so ParallelRunner can preallocate.
+/// A load task yields one PLT per session: one entry for a classic
+/// single-user cell, fleet.sessions entries (in session-index order) for
+/// an offered-load cell.
 struct TaskOutcome {
-  double plt_ms{0};
-  char load_ok{1};
+  std::vector<double> plts;
+  std::vector<char> oks;
   net::MultiBulkFlowReport probe{};
 };
 
@@ -153,13 +157,39 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
         }
         const RecordedSite& entry =
             recorded[site_pos.at(cell.site.label)];
+        if (cell.fleet.sessions > 1) {
+          // Offered-load cell: one load = one shared-world fleet, every
+          // user contending in the same namespace. The whole fleet is one
+          // indivisible simulation under one task, seeded from
+          // (cell_seed, load index) — deterministic at any thread count,
+          // like every other task.
+          fleet::MuxConfig mux_config;
+          mux_config.fleet_seed =
+              util::Rng{cell.cell_seed}
+                  .fork("fleet-load-" + std::to_string(task.load_index))
+                  .next();
+          mux_config.stagger = cell.fleet.stagger;
+          mux_config.session = cell_session_config(cell, cell_net);
+          mux_config.origin = cell_origin_options(cell);
+          mux_config.shared_world = true;
+          fleet::SessionMux mux{entry.store, entry.site.primary_url(),
+                                mux_config};
+          for (int s = 0; s < cell.fleet.sessions; ++s) {
+            mux.add_session(s);
+          }
+          for (const fleet::SessionOutcome& session : mux.run()) {
+            outcome.plts.push_back(session.plt_ms);
+            outcome.oks.push_back(session.success);
+          }
+          return outcome;
+        }
         const core::ReplaySession session{
             entry.store, cell_session_config(cell, cell_net),
             cell_origin_options(cell)};
         const web::PageLoadResult result =
             session.load_once(entry.site.primary_url(), task.load_index);
-        outcome.plt_ms = to_ms(result.page_load_time);
-        outcome.load_ok = result.success ? 1 : 0;
+        outcome.plts.push_back(to_ms(result.page_load_time));
+        outcome.oks.push_back(result.success ? 1 : 0);
         return outcome;
       });
 
@@ -183,6 +213,8 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
     row.shell = cell.shell.label;
     row.queue = cell.queue.label;
     row.cc = cell.cc.label;
+    row.fleet = cell.fleet.label;
+    row.fleet_sessions = cell.fleet.sessions;
   }
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     const Task& task = tasks[i];
@@ -199,12 +231,15 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
       }
       continue;
     }
-    row.plt_ms.add(outcome.plt_ms);
-    if (outcome.load_ok == 0) {
-      ++row.failed_loads;
-      MAHI_WARN("experiment")
-          << "cell " << row.index << " (" << cells[task.cell_pos].label()
-          << ") load " << task.load_index << " had failures";
+    for (std::size_t s = 0; s < outcome.plts.size(); ++s) {
+      row.plt_ms.add(outcome.plts[s]);
+      if (outcome.oks[s] == 0) {
+        ++row.failed_loads;
+        MAHI_WARN("experiment")
+            << "cell " << row.index << " (" << cells[task.cell_pos].label()
+            << ") load " << task.load_index << " session " << s
+            << " had failures";
+      }
     }
   }
   return report;

@@ -33,9 +33,12 @@ struct RunOptions {
 /// Determinism contract: each site records under a seed forked from
 /// (spec.seed, site label); each cell's SessionConfig.seed is forked from
 /// (spec.seed, cell index); each load forks (cell seed, load index)
-/// inside the session layer. No task reads shared mutable state, and
-/// results merge by index — so the Report (and its JSON/CSV bytes) is
-/// identical at any thread count.
+/// inside the session layer. A fleet cell (offered-load axis,
+/// fleet_sessions > 1) runs each load as one shared-world
+/// fleet::SessionMux inside its task — one indivisible simulation, seeded
+/// the same way. No task reads shared mutable state, and results merge by
+/// index — so the Report (and its JSON/CSV bytes) is identical at any
+/// thread count.
 Report run_experiment(const ExperimentSpec& spec,
                       const RunOptions& options = {});
 

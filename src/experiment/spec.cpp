@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -220,6 +221,44 @@ std::vector<std::string> parse_fleet(std::string_view text, int line_number) {
   return fleet;
 }
 
+/// "fleet <label> sessions=N [stagger=Xms]" or the shorthand "fleet N"
+/// (label "N", N sessions, default stagger).
+FleetAxis parse_fleet_line(const std::vector<std::string_view>& tokens,
+                           int line_number) {
+  if (tokens.size() < 2) {
+    fail(line_number, "fleet needs a label and a size, e.g. "
+                      "'fleet crowd sessions=8 stagger=50ms' or 'fleet 8'");
+  }
+  FleetAxis axis;
+  axis.label = std::string{tokens[1]};
+  std::uint64_t shorthand = 0;
+  if (tokens.size() == 2 && util::parse_u64(tokens[1], shorthand)) {
+    axis.sessions = static_cast<int>(shorthand);
+    return axis;
+  }
+  bool saw_sessions = false;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const auto [key, value] = util::split_once(tokens[i], '=');
+    if (key == "sessions") {
+      if (saw_sessions) {
+        fail(line_number, "duplicate sessions= token");
+      }
+      saw_sessions = true;
+      axis.sessions =
+          static_cast<int>(parse_u64_or_fail(value, line_number));
+    } else if (key == "stagger") {
+      axis.stagger = parse_duration_ms(value, line_number);
+    } else {
+      fail(line_number, "unknown fleet token '" + std::string{tokens[i]} +
+                            "' (expected sessions= or stagger=)");
+    }
+  }
+  if (!saw_sessions) {
+    fail(line_number, "fleet '" + axis.label + "' needs sessions=N");
+  }
+  return axis;
+}
+
 }  // namespace
 
 std::vector<std::string> known_site_labels() {
@@ -248,6 +287,21 @@ ExperimentSpec parse_spec(std::string_view text) {
   ExperimentSpec spec;
   spec.loads_per_cell = 3;
   int line_number = 0;
+  // First-seen line of each scalar key: scalar keys may appear at most
+  // once per spec. (Axis keys repeat — each occurrence is one more axis
+  // entry — but a repeated scalar used to silently keep the last value,
+  // so a spec redefining `seed` halfway down measured something other
+  // than what its header said.)
+  std::map<std::string, int> scalar_lines;
+  const auto claim_scalar = [&](std::string_view key, int at_line) {
+    const auto [it, inserted] =
+        scalar_lines.emplace(std::string{key}, at_line);
+    if (!inserted) {
+      fail(at_line, "duplicate '" + std::string{key} + "' (first set on line " +
+                        std::to_string(it->second) +
+                        "); scalar keys may appear only once");
+    }
+  };
   for (const auto raw_line : util::split(text, '\n')) {
     ++line_number;
     // Strip comments and surrounding whitespace.
@@ -282,22 +336,26 @@ ExperimentSpec parse_spec(std::string_view text) {
       if (tokens.size() != 2) {
         fail(line_number, "name takes exactly one value");
       }
+      claim_scalar(key, line_number);
       spec.name = std::string{tokens[1]};
     } else if (key == "seed") {
       if (tokens.size() != 2) {
         fail(line_number, "seed takes exactly one value");
       }
+      claim_scalar(key, line_number);
       spec.seed = parse_u64_or_fail(tokens[1], line_number);
     } else if (key == "loads") {
       if (tokens.size() != 2) {
         fail(line_number, "loads takes exactly one value");
       }
+      claim_scalar(key, line_number);
       spec.loads_per_cell =
           static_cast<int>(parse_u64_or_fail(tokens[1], line_number));
     } else if (key == "probe-seconds") {
       if (tokens.size() != 2) {
         fail(line_number, "probe-seconds takes exactly one value");
       }
+      claim_scalar(key, line_number);
       spec.probe_duration = static_cast<Microseconds>(
           parse_u64_or_fail(tokens[1], line_number) * 1'000'000);
     } else if (key == "site") {
@@ -339,11 +397,13 @@ ExperimentSpec parse_spec(std::string_view text) {
       axis.fleet =
           parse_fleet(tokens.size() == 3 ? tokens[2] : tokens[1], line_number);
       spec.ccs.push_back(std::move(axis));
+    } else if (key == "fleet") {
+      spec.fleets.push_back(parse_fleet_line(tokens, line_number));
     } else {
       fail(line_number,
            "unknown key '" + std::string{key} +
                "' (known: name, seed, loads, probe-seconds, site, protocol, "
-               "shell, queue, cc)");
+               "shell, queue, cc, fleet)");
     }
   }
   validate_spec(spec);
@@ -404,6 +464,18 @@ void validate_spec(const ExperimentSpec& spec) {
     labels.push_back(cc.label);
   }
   check_unique(labels, "cc");
+  labels.clear();
+  for (const auto& fleet : spec.fleets) {
+    labels.push_back(fleet.label);
+  }
+  check_unique(labels, "fleet");
+
+  for (const auto& fleet : spec.fleets) {
+    require(fleet.sessions >= 1 && fleet.sessions <= 256,
+            "fleet '" + fleet.label + "': sessions must be in [1, 256]");
+    require(fleet.stagger >= 0,
+            "fleet '" + fleet.label + "': stagger must be >= 0");
+  }
 
   for (const auto& shell : spec.shells) {
     require(!shell.layers.empty(),

@@ -59,6 +59,20 @@ struct SiteAxis {
   corpus::SiteSpec site{};
 };
 
+/// Axis entry: offered load — how many concurrent emulated users load the
+/// cell's page per measurement. sessions == 1 is the classic single-user
+/// cell; sessions > 1 runs a fleet::SessionMux in shared-world mode, so
+/// the users contend for the cell's origin servers and link bandwidth and
+/// the cell's PLT distribution degrades with fleet size (the PLT-vs-load
+/// grid). Each load of a fleet cell is one indivisible simulation, so the
+/// cell stays deterministic at any thread count.
+struct FleetAxis {
+  std::string label;
+  int sessions{1};
+  /// Arrival spacing between consecutive users within one load.
+  Microseconds stagger{50'000};
+};
+
 /// A declarative experiment: the cartesian product of its axes. Parse one
 /// from text with parse_spec(), or build it programmatically (the bench
 /// drivers do) — the two are equivalent by construction.
@@ -77,6 +91,7 @@ struct ExperimentSpec {
   std::vector<ShellAxis> shells;
   std::vector<QueueAxis> queues;
   std::vector<CcAxis> ccs;
+  std::vector<FleetAxis> fleets;
 };
 
 /// Parse the line-oriented keyval format (see README "Experiments"):
@@ -95,9 +110,15 @@ struct ExperimentSpec {
 ///   queue aqm pie target=15ms tupdate=15ms
 ///   cc cubic
 ///   cc mixed 1xbbr+5xcubic
+///   fleet solo sessions=1
+///   fleet crowd sessions=8 stagger=50ms
+///   fleet 16                       # shorthand: label "16", 16 sessions
 ///
-/// Throws std::invalid_argument naming the offending line and what was
-/// expected. The result is validated (see validate_spec).
+/// Scalar keys (name, seed, loads, probe-seconds) may appear at most
+/// once; a duplicate is an error naming both lines, never a silent
+/// last-writer-wins. Throws std::invalid_argument naming the offending
+/// line and what was expected. The result is validated (see
+/// validate_spec).
 ExperimentSpec parse_spec(std::string_view text);
 
 /// Read and parse a spec file; errors mention the path.
@@ -106,8 +127,9 @@ ExperimentSpec load_spec_file(const std::string& path);
 /// Reject a spec that could not run exactly as written: unknown
 /// congestion controllers (against the cc registry), queue specs
 /// make_queue would refuse, non-positive loads, duplicate axis labels
-/// (cells must be uniquely addressable), malformed shell layers.
-/// parse_spec calls this; programmatic builders should too.
+/// (cells must be uniquely addressable), malformed shell layers, fleet
+/// sizes outside [1, 256]. parse_spec calls this; programmatic builders
+/// should too.
 void validate_spec(const ExperimentSpec& spec);
 
 /// Parse helpers shared with mm_experiment's CLI.

@@ -1,0 +1,116 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/statistics.hpp"
+
+namespace mahimahi::fleet {
+
+std::size_t peak_concurrency(const std::vector<SessionOutcome>& outcomes) {
+  // Interval sweep over (start, finish) edges: +1 at each start, -1 at
+  // each finish, starts before finishes at equal times (a session that
+  // arrives the instant another retires does overlap it for an instant).
+  std::vector<std::pair<double, int>> edges;
+  edges.reserve(outcomes.size() * 2);
+  for (const SessionOutcome& o : outcomes) {
+    edges.emplace_back(o.start_ms, +1);
+    edges.emplace_back(o.finish_ms, -1);
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const std::pair<double, int>& a,
+               const std::pair<double, int>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second > b.second;  // +1 edges first
+            });
+  std::size_t live = 0;
+  std::size_t peak = 0;
+  for (const auto& [at, delta] : edges) {
+    if (delta > 0) {
+      ++live;
+      peak = std::max(peak, live);
+    } else {
+      MAHI_ASSERT(live > 0);
+      --live;
+    }
+  }
+  return peak;
+}
+
+FleetResult run_fleet(const record::RecordStore& store, const std::string& url,
+                      const FleetSpec& spec, core::ParallelRunner* runner) {
+  if (spec.sessions < 1) {
+    throw std::invalid_argument{"fleet needs at least one session"};
+  }
+  core::ParallelRunner& pool =
+      runner != nullptr ? *runner : core::ParallelRunner::shared();
+  int shards = spec.shards > 0 ? spec.shards : pool.thread_count();
+  shards = std::min(shards, spec.sessions);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Shard s owns sessions {i : i % shards == s}. Each shard is one
+  // SessionMux (one event loop) and one pool task; because every
+  // session's seed and arrival time derive from its global index alone,
+  // this assignment is arbitrary — any other partition produces the same
+  // per-session bytes, which is exactly what the selfcheck re-verifies.
+  std::vector<std::vector<SessionOutcome>> per_shard =
+      pool.map(shards, [&](int shard) {
+        MuxConfig config;
+        config.fleet_seed = spec.seed;
+        config.stagger = spec.stagger;
+        config.session = spec.session;
+        config.origin = spec.origin;
+        config.shared_world = false;
+        SessionMux mux{store, url, config};
+        for (int i = shard; i < spec.sessions; i += shards) {
+          mux.add_session(i);
+        }
+        return mux.run();
+      });
+
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  FleetResult result;
+  result.shards = shards;
+  result.sessions.reserve(static_cast<std::size_t>(spec.sessions));
+  for (const std::vector<SessionOutcome>& shard : per_shard) {
+    result.sessions.insert(result.sessions.end(), shard.begin(), shard.end());
+  }
+  std::sort(result.sessions.begin(), result.sessions.end(),
+            [](const SessionOutcome& a, const SessionOutcome& b) {
+              return a.session_index < b.session_index;
+            });
+  MAHI_ASSERT_MSG(result.sessions.size() ==
+                      static_cast<std::size_t>(spec.sessions),
+                  "fleet lost sessions across shards");
+
+  util::Samples plts;
+  std::size_t loads = 0;
+  for (const SessionOutcome& o : result.sessions) {
+    if (o.success != 0) {
+      plts.add(o.plt_ms);
+      ++loads;
+    } else {
+      ++result.failed;
+    }
+  }
+  if (!plts.empty()) {
+    result.plt_p50_ms = plts.percentile(50.0);
+    result.plt_p95_ms = plts.percentile(95.0);
+  }
+  result.peak_concurrent = peak_concurrency(result.sessions);
+
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  if (result.wall_seconds > 0) {
+    result.sessions_per_second = spec.sessions / result.wall_seconds;
+    result.page_loads_per_second =
+        static_cast<double>(loads) / result.wall_seconds;
+  }
+  return result;
+}
+
+}  // namespace mahimahi::fleet

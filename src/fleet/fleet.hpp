@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/parallel_runner.hpp"
+#include "fleet/session_mux.hpp"
+
+namespace mahimahi::fleet {
+
+/// A fleet: N emulated users, each an independent replay session, sharded
+/// over `shards` event loops which run as ParallelRunner tasks.
+struct FleetSpec {
+  int sessions{1};
+  /// Number of SessionMux loops. Session i is assigned to loop i % shards
+  /// — but because seeds and arrival times are pure functions of i, the
+  /// assignment (and the thread count under it) never changes any
+  /// session's bytes. shards <= 0 selects the runner's thread count.
+  int shards{0};
+  /// Arrival spacing between consecutive global indices (offered load:
+  /// one session every `stagger` microseconds of simulated time).
+  Microseconds stagger{1'000};
+  std::uint64_t seed{1};
+  /// Per-session template (shells, host, browser model, cc), seed ignored.
+  core::SessionConfig session{};
+  replay::OriginServerSet::Options origin{};
+};
+
+/// Everything a fleet run produced. The per-session outcomes (and
+/// everything derived from them: percentiles, failure counts, peak
+/// concurrency) are deterministic; only the wall-clock throughput figures
+/// depend on the host.
+struct FleetResult {
+  std::vector<SessionOutcome> sessions;  // global-index order
+  int shards{0};
+  std::size_t failed{0};
+  double plt_p50_ms{0};
+  double plt_p95_ms{0};
+  /// Peak number of sessions simultaneously in flight across the whole
+  /// fleet, measured on simulated time from the outcome intervals — a
+  /// pure function of the outcomes, independent of sharding.
+  std::size_t peak_concurrent{0};
+  // --- host-dependent (excluded from serialization) ---------------------
+  double wall_seconds{0};
+  double sessions_per_second{0};
+  double page_loads_per_second{0};
+};
+
+/// Run a fleet: shard sessions over muxes, fan the muxes across the
+/// runner (nullptr = the process-wide pool), merge outcomes by global
+/// index. Byte-identity contract: FleetResult::sessions — and its
+/// serialize_outcomes() bytes — are identical for any `shards` value and
+/// any runner thread count.
+FleetResult run_fleet(const record::RecordStore& store, const std::string& url,
+                      const FleetSpec& spec,
+                      core::ParallelRunner* runner = nullptr);
+
+/// Peak overlap of [start, finish] intervals — exposed for tests.
+std::size_t peak_concurrency(const std::vector<SessionOutcome>& outcomes);
+
+}  // namespace mahimahi::fleet

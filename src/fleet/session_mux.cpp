@@ -1,0 +1,195 @@
+#include "fleet/session_mux.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "net/dns.hpp"
+#include "net/fabric.hpp"
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace mahimahi::fleet {
+
+namespace {
+
+/// Fixed-precision formatting, same discipline as experiment::Report: a
+/// finite double printf'd at fixed precision is a pure function of the
+/// value, so byte-identical outcomes serialize to byte-identical text.
+void append_outcome_line(std::string& out, const SessionOutcome& o) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                "session %6d ok=%d plt_ms=%.6f start_ms=%.3f finish_ms=%.3f "
+                "objects=%u failed=%u connections=%u bytes=%llu\n",
+                o.session_index, o.success ? 1 : 0, o.plt_ms, o.start_ms,
+                o.finish_ms, o.objects_loaded, o.objects_failed,
+                o.connections_opened,
+                static_cast<unsigned long long>(o.bytes_downloaded));
+  out += buffer;
+}
+
+/// Session i's seed: forked from the fleet seed by global index alone —
+/// the (fleet_seed, session_index) contract. Removing or re-sharding any
+/// other session cannot disturb this value.
+std::uint64_t derive_session_seed(std::uint64_t fleet_seed, int index) {
+  util::Rng root{fleet_seed};
+  return root.fork("session-" + std::to_string(index)).next();
+}
+
+}  // namespace
+
+std::string serialize_outcomes(const std::vector<SessionOutcome>& outcomes) {
+  std::string out;
+  out.reserve(outcomes.size() * 96);
+  for (const SessionOutcome& outcome : outcomes) {
+    append_outcome_line(out, outcome);
+  }
+  return out;
+}
+
+/// The one namespace every session of a shared-world mux lives in: one
+/// fabric, one shell stack, one origin-server farm, one DNS. Browsers are
+/// per-session; everything they contend for is here.
+struct SessionMux::SharedWorld {
+  SharedWorld(net::EventLoop& loop, const record::RecordStore& store,
+              const MuxConfig& config)
+      : fabric{loop},
+        servers{fabric, store,
+                core::session_origin_options(config.session, config.origin)},
+        dns_server{fabric,
+                   net::Address{fabric.allocate_server_ip(), net::kDnsPort},
+                   servers.dns_table()} {
+    // The shared stack's randomness forks from the fleet seed, not from
+    // any session: shells belong to the world, not to a user.
+    util::Rng rng{config.fleet_seed ^ config.session.host.seed_salt};
+    util::Rng shell_rng = rng.fork("shared-world-shells");
+    core::apply_shells(fabric, config.session.shells, config.session.host,
+                       shell_rng);
+  }
+
+  net::Fabric fabric;
+  replay::OriginServerSet servers;
+  net::DnsServer dns_server;
+};
+
+SessionMux::SessionMux(const record::RecordStore& store, std::string url,
+                       MuxConfig config)
+    : store_{store}, url_{std::move(url)}, config_{std::move(config)} {
+  MAHI_ASSERT_MSG(config_.stagger >= 0, "fleet stagger must be >= 0");
+  loop_.set_event_limit(config_.event_limit);
+  if (config_.shared_world) {
+    shared_ = std::make_unique<SharedWorld>(loop_, store_, config_);
+  }
+}
+
+SessionMux::~SessionMux() = default;
+
+void SessionMux::add_session(int global_index) {
+  MAHI_ASSERT_MSG(!ran_, "add_session after run()");
+  MAHI_ASSERT_MSG(global_index >= 0, "session index must be >= 0");
+  for (const Slot& slot : slots_) {
+    MAHI_ASSERT_MSG(slot.global_index != global_index,
+                    "session " << global_index << " enrolled twice");
+  }
+  slots_.emplace_back();
+  Slot& slot = slots_.back();
+  slot.global_index = global_index;
+  slot.start_at = config_.stagger * global_index;
+  slot.session_seed = derive_session_seed(config_.fleet_seed, global_index);
+}
+
+void SessionMux::admit(Slot& slot) {
+  ++live_;
+  peak_live_ = std::max(peak_live_, live_);
+  slot.clock = net::SessionClock{loop_, loop_.now()};
+  slot.outcome.session_index = slot.global_index;
+  slot.outcome.start_ms = to_ms(loop_.now());
+
+  core::SessionConfig session = config_.session;
+  session.seed = slot.session_seed;
+
+  auto on_done = [this, &slot](web::PageLoadResult result) {
+    complete(slot, std::move(result));
+  };
+  if (config_.shared_world) {
+    // Shared world: this session is one more user of the common
+    // namespace. Its randomness still forks from its own seed, so the
+    // user population is reproducible independent of arrival interleaving.
+    util::Rng rng = core::session_load_rng(session, 0);
+    slot.browser = std::make_unique<web::Browser>(
+        shared_->fabric, shared_->dns_server.address(),
+        core::session_browser_config(session), rng.fork("browser"));
+    slot.browser->load(url_, std::move(on_done));
+  } else {
+    slot.world = std::make_unique<core::ReplayWorld>(loop_, store_, session,
+                                                     config_.origin, 0);
+    slot.world->browser().load(url_, std::move(on_done));
+  }
+}
+
+void SessionMux::complete(Slot& slot, web::PageLoadResult result) {
+  MAHI_ASSERT_MSG(!slot.done, "session completed twice");
+  MAHI_ASSERT(live_ > 0);
+  --live_;
+  slot.done = true;
+  // Timer-isolation audit: the load must have finished on its own session
+  // clock — exactly page_load_time after this session's admission, no
+  // matter how many sibling sessions shared the loop.
+  MAHI_ASSERT_MSG(slot.clock.now() == result.page_load_time,
+                  "session " << slot.global_index
+                             << " finished off its own clock");
+  MAHI_ASSERT_MSG(result.started_at == slot.clock.origin(),
+                  "session " << slot.global_index
+                             << " load started off its admission time");
+  SessionOutcome& o = slot.outcome;
+  o.success = result.success ? 1 : 0;
+  o.plt_ms = to_ms(result.page_load_time);
+  o.finish_ms = to_ms(loop_.now());
+  o.objects_loaded = static_cast<std::uint32_t>(result.objects_loaded);
+  o.objects_failed = static_cast<std::uint32_t>(result.objects_failed);
+  o.connections_opened =
+      static_cast<std::uint32_t>(result.connections_opened);
+  o.bytes_downloaded = result.bytes_downloaded;
+  if (config_.shared_world) {
+    // Retire the browser once the loop is past its frames: destroying it
+    // inside its own completion callback would unwind into freed state.
+    // Its world (the shared one) stays; in isolated mode the whole world
+    // is kept until the loop drains — packets still in flight hold events
+    // that reference its elements.
+    web::Browser* browser = slot.browser.get();
+    loop_.schedule_in(0, [&slot, browser] {
+      MAHI_ASSERT(slot.browser.get() == browser);
+      slot.browser.reset();
+    });
+  }
+}
+
+std::vector<SessionOutcome> SessionMux::run() {
+  MAHI_ASSERT_MSG(!ran_, "SessionMux::run is one-shot");
+  ran_ = true;
+  for (Slot& slot : slots_) {
+    loop_.schedule_at(slot.start_at, [this, &slot] { admit(slot); });
+  }
+  loop_.run();
+
+  std::vector<SessionOutcome> outcomes;
+  outcomes.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    if (!slot.done) {
+      throw std::runtime_error{
+          "fleet session " + std::to_string(slot.global_index) +
+          " never completed (event loop drained)"};
+    }
+    outcomes.push_back(slot.outcome);
+  }
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const SessionOutcome& a, const SessionOutcome& b) {
+              return a.session_index < b.session_index;
+            });
+  // Worlds are torn down here, in enrollment order, with the loop idle —
+  // deterministic and safe (no event can reference them anymore).
+  slots_.clear();
+  return outcomes;
+}
+
+}  // namespace mahimahi::fleet

@@ -174,4 +174,30 @@ class EventLoop {
   std::uint32_t free_head_{kNoFreeSlot};
 };
 
+/// A session-scoped view of a shared loop's clock: time zero is the
+/// moment the session was admitted, so code multiplexing many sessions
+/// onto one EventLoop (fleet::SessionMux) can report per-session
+/// timestamps that are independent of where the session sits in the
+/// fleet's arrival schedule. Durations measured on a SessionClock equal
+/// durations measured on the underlying loop — the view only shifts the
+/// epoch, never the rate.
+class SessionClock {
+ public:
+  SessionClock() = default;
+  SessionClock(const EventLoop& loop, Microseconds origin)
+      : loop_{&loop}, origin_{origin} {
+    MAHI_ASSERT_MSG(origin >= 0, "session epoch before the loop epoch");
+  }
+
+  /// Microseconds since this session's epoch (>= 0 once the session runs).
+  [[nodiscard]] Microseconds now() const { return loop_->now() - origin_; }
+
+  /// The session's epoch on the shared loop's clock.
+  [[nodiscard]] Microseconds origin() const { return origin_; }
+
+ private:
+  const EventLoop* loop_{nullptr};
+  Microseconds origin_{0};
+};
+
 }  // namespace mahimahi::net

@@ -460,6 +460,7 @@ void Browser::finish() {
   }
   result_.success = result_.objects_failed == 0 && result_.objects_loaded > 0;
   result_.page_load_time = loop_.now() - started_at_;
+  result_.started_at = started_at_;
   // Tear down this load's connections (a fresh load is a fresh browser).
   pools_.clear();
   LoadCallback done = std::move(on_done_);
@@ -484,6 +485,7 @@ void Browser::arm_stall_timer() {
     loading_ = false;
     result_.success = false;
     result_.page_load_time = loop_.now() - started_at_;
+    result_.started_at = started_at_;
     pools_.clear();
     LoadCallback done = std::move(on_done_);
     on_done_ = nullptr;

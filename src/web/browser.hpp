@@ -82,6 +82,11 @@ struct BrowserConfig {
 struct PageLoadResult {
   bool success{false};
   Microseconds page_load_time{0};
+  /// Loop-clock time at which the load began. On a private per-load loop
+  /// this is 0; under fleet::SessionMux it is the session's arrival time,
+  /// letting callers audit that a load's events stayed on its own session
+  /// clock (finish = started_at + page_load_time).
+  Microseconds started_at{0};
   std::size_t objects_loaded{0};
   std::size_t objects_failed{0};
   std::uint64_t bytes_downloaded{0};

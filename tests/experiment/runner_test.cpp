@@ -148,6 +148,46 @@ TEST(ExperimentRunner, MixedFleetCellReportsFairness) {
   EXPECT_LE(cell.jain_index, 1.0);
 }
 
+TEST(ExperimentRunner, FleetAxisDegradesPltUnderLoad) {
+  ExperimentSpec spec = small_spec();
+  spec.ccs = {CcAxis{"cubic", {"cubic"}}};
+  spec.fleets = {FleetAxis{"solo", 1, 0}, FleetAxis{"crowd", 6, 10'000}};
+  RunOptions options;
+  options.transport_probes = false;
+  const Report report = run_experiment(spec, options);
+  ASSERT_EQ(report.cells.size(), 2u);
+  const CellResult& solo = report.cells[0];
+  const CellResult& crowd = report.cells[1];
+  EXPECT_EQ(solo.fleet, "solo");
+  EXPECT_EQ(solo.fleet_sessions, 1);
+  EXPECT_EQ(crowd.fleet, "crowd");
+  EXPECT_EQ(crowd.fleet_sessions, 6);
+  // One sample per load for the solo cell; sessions x loads for the crowd.
+  EXPECT_EQ(solo.plt_ms.size(), 2u);
+  EXPECT_EQ(crowd.plt_ms.size(), 12u);
+  EXPECT_EQ(solo.failed_loads + crowd.failed_loads, 0u);
+  // Six users contending for the same 8 Mbit/s link and origin servers
+  // cannot beat one user having it all to itself.
+  EXPECT_GT(crowd.plt_ms.median(), solo.plt_ms.median());
+}
+
+TEST(ExperimentRunner, FleetCellsAreByteIdenticalAcrossThreadCounts) {
+  ExperimentSpec spec = small_spec();
+  spec.ccs = {CcAxis{"cubic", {"cubic"}}};
+  spec.fleets = {FleetAxis{"crowd", 4, 10'000}};
+  core::ParallelRunner one{1};
+  core::ParallelRunner four{4};
+  RunOptions options_one;
+  options_one.runner = &one;
+  options_one.transport_probes = false;
+  RunOptions options_four = options_one;
+  options_four.runner = &four;
+  const Report a = run_experiment(spec, options_one);
+  const Report b = run_experiment(spec, options_four);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+}
+
 TEST(ExperimentRunner, RejectsBadShards) {
   RunOptions options;
   options.shard_index = 2;

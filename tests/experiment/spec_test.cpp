@@ -24,6 +24,8 @@ queue dt droptail packets=100
 queue aqm pie target=15ms tupdate=15ms
 cc cubic
 cc mixed 1xbbr+5xcubic
+fleet solo sessions=1
+fleet crowd sessions=8 stagger=25ms
 )";
 
 TEST(SpecParse, FullSpecRoundTrips) {
@@ -57,6 +59,64 @@ TEST(SpecParse, FullSpecRoundTrips) {
   ASSERT_EQ(spec.ccs[1].fleet.size(), 6u);
   EXPECT_EQ(spec.ccs[1].fleet[0], "bbr");
   EXPECT_EQ(spec.ccs[1].fleet[5], "cubic");
+  ASSERT_EQ(spec.fleets.size(), 2u);
+  EXPECT_EQ(spec.fleets[0].label, "solo");
+  EXPECT_EQ(spec.fleets[0].sessions, 1);
+  EXPECT_EQ(spec.fleets[0].stagger, 50'000);  // default
+  EXPECT_EQ(spec.fleets[1].label, "crowd");
+  EXPECT_EQ(spec.fleets[1].sessions, 8);
+  EXPECT_EQ(spec.fleets[1].stagger, 25'000);
+}
+
+TEST(SpecParse, FleetShorthandAndErrors) {
+  const ExperimentSpec spec = parse_spec("fleet 16\n");
+  ASSERT_EQ(spec.fleets.size(), 1u);
+  EXPECT_EQ(spec.fleets[0].label, "16");
+  EXPECT_EQ(spec.fleets[0].sessions, 16);
+  // A labelled fleet must say how big it is.
+  EXPECT_THROW(parse_spec("fleet crowd\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("fleet crowd stagger=10ms\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_spec("fleet crowd sessions=0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("fleet crowd sessions=300\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_spec("fleet crowd sessions=4 knob=1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_spec("fleet a sessions=2\nfleet a sessions=4\n"),
+               std::invalid_argument);
+}
+
+TEST(SpecParse, RejectsDuplicateScalarKeyNamingBothLines) {
+  // Scalar keys used to silently keep the last value — a spec redefining
+  // `seed` halfway down measured something other than its header said.
+  try {
+    parse_spec("name demo\nseed 1\nloads 3\nseed 2\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+    EXPECT_NE(message.find("duplicate 'seed'"), std::string::npos) << message;
+    EXPECT_NE(message.find("first set on line 2"), std::string::npos)
+        << message;
+  }
+  EXPECT_THROW(parse_spec("name a\nname b\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("loads 3\nloads 4\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("probe-seconds 8\nprobe-seconds 9\n"),
+               std::invalid_argument);
+}
+
+TEST(SpecParse, UnknownKeyErrorListsFleet) {
+  try {
+    parse_spec("name demo\n\n# comment\nfleets 3\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    // Line numbers count raw lines (blank and comment lines included).
+    EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+    EXPECT_NE(message.find("unknown key 'fleets'"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("fleet"), std::string::npos) << message;
+  }
 }
 
 TEST(SpecParse, ErrorsNameTheLine) {
@@ -128,22 +188,25 @@ TEST(SpecParse, RejectsZeroFleetCount) {
 TEST(Matrix, ExpansionOrderAndCount) {
   const ExperimentSpec spec = parse_spec(kFullSpec);
   const std::vector<Cell> cells = expand_matrix(spec);
-  // 2 sites x 2 protocols x 2 shells x 3 queues x 2 ccs.
-  ASSERT_EQ(cells.size(), 48u);
+  // 2 sites x 2 protocols x 2 shells x 3 queues x 2 ccs x 2 fleets.
+  ASSERT_EQ(cells.size(), 96u);
   for (std::size_t i = 0; i < cells.size(); ++i) {
     EXPECT_EQ(cells[i].index, static_cast<int>(i));
   }
-  // cc is the innermost axis; site the outermost.
-  EXPECT_EQ(cells[0].label(), "nytimes/http11/lte/fifo/cubic");
-  EXPECT_EQ(cells[1].label(), "nytimes/http11/lte/fifo/mixed");
-  EXPECT_EQ(cells[2].label(), "nytimes/http11/lte/dt/cubic");
-  EXPECT_EQ(cells[47].label(), "wikihow/mux/cable/aqm/mixed");
+  // fleet is the innermost axis; site the outermost.
+  EXPECT_EQ(cells[0].label(), "nytimes/http11/lte/fifo/cubic/solo");
+  EXPECT_EQ(cells[1].label(), "nytimes/http11/lte/fifo/cubic/crowd");
+  EXPECT_EQ(cells[2].label(), "nytimes/http11/lte/fifo/mixed/solo");
+  EXPECT_EQ(cells[4].label(), "nytimes/http11/lte/dt/cubic/solo");
+  EXPECT_EQ(cells[95].label(), "wikihow/mux/cable/aqm/mixed/crowd");
+  EXPECT_EQ(cells[1].fleet.sessions, 8);
 }
 
 TEST(Matrix, EmptyAxesGetDefaults) {
   const std::vector<Cell> cells = expand_matrix(parse_spec("name minimal\n"));
   ASSERT_EQ(cells.size(), 1u);
-  EXPECT_EQ(cells[0].label(), "nytimes/http11/bare/fifo/reno");
+  EXPECT_EQ(cells[0].label(), "nytimes/http11/bare/fifo/reno/solo");
+  EXPECT_EQ(cells[0].fleet.sessions, 1);
 }
 
 TEST(Matrix, CellSeedsAreStableAndDistinct) {

@@ -1,0 +1,156 @@
+// SessionMux: many replay sessions on one event loop. The tests pin the
+// isolation contract — a session muxed with dozens of siblings produces
+// exactly the bytes it produces alone — and the shared-world mode's
+// opposite contract: sessions DO contend, deterministically.
+
+#include "fleet/session_mux.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus/site_generator.hpp"
+
+namespace mahimahi::fleet {
+namespace {
+
+using namespace mahimahi::literals;
+
+struct RecordedPage {
+  corpus::GeneratedSite site;
+  record::RecordStore store;
+};
+
+const RecordedPage& page() {
+  static const RecordedPage entry = [] {
+    corpus::SiteSpec spec;
+    spec.name = "mux";
+    spec.seed = 17;
+    spec.server_count = 3;
+    spec.object_count = 8;
+    spec.size_scale = 0.25;
+    RecordedPage built{corpus::generate_site(spec), record::RecordStore{}};
+    core::SessionConfig config;
+    config.seed = 9;
+    core::RecordSession recorder{built.site, corpus::LiveWebConfig{}, config};
+    built.store = recorder.record();
+    return built;
+  }();
+  return entry;
+}
+
+MuxConfig quick_config() {
+  MuxConfig config;
+  config.fleet_seed = 5;
+  config.stagger = 1'000;
+  config.session.shells = {core::DelayShellSpec{5_ms}};
+  return config;
+}
+
+std::vector<SessionOutcome> run_mux(const std::vector<int>& indices,
+                                    MuxConfig config) {
+  SessionMux mux{page().store, page().site.primary_url(), std::move(config)};
+  for (const int index : indices) {
+    mux.add_session(index);
+  }
+  return mux.run();
+}
+
+TEST(SessionMux, RunsEverySessionToCompletion) {
+  const auto outcomes = run_mux({0, 1, 2, 3, 4, 5, 6, 7}, quick_config());
+  ASSERT_EQ(outcomes.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const SessionOutcome& o = outcomes[static_cast<std::size_t>(i)];
+    EXPECT_EQ(o.session_index, i);
+    EXPECT_NE(o.success, 0);
+    EXPECT_GT(o.plt_ms, 0.0);
+    // Arrival honors the (stagger, global index) contract...
+    EXPECT_DOUBLE_EQ(o.start_ms, 1.0 * i);
+    // ...and the load ran entirely on its own session clock.
+    EXPECT_NEAR(o.finish_ms - o.start_ms, o.plt_ms, 1e-6);
+    EXPECT_GT(o.objects_loaded, 0u);
+    EXPECT_GT(o.bytes_downloaded, 0u);
+  }
+}
+
+TEST(SessionMux, MuxedSessionsMatchSoloRunsByteForByte) {
+  // The tentpole contract: session k muxed with 11 siblings produces the
+  // same bytes as session k running alone — its world is its own, and
+  // the loop's interleaving is invisible to it.
+  const std::vector<int> all{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  const auto muxed = run_mux(all, quick_config());
+  for (const int k : {0, 5, 11}) {
+    const auto solo = run_mux({k}, quick_config());
+    ASSERT_EQ(solo.size(), 1u);
+    EXPECT_EQ(serialize_outcomes({muxed[static_cast<std::size_t>(k)]}),
+              serialize_outcomes(solo))
+        << "session " << k << " changed bytes when muxed";
+  }
+}
+
+TEST(SessionMux, EnrollmentOrderIsIrrelevant) {
+  const auto forward = run_mux({0, 1, 2, 3, 4, 5}, quick_config());
+  const auto backward = run_mux({5, 4, 3, 2, 1, 0}, quick_config());
+  EXPECT_EQ(serialize_outcomes(forward), serialize_outcomes(backward));
+}
+
+TEST(SessionMux, SparseIndicesKeepTheirIdentity) {
+  // A shard enrolls only its own subset; indices keep their global
+  // meaning (seed AND arrival time), so outcomes match the full run's.
+  const auto full = run_mux({0, 1, 2, 3, 4, 5, 6, 7}, quick_config());
+  const auto evens = run_mux({0, 2, 4, 6}, quick_config());
+  ASSERT_EQ(evens.size(), 4u);
+  for (std::size_t i = 0; i < evens.size(); ++i) {
+    EXPECT_EQ(serialize_outcomes({evens[i]}),
+              serialize_outcomes({full[i * 2]}));
+  }
+}
+
+TEST(SessionMux, DistinctSessionsGetDistinctSeeds) {
+  // Different sessions must not replay identical randomness: with
+  // compute jitter on, their PLTs differ.
+  MuxConfig config = quick_config();
+  const auto outcomes = run_mux({0, 1, 2, 3}, config);
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_NE(outcomes[0].plt_ms, outcomes[i].plt_ms)
+        << "sessions 0 and " << i << " look seed-aliased";
+  }
+}
+
+TEST(SessionMux, RejectsDuplicateEnrollmentAndDoubleRun) {
+  SessionMux mux{page().store, page().site.primary_url(), quick_config()};
+  mux.add_session(3);
+  EXPECT_ANY_THROW(mux.add_session(3));
+}
+
+TEST(SessionMux, SharedWorldSessionsContend) {
+  MuxConfig config = quick_config();
+  config.shared_world = true;
+  config.stagger = 2'000;
+  const auto solo = run_mux({0}, config);
+  const auto crowd = run_mux({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, config);
+  ASSERT_EQ(crowd.size(), 10u);
+  util::Samples crowd_plts;
+  for (const SessionOutcome& o : crowd) {
+    EXPECT_NE(o.success, 0);
+    crowd_plts.add(o.plt_ms);
+  }
+  // Ten users fighting over one origin-server farm cannot match a lone
+  // user's PLT — if they do, the "shared" world isn't shared.
+  EXPECT_GT(crowd_plts.median(), solo[0].plt_ms);
+  // And the contention itself is deterministic.
+  const auto again = run_mux({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, config);
+  EXPECT_EQ(serialize_outcomes(crowd), serialize_outcomes(again));
+}
+
+TEST(SessionMux, PeakLiveSessionsTracksOverlap) {
+  MuxConfig config = quick_config();
+  config.stagger = 0;  // all admitted at t = 0: everyone overlaps
+  SessionMux mux{page().store, page().site.primary_url(), config};
+  for (int i = 0; i < 5; ++i) {
+    mux.add_session(i);
+  }
+  mux.run();
+  EXPECT_EQ(mux.peak_live_sessions(), 5u);
+}
+
+}  // namespace
+}  // namespace mahimahi::fleet

@@ -36,13 +36,14 @@ namespace {
 
 void print_cells(const ExperimentSpec& spec) {
   const std::vector<Cell> cells = expand_matrix(spec);
-  std::printf("# %zu cells (site/protocol/shell/queue/cc), seed %llu, "
+  std::printf("# %zu cells (site/protocol/shell/queue/cc/fleet), seed %llu, "
               "%d loads per cell\n",
               cells.size(), static_cast<unsigned long long>(spec.seed),
               spec.loads_per_cell);
   for (const Cell& cell : cells) {
-    std::printf("%4d  %-48s flows=%zu\n", cell.index, cell.label().c_str(),
-                cell.cc.fleet.size());
+    std::printf("%4d  %-48s flows=%zu sessions=%d\n", cell.index,
+                cell.label().c_str(), cell.cc.fleet.size(),
+                cell.fleet.sessions);
   }
 }
 
@@ -51,7 +52,8 @@ void print_summary(const Report& report) {
               "median-plt", "queue-p95", "jain", "loads");
   for (const CellResult& cell : report.cells) {
     const std::string label = cell.site + "/" + cell.protocol + "/" +
-                              cell.shell + "/" + cell.queue + "/" + cell.cc;
+                              cell.shell + "/" + cell.queue + "/" + cell.cc +
+                              "/" + cell.fleet;
     std::printf("%-4d %-44s %8.0fms", cell.index, label.c_str(),
                 cell.plt_ms.empty() ? 0.0 : cell.plt_ms.median());
     if (cell.probe_ran) {
