@@ -48,6 +48,16 @@ web::BrowserConfig session_browser_config(const SessionConfig& config) {
   if (!config.cc_fleet.empty()) {
     browser.cc_fleet = config.cc_fleet;
   }
+  if (config.fault.any() && !config.fault.client.no_retry) {
+    // A faulted world gets the plan's client policy; "noretry" measures
+    // the undefended baseline. Healthy sessions keep resilience off so
+    // their event sequences are untouched.
+    browser.resilience.request_deadline = config.fault.client.request_deadline;
+    browser.resilience.max_retries = config.fault.client.max_retries;
+    browser.resilience.backoff_base = config.fault.client.backoff_base;
+    browser.resilience.backoff_max = config.fault.client.backoff_max;
+    browser.resilience.backoff_jitter = config.fault.client.backoff_jitter;
+  }
   return browser;
 }
 
@@ -75,15 +85,40 @@ ReplayWorld::ReplayWorld(net::EventLoop& loop,
 
   fabric_ = std::make_unique<net::Fabric>(loop);
 
+  // Fault plan for this load: the spec bound to a seed forked from the
+  // load RNG (fork is const, so a fault-free session draws nothing extra).
+  const fault::FaultPlan plan{config.fault, rng.fork("fault-plan").next()};
+
   // ReplayShell: one server per recorded (IP, port) — or the
   // single-server ablation — plus a local DNS (dnsmasq equivalent). The
   // session-level congestion-control override reaches both flow ends.
-  servers_ = std::make_unique<replay::OriginServerSet>(
-      *fabric_, store, session_origin_options(config, options));
+  replay::OriginServerSet::Options origin_options =
+      session_origin_options(config, options);
+  if (plan.active()) {
+    origin_options.fault = plan;
+  }
+  servers_ = std::make_unique<replay::OriginServerSet>(*fabric_, store,
+                                                       origin_options);
 
   const net::Ipv4 dns_ip = fabric_->allocate_server_ip();
   dns_server_ = std::make_unique<net::DnsServer>(
       *fabric_, net::Address{dns_ip, net::kDnsPort}, servers_->dns_table());
+  if (plan.spec().dns.any()) {
+    dns_server_->set_fault_hook(
+        [plan](std::uint64_t query_index) { return plan.dns_query_fault(query_index); });
+  }
+
+  // Fault elements sit innermost (application side, chain index 0): the
+  // flap blackhole and corruption hit browser traffic before any shell.
+  if (plan.spec().flap.has_value()) {
+    const auto& flap = *plan.spec().flap;
+    fabric_->chain().push_back(std::make_unique<net::FlapBox>(
+        loop, flap.period, flap.down, flap.offset));
+  }
+  if (plan.spec().corrupt.has_value()) {
+    fabric_->chain().push_back(std::make_unique<net::CorruptBox>(
+        plan.plan_seed(), plan.spec().corrupt->rate));
+  }
 
   // Nested shells between the application and the replayed servers.
   apply_shells(*fabric_, config.shells, config.host, rng);

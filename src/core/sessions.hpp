@@ -8,6 +8,7 @@
 #include "core/parallel_runner.hpp"
 #include "core/shells.hpp"
 #include "corpus/live_web.hpp"
+#include "fault/fault.hpp"
 #include "record/store.hpp"
 #include "replay/origin_servers.hpp"
 #include "util/statistics.hpp"
@@ -35,6 +36,11 @@ struct SessionConfig {
   /// controllers across a shared bottleneck. Takes precedence over
   /// `congestion_control`.
   std::vector<std::string> cc_fleet;
+  /// Deterministic fault injection for this session (default: none). Each
+  /// load binds the spec to a plan seed forked from its load RNG, drives
+  /// the link/origin/DNS injectors with it, and maps the spec's client
+  /// policy onto the browser's resilience machinery.
+  fault::FaultSpec fault{};
 };
 
 /// Browser config for one session: host-scaled compute, plus the

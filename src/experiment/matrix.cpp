@@ -52,6 +52,9 @@ ExperimentSpec with_defaults(ExperimentSpec spec) {
   if (spec.fleets.empty()) {
     spec.fleets.push_back(FleetAxis{"solo", 1});
   }
+  if (spec.faults.empty()) {
+    spec.faults.push_back(FaultAxis{});  // "none": the healthy control
+  }
   return spec;
 }
 
@@ -60,8 +63,12 @@ ExperimentSpec with_defaults(ExperimentSpec spec) {
 std::string Cell::label() const {
   const char* protocol_name =
       protocol == web::AppProtocol::kMultiplexed ? "mux" : "http11";
-  return site.label + "/" + protocol_name + "/" + shell.label + "/" +
-         queue.label + "/" + cc.label + "/" + fleet.label;
+  std::string label = site.label + "/" + protocol_name + "/" + shell.label +
+                      "/" + queue.label + "/" + cc.label + "/" + fleet.label;
+  if (fault.label != "none") {
+    label += "/" + fault.label;
+  }
+  return label;
 }
 
 std::uint64_t derive_cell_seed(std::uint64_t experiment_seed, int cell_index) {
@@ -77,7 +84,7 @@ std::vector<Cell> expand_matrix(const ExperimentSpec& raw) {
   std::vector<Cell> cells;
   cells.reserve(spec.sites.size() * spec.protocols.size() *
                 spec.shells.size() * spec.queues.size() * spec.ccs.size() *
-                spec.fleets.size());
+                spec.fleets.size() * spec.faults.size());
   int index = 0;
   for (const auto& site : spec.sites) {
     for (const auto protocol : spec.protocols) {
@@ -85,17 +92,20 @@ std::vector<Cell> expand_matrix(const ExperimentSpec& raw) {
         for (const auto& queue : spec.queues) {
           for (const auto& cc : spec.ccs) {
             for (const auto& fleet : spec.fleets) {
-              Cell cell;
-              cell.index = index;
-              cell.site = site;
-              cell.protocol = protocol;
-              cell.shell = shell;
-              cell.queue = queue;
-              cell.cc = cc;
-              cell.fleet = fleet;
-              cell.cell_seed = derive_cell_seed(spec.seed, index);
-              cells.push_back(std::move(cell));
-              ++index;
+              for (const auto& fault : spec.faults) {
+                Cell cell;
+                cell.index = index;
+                cell.site = site;
+                cell.protocol = protocol;
+                cell.shell = shell;
+                cell.queue = queue;
+                cell.cc = cc;
+                cell.fleet = fleet;
+                cell.fault = fault;
+                cell.cell_seed = derive_cell_seed(spec.seed, index);
+                cells.push_back(std::move(cell));
+                ++index;
+              }
             }
           }
         }

@@ -23,10 +23,13 @@ struct Cell {
   QueueAxis queue;
   CcAxis cc;
   FleetAxis fleet;
+  FaultAxis fault;
   std::uint64_t cell_seed{0};
 
   /// "site/protocol/shell/queue/cc/fleet" — the stable row name in
-  /// reports.
+  /// reports. A non-"none" fault axis appends "/<fault-label>"; the
+  /// healthy control keeps the six-segment form, byte-identical to a spec
+  /// with no fault axis at all.
   [[nodiscard]] std::string label() const;
 };
 
@@ -37,10 +40,10 @@ struct Cell {
 std::uint64_t derive_cell_seed(std::uint64_t experiment_seed, int cell_index);
 
 /// Expand the cartesian product in canonical nesting order — site
-/// (outermost), protocol, shell, queue, cc, fleet (innermost) — assigning
-/// cell indices 0..n-1. Empty axes are filled with their single default
-/// entry first (see ExperimentSpec; the default fleet is "solo", one
-/// session). Validates the spec.
+/// (outermost), protocol, shell, queue, cc, fleet, fault (innermost) —
+/// assigning cell indices 0..n-1. Empty axes are filled with their single
+/// default entry first (see ExperimentSpec; the default fleet is "solo",
+/// one session; the default fault is "none"). Validates the spec.
 std::vector<Cell> expand_matrix(const ExperimentSpec& spec);
 
 /// Everything the runner needs to instantiate a cell's network: the shell

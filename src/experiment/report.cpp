@@ -61,6 +61,9 @@ std::string Report::to_json() const {
     out += ", \"cc\": \"" + json_escape(cell.cc) + "\"";
     out += ", \"fleet\": \"" + json_escape(cell.fleet) + "\"";
     out += ", \"fleet_sessions\": " + std::to_string(cell.fleet_sessions);
+    if (fault_axis) {
+      out += ", \"fault\": \"" + json_escape(cell.fault) + "\"";
+    }
     out += ", \"failed_loads\": " + std::to_string(cell.failed_loads);
     out += ", ";
     append_summary_fields(out, cell.plt_ms);
@@ -71,6 +74,31 @@ std::string Report::to_json() const {
       out += fmt(values[j]);
     }
     out += "]";
+    if (fault_axis) {
+      out += ", \"objects_failed\": " + std::to_string(cell.objects_failed);
+      out += ", \"retries\": " + std::to_string(cell.retries);
+      out += ", \"timeouts\": " + std::to_string(cell.timeouts);
+      const util::Samples& deg = cell.degraded_plt_ms;
+      out += ", \"degraded_plt_median_ms\": " +
+             fmt(deg.empty() ? 0 : deg.median());
+      out += ", \"degraded_plt_ms\": [";
+      const auto& degraded = deg.values();
+      for (std::size_t j = 0; j < degraded.size(); ++j) {
+        out += j == 0 ? "" : ", ";
+        out += fmt(degraded[j]);
+      }
+      out += "]";
+    }
+    // Worker-task failures surface in any report (fault axis or not);
+    // healthy runs have none, so the key's absence keeps them byte-stable.
+    if (!cell.load_errors.empty()) {
+      out += ", \"load_errors\": [";
+      for (std::size_t j = 0; j < cell.load_errors.size(); ++j) {
+        out += j == 0 ? "" : ", ";
+        out += "\"" + json_escape(cell.load_errors[j]) + "\"";
+      }
+      out += "]";
+    }
     if (cell.probe_ran) {
       out += ", \"probe\": {\"queue_delay_p95_ms\": " +
              fmt(cell.queue_delay_p95_ms, 3);
@@ -98,7 +126,11 @@ std::string Report::to_csv() const {
   std::string out =
       "cell,site,protocol,shell,queue,cc,fleet,fleet_sessions,loads,"
       "failed_loads,plt_median_ms,plt_mean_ms,plt_p95_ms,plt_min_ms,"
-      "plt_max_ms,queue_delay_p95_ms,jain_index,flow_shares\n";
+      "plt_max_ms,queue_delay_p95_ms,jain_index,flow_shares";
+  if (fault_axis) {
+    out += ",fault,objects_failed,retries,timeouts,degraded_plt_median_ms";
+  }
+  out += "\n";
   for (const CellResult& cell : cells) {
     out += std::to_string(cell.index) + ",";
     out += cell.site + "," + cell.protocol + "," + cell.shell + "," +
@@ -124,6 +156,14 @@ std::string Report::to_csv() const {
     } else {
       out += ",,";
     }
+    if (fault_axis) {
+      const util::Samples& deg = cell.degraded_plt_ms;
+      out += "," + cell.fault;
+      out += "," + std::to_string(cell.objects_failed);
+      out += "," + std::to_string(cell.retries);
+      out += "," + std::to_string(cell.timeouts);
+      out += "," + fmt(deg.empty() ? 0 : deg.median());
+    }
     out += "\n";
   }
   return out;
@@ -141,11 +181,16 @@ std::string Report::to_bench_json() const {
            ", \"items_per_second\": 0, \"bytes_per_second\": 0}";
   };
   for (const CellResult& cell : cells) {
-    const std::string label = cell.site + "/" + cell.protocol + "/" +
-                              cell.shell + "/" + cell.queue + "/" + cell.cc +
-                              "/" + cell.fleet;
+    std::string label = cell.site + "/" + cell.protocol + "/" + cell.shell +
+                        "/" + cell.queue + "/" + cell.cc + "/" + cell.fleet;
+    if (fault_axis && cell.fault != "none") {
+      label += "/" + cell.fault;
+    }
     if (!cell.plt_ms.empty()) {
       add("exp_plt_median/" + label, cell.plt_ms.median() * 1e6);
+    }
+    if (fault_axis && !cell.degraded_plt_ms.empty()) {
+      add("exp_degraded_plt/" + label, cell.degraded_plt_ms.median() * 1e6);
     }
     if (cell.probe_ran) {
       add("exp_queue_p95_ms/" + label, cell.queue_delay_p95_ms * 1e6);

@@ -29,10 +29,23 @@ struct CellResult {
   /// Concurrent users per load (the offered-load axis); 1 = classic
   /// single-user cell.
   int fleet_sessions{1};
+  /// Fault-axis label ("none" = healthy control).
+  std::string fault{"none"};
   /// Page-load times in (load-index, session-index) order — one sample
   /// per load for a single-user cell, fleet_sessions per load otherwise.
   util::Samples plt_ms;
   std::size_t failed_loads{0};
+  /// Graceful-degradation PLT per load (== plt_ms for clean loads) and
+  /// resilience totals across the cell's loads. Serialized only when the
+  /// report's fault axis is on, so healthy reports keep their exact
+  /// pre-fault byte layout.
+  util::Samples degraded_plt_ms;
+  std::uint64_t objects_failed{0};
+  std::uint64_t retries{0};
+  std::uint64_t timeouts{0};
+  /// Worker-task failures (exceptions) per load, in load order — failed
+  /// rows instead of a torn-down run.
+  std::vector<std::string> load_errors;
   /// Transport probe: one bulk flow per fleet entry over the cell's
   /// bottleneck. probe_ran is false when probes were disabled.
   bool probe_ran{false};
@@ -54,6 +67,11 @@ class Report {
   int total_cells{0};  // full matrix size (>= cells.size() when sharded)
   int shard_index{0};
   int shard_count{1};
+  /// True when the spec declared a fault axis: gates the fault label,
+  /// degraded-PLT and resilience fields in every serialization. Off, the
+  /// outputs are byte-identical to a report built before the fault axis
+  /// existed — the fault-none compatibility contract.
+  bool fault_axis{false};
   std::vector<CellResult> cells;
 
   /// Schema "mahimahi-experiment-v1": metadata + one object per cell with

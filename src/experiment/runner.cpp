@@ -26,6 +26,14 @@ struct Task {
 struct TaskOutcome {
   std::vector<double> plts;
   std::vector<char> oks;
+  /// Per-session resilience accounting, parallel to `plts`.
+  std::vector<double> degraded;
+  std::vector<std::uint32_t> failed_objects;
+  std::vector<std::uint32_t> retries;
+  std::vector<std::uint32_t> timeouts;
+  /// Non-empty when the task threw: the run keeps going and the failure
+  /// lands as a failed report row instead of tearing the experiment down.
+  std::string error;
   net::MultiBulkFlowReport probe{};
 };
 
@@ -40,6 +48,7 @@ core::SessionConfig cell_session_config(const Cell& cell,
   } else {
     config.cc_fleet = cell.cc.fleet;
   }
+  config.fault = cell.fault.fault;
   return config;
 }
 
@@ -150,47 +159,67 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
         const Cell& cell = cells[task.cell_pos];
         const MaterializedCell& cell_net = materialized[task.cell_pos];
         TaskOutcome outcome;
-        if (task.is_probe) {
-          outcome.probe = net::run_multi_bulk_flow(
-              cell_probe_spec(cell, cell_net, spec.probe_duration));
+        // A throwing task (a faulted world can starve a load past the
+        // event limit) must not tear down the other tasks: it becomes a
+        // failed row. The message is deterministic — it derives from the
+        // task's own simulation, never from sibling threads.
+        try {
+          if (task.is_probe) {
+            outcome.probe = net::run_multi_bulk_flow(
+                cell_probe_spec(cell, cell_net, spec.probe_duration));
+            return outcome;
+          }
+          const RecordedSite& entry =
+              recorded[site_pos.at(cell.site.label)];
+          if (cell.fleet.sessions > 1) {
+            // Offered-load cell: one load = one shared-world fleet, every
+            // user contending in the same namespace. The whole fleet is one
+            // indivisible simulation under one task, seeded from
+            // (cell_seed, load index) — deterministic at any thread count,
+            // like every other task.
+            fleet::MuxConfig mux_config;
+            mux_config.fleet_seed =
+                util::Rng{cell.cell_seed}
+                    .fork("fleet-load-" + std::to_string(task.load_index))
+                    .next();
+            mux_config.stagger = cell.fleet.stagger;
+            mux_config.session = cell_session_config(cell, cell_net);
+            mux_config.origin = cell_origin_options(cell);
+            mux_config.shared_world = true;
+            fleet::SessionMux mux{entry.store, entry.site.primary_url(),
+                                  mux_config};
+            for (int s = 0; s < cell.fleet.sessions; ++s) {
+              mux.add_session(s);
+            }
+            for (const fleet::SessionOutcome& session : mux.run()) {
+              outcome.plts.push_back(session.plt_ms);
+              outcome.oks.push_back(session.success);
+              outcome.degraded.push_back(session.degraded_plt_ms);
+              outcome.failed_objects.push_back(session.objects_failed);
+              outcome.retries.push_back(session.retries);
+              outcome.timeouts.push_back(session.timeouts);
+            }
+            return outcome;
+          }
+          const core::ReplaySession session{
+              entry.store, cell_session_config(cell, cell_net),
+              cell_origin_options(cell)};
+          const web::PageLoadResult result =
+              session.load_once(entry.site.primary_url(), task.load_index);
+          outcome.plts.push_back(to_ms(result.page_load_time));
+          outcome.oks.push_back(result.success ? 1 : 0);
+          outcome.degraded.push_back(to_ms(result.degraded_page_load_time));
+          outcome.failed_objects.push_back(
+              static_cast<std::uint32_t>(result.objects_failed));
+          outcome.retries.push_back(
+              static_cast<std::uint32_t>(result.retries));
+          outcome.timeouts.push_back(
+              static_cast<std::uint32_t>(result.timeouts));
+          return outcome;
+        } catch (const std::exception& e) {
+          outcome.error = e.what();
           return outcome;
         }
-        const RecordedSite& entry =
-            recorded[site_pos.at(cell.site.label)];
-        if (cell.fleet.sessions > 1) {
-          // Offered-load cell: one load = one shared-world fleet, every
-          // user contending in the same namespace. The whole fleet is one
-          // indivisible simulation under one task, seeded from
-          // (cell_seed, load index) — deterministic at any thread count,
-          // like every other task.
-          fleet::MuxConfig mux_config;
-          mux_config.fleet_seed =
-              util::Rng{cell.cell_seed}
-                  .fork("fleet-load-" + std::to_string(task.load_index))
-                  .next();
-          mux_config.stagger = cell.fleet.stagger;
-          mux_config.session = cell_session_config(cell, cell_net);
-          mux_config.origin = cell_origin_options(cell);
-          mux_config.shared_world = true;
-          fleet::SessionMux mux{entry.store, entry.site.primary_url(),
-                                mux_config};
-          for (int s = 0; s < cell.fleet.sessions; ++s) {
-            mux.add_session(s);
-          }
-          for (const fleet::SessionOutcome& session : mux.run()) {
-            outcome.plts.push_back(session.plt_ms);
-            outcome.oks.push_back(session.success);
-          }
-          return outcome;
-        }
-        const core::ReplaySession session{
-            entry.store, cell_session_config(cell, cell_net),
-            cell_origin_options(cell)};
-        const web::PageLoadResult result =
-            session.load_once(entry.site.primary_url(), task.load_index);
-        outcome.plts.push_back(to_ms(result.page_load_time));
-        outcome.oks.push_back(result.success ? 1 : 0);
-        return outcome;
       });
 
   // --- assemble, in cell order (failure logs after the merge, so even
@@ -202,6 +231,7 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
   report.total_cells = static_cast<int>(matrix.size());
   report.shard_index = options.shard_index;
   report.shard_count = options.shard_count;
+  report.fault_axis = !spec.faults.empty();
   report.cells.resize(cells.size());
   for (std::size_t pos = 0; pos < cells.size(); ++pos) {
     const Cell& cell = cells[pos];
@@ -215,11 +245,27 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
     row.cc = cell.cc.label;
     row.fleet = cell.fleet.label;
     row.fleet_sessions = cell.fleet.sessions;
+    row.fault = cell.fault.label;
   }
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     const Task& task = tasks[i];
     const TaskOutcome& outcome = outcomes[i];
     CellResult& row = report.cells[task.cell_pos];
+    if (!outcome.error.empty()) {
+      // A torn task is one failed load (or a skipped probe) — recorded in
+      // task order, which is load order, so error lists are deterministic.
+      if (!task.is_probe) {
+        ++row.failed_loads;
+      }
+      row.load_errors.push_back(
+          (task.is_probe ? std::string{"probe: "}
+                         : "load " + std::to_string(task.load_index) + ": ") +
+          outcome.error);
+      MAHI_WARN("experiment")
+          << "cell " << row.index << " (" << cells[task.cell_pos].label()
+          << ") task failed: " << outcome.error;
+      continue;
+    }
     if (task.is_probe) {
       row.probe_ran = true;
       row.queue_delay_p95_ms = outcome.probe.bottleneck.delay_p95_ms;
@@ -233,6 +279,10 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
     }
     for (std::size_t s = 0; s < outcome.plts.size(); ++s) {
       row.plt_ms.add(outcome.plts[s]);
+      row.degraded_plt_ms.add(outcome.degraded[s]);
+      row.objects_failed += outcome.failed_objects[s];
+      row.retries += outcome.retries[s];
+      row.timeouts += outcome.timeouts[s];
       if (outcome.oks[s] == 0) {
         ++row.failed_loads;
         MAHI_WARN("experiment")

@@ -399,11 +399,43 @@ ExperimentSpec parse_spec(std::string_view text) {
       spec.ccs.push_back(std::move(axis));
     } else if (key == "fleet") {
       spec.fleets.push_back(parse_fleet_line(tokens, line_number));
+    } else if (key == "fault") {
+      if (tokens.size() < 2) {
+        fail(line_number,
+             "fault needs a label, e.g. 'fault none' or "
+             "'fault chaos crash:p=0.05 retry:deadline=4s,max=2,base=250ms,cap=4s'");
+      }
+      FaultAxis axis;
+      axis.label = std::string{tokens[1]};
+      if (axis.label == "none") {
+        if (tokens.size() != 2) {
+          fail(line_number,
+               "'fault none' is the healthy control and takes no injectors");
+        }
+      } else {
+        if (tokens.size() < 3) {
+          fail(line_number, "fault '" + axis.label +
+                                "' needs at least one injector token");
+        }
+        std::string injectors;
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+          if (!injectors.empty()) {
+            injectors += ' ';
+          }
+          injectors += std::string{tokens[i]};
+        }
+        try {
+          axis.fault = fault::parse_fault_spec(injectors);
+        } catch (const std::invalid_argument& e) {
+          fail(line_number, e.what());
+        }
+      }
+      spec.faults.push_back(std::move(axis));
     } else {
       fail(line_number,
            "unknown key '" + std::string{key} +
                "' (known: name, seed, loads, probe-seconds, site, protocol, "
-               "shell, queue, cc, fleet)");
+               "shell, queue, cc, fleet, fault)");
     }
   }
   validate_spec(spec);
@@ -469,6 +501,24 @@ void validate_spec(const ExperimentSpec& spec) {
     labels.push_back(fleet.label);
   }
   check_unique(labels, "fleet");
+  labels.clear();
+  for (const auto& f : spec.faults) {
+    labels.push_back(f.label);
+  }
+  check_unique(labels, "fault");
+
+  for (const auto& f : spec.faults) {
+    // "none" must stay a true control cell; any other label must actually
+    // inject or defend something, or the axis is mislabeled.
+    if (f.label == "none") {
+      require(!f.fault.any(),
+              "fault 'none' must carry no injectors (it is the control)");
+    } else {
+      require(f.fault.any(), "fault '" + f.label +
+                                 "' parses to an empty plan; label it 'none' "
+                                 "or add an injector");
+    }
+  }
 
   for (const auto& fleet : spec.fleets) {
     require(fleet.sessions >= 1 && fleet.sessions <= 256,

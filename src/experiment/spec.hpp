@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "corpus/site_generator.hpp"
+#include "fault/fault.hpp"
 #include "net/queue.hpp"
 #include "util/time.hpp"
 #include "web/browser.hpp"
@@ -73,6 +74,17 @@ struct FleetAxis {
   Microseconds stagger{50'000};
 };
 
+/// Axis entry: a fault-injection plan (the robustness axis). Label "none"
+/// is the healthy control — it carries an empty spec and its cells are
+/// byte-identical to a spec with no fault axis at all. Any other label
+/// names a deterministic injector ladder (see fault::parse_fault_spec):
+/// link flaps, payload corruption, origin crash/stall/slow-start, DNS
+/// faults, plus the client resilience policy the cell's browsers run.
+struct FaultAxis {
+  std::string label{"none"};
+  fault::FaultSpec fault{};
+};
+
 /// A declarative experiment: the cartesian product of its axes. Parse one
 /// from text with parse_spec(), or build it programmatically (the bench
 /// drivers do) — the two are equivalent by construction.
@@ -92,6 +104,7 @@ struct ExperimentSpec {
   std::vector<QueueAxis> queues;
   std::vector<CcAxis> ccs;
   std::vector<FleetAxis> fleets;
+  std::vector<FaultAxis> faults;
 };
 
 /// Parse the line-oriented keyval format (see README "Experiments"):
@@ -113,6 +126,8 @@ struct ExperimentSpec {
 ///   fleet solo sessions=1
 ///   fleet crowd sessions=8 stagger=50ms
 ///   fleet 16                       # shorthand: label "16", 16 sessions
+///   fault none                     # healthy control (the default)
+///   fault chaos crash:p=0.05 stall:p=0.02 retry:deadline=4s,max=2,base=250ms,cap=4s
 ///
 /// Scalar keys (name, seed, loads, probe-seconds) may appear at most
 /// once; a duplicate is an error naming both lines, never a silent

@@ -1,0 +1,305 @@
+#include "fault/fault.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/strings.hpp"
+
+namespace mahimahi::fault {
+namespace {
+
+[[noreturn]] void bad(std::string_view token, std::string_view message) {
+  throw std::invalid_argument("fault spec token '" + std::string(token) +
+                              "': " + std::string(message));
+}
+
+double parse_double_or(std::string_view token, std::string_view value) {
+  double out = 0.0;
+  const auto* end = value.data() + value.size();
+  const auto result = std::from_chars(value.data(), end, out);
+  if (result.ec != std::errc{} || result.ptr != end) {
+    bad(token, "expected a number, got '" + std::string(value) + "'");
+  }
+  return out;
+}
+
+double parse_rate(std::string_view token, std::string_view value) {
+  const double rate = parse_double_or(token, value);
+  if (rate < 0.0 || rate > 1.0) {
+    bad(token, "probability must be in [0, 1]");
+  }
+  return rate;
+}
+
+/// "200ms" / "2s" / "1500us" -> Microseconds. Accepts integers only; the
+/// grammar matches the experiment spec parser's duration syntax.
+Microseconds parse_duration(std::string_view token, std::string_view value) {
+  std::size_t digits = 0;
+  while (digits < value.size() &&
+         (std::isdigit(static_cast<unsigned char>(value[digits])) != 0)) {
+    ++digits;
+  }
+  if (digits == 0) {
+    bad(token, "expected a duration like 500ms, got '" + std::string(value) + "'");
+  }
+  std::uint64_t magnitude = 0;
+  if (!util::parse_u64(value.substr(0, digits), magnitude)) {
+    bad(token, "duration out of range: '" + std::string(value) + "'");
+  }
+  const std::string_view unit = value.substr(digits);
+  std::uint64_t scale = 0;
+  if (unit == "us") {
+    scale = 1;
+  } else if (unit == "ms") {
+    scale = 1000;
+  } else if (unit == "s") {
+    scale = 1'000'000;
+  } else {
+    bad(token, "duration unit must be us/ms/s, got '" + std::string(value) + "'");
+  }
+  return static_cast<Microseconds>(magnitude * scale);
+}
+
+int parse_count(std::string_view token, std::string_view value) {
+  std::uint64_t out = 0;
+  if (!util::parse_u64(value, out) || out > 64) {
+    bad(token, "expected a small count, got '" + std::string(value) + "'");
+  }
+  return static_cast<int>(out);
+}
+
+/// Split "k1=v1,k2=v2" into pairs; every key must appear in `allowed`.
+std::vector<std::pair<std::string_view, std::string_view>> parse_kv(
+    std::string_view token, std::string_view body,
+    std::initializer_list<std::string_view> allowed) {
+  std::vector<std::pair<std::string_view, std::string_view>> pairs;
+  for (const auto field : util::split(body, ',')) {
+    const auto [key, value] = util::split_once(field, '=');
+    if (value.empty()) {
+      bad(token, "expected key=value, got '" + std::string(field) + "'");
+    }
+    bool known = false;
+    for (const auto candidate : allowed) {
+      known = known || key == candidate;
+    }
+    if (!known) {
+      bad(token, "unknown key '" + std::string(key) + "'");
+    }
+    for (const auto& existing : pairs) {
+      if (existing.first == key) {
+        bad(token, "duplicate key '" + std::string(key) + "'");
+      }
+    }
+    pairs.emplace_back(key, value);
+  }
+  return pairs;
+}
+
+}  // namespace
+
+FaultSpec parse_fault_spec(std::string_view text) {
+  FaultSpec spec;
+  // Tokenize on '+' and whitespace; empty pieces (from "a + b") are skipped.
+  std::vector<std::string_view> tokens;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '+' || text[i] == ' ' || text[i] == '\t') {
+      if (i > start) {
+        tokens.push_back(text.substr(start, i - start));
+      }
+      start = i + 1;
+    }
+  }
+
+  if (tokens.empty()) {
+    throw std::invalid_argument(
+        "fault spec is empty (use 'none' for the healthy control)");
+  }
+
+  bool saw_none = false;
+  std::vector<std::string_view> seen_injectors;
+  for (const auto token : tokens) {
+    const auto [name, body] = util::split_once(token, ':');
+    // One token per injector: "crash:p=0.1 crash:p=0.2" must never
+    // silently keep the last writer.
+    for (const auto previous : seen_injectors) {
+      if (previous == name) {
+        bad(token, "duplicate injector '" + std::string(name) + "'");
+      }
+    }
+    seen_injectors.push_back(name);
+    if (name == "none") {
+      saw_none = true;
+    } else if (name == "flap") {
+      FlapSpec flap;
+      bool saw_period = false;
+      bool saw_down = false;
+      for (const auto& [key, value] :
+           parse_kv(token, body, {"period", "down", "offset"})) {
+        if (key == "period") {
+          flap.period = parse_duration(token, value);
+          saw_period = true;
+        } else if (key == "down") {
+          flap.down = parse_duration(token, value);
+          saw_down = true;
+        } else {
+          flap.offset = parse_duration(token, value);
+        }
+      }
+      if (!saw_period || !saw_down) {
+        bad(token, "flap needs period= and down=");
+      }
+      if (flap.period <= 0 || flap.down <= 0 || flap.down >= flap.period) {
+        bad(token, "flap needs 0 < down < period");
+      }
+      spec.flap = flap;
+    } else if (name == "corrupt") {
+      CorruptSpec corrupt;
+      bool saw_rate = false;
+      for (const auto& [key, value] : parse_kv(token, body, {"rate"})) {
+        (void)key;
+        corrupt.rate = parse_rate(token, value);
+        saw_rate = true;
+      }
+      if (!saw_rate) {
+        bad(token, "corrupt needs rate=");
+      }
+      spec.corrupt = corrupt;
+    } else if (name == "crash") {
+      bool saw_p = false;
+      for (const auto& [key, value] : parse_kv(token, body, {"p", "frac"})) {
+        if (key == "p") {
+          spec.origin.crash_rate = parse_rate(token, value);
+          saw_p = true;
+        } else {
+          spec.origin.crash_fraction = parse_rate(token, value);
+        }
+      }
+      if (!saw_p) {
+        bad(token, "crash needs p=");
+      }
+    } else if (name == "stall") {
+      bool saw_p = false;
+      for (const auto& [key, value] : parse_kv(token, body, {"p"})) {
+        (void)key;
+        spec.origin.stall_rate = parse_rate(token, value);
+        saw_p = true;
+      }
+      if (!saw_p) {
+        bad(token, "stall needs p=");
+      }
+    } else if (name == "slowstart") {
+      bool saw_delay = false;
+      for (const auto& [key, value] : parse_kv(token, body, {"delay"})) {
+        (void)key;
+        spec.origin.slow_start = parse_duration(token, value);
+        saw_delay = true;
+      }
+      if (!saw_delay) {
+        bad(token, "slowstart needs delay=");
+      }
+    } else if (name == "dns") {
+      if (body.empty()) {
+        bad(token, "dns needs fail= and/or drop=");
+      }
+      for (const auto& [key, value] : parse_kv(token, body, {"fail", "drop"})) {
+        if (key == "fail") {
+          spec.dns.fail_rate = parse_rate(token, value);
+        } else {
+          spec.dns.drop_rate = parse_rate(token, value);
+        }
+      }
+    } else if (name == "noretry") {
+      spec.client.no_retry = true;
+    } else if (name == "retry") {
+      for (const auto& [key, value] :
+           parse_kv(token, body, {"deadline", "max", "base", "cap", "jitter"})) {
+        if (key == "deadline") {
+          spec.client.request_deadline = parse_duration(token, value);
+        } else if (key == "max") {
+          spec.client.max_retries = parse_count(token, value);
+        } else if (key == "base") {
+          spec.client.backoff_base = parse_duration(token, value);
+        } else if (key == "cap") {
+          spec.client.backoff_max = parse_duration(token, value);
+        } else {
+          spec.client.backoff_jitter = parse_rate(token, value);
+        }
+      }
+      if (spec.client.backoff_base <= 0 ||
+          spec.client.backoff_max < spec.client.backoff_base) {
+        bad(token, "retry needs 0 < base <= cap");
+      }
+    } else {
+      bad(token,
+          "unknown injector (expected none, flap, corrupt, crash, stall, "
+          "slowstart, dns, noretry, retry)");
+    }
+  }
+  if (saw_none && (spec.any() || tokens.size() != 1)) {
+    throw std::invalid_argument("fault spec 'none' cannot combine with injectors");
+  }
+  bool saw_retry = false;
+  for (const auto injector : seen_injectors) {
+    saw_retry = saw_retry || injector == "retry";
+  }
+  if (spec.client.no_retry && saw_retry) {
+    throw std::invalid_argument(
+        "fault spec cannot combine 'noretry' with 'retry:...'");
+  }
+  return spec;
+}
+
+bool FaultPlan::chance(std::string_view stream, std::uint64_t index,
+                       double p) const {
+  return util::derive_chance(plan_seed_, stream, index, p);
+}
+
+net::ServerFault FaultPlan::server_fault(std::size_t server_index,
+                                         std::uint64_t request_index) const {
+  net::ServerFault out;
+  if (!spec_.origin.any()) {
+    return out;
+  }
+  const std::string key = "origin-s" + std::to_string(server_index);
+  // Slow-start: the first requests to each origin pay extra latency that
+  // decays linearly over the first four requests (a cold cache warming up).
+  if (spec_.origin.slow_start > 0 && request_index < 4) {
+    out.extra_delay = spec_.origin.slow_start *
+                      static_cast<Microseconds>(4 - request_index) / 4;
+  }
+  // Crash and stall are mutually exclusive per request; crash wins the tie
+  // so crash-heavy ladders stay crash-heavy.
+  if (spec_.origin.crash_rate > 0.0 &&
+      chance(key + "/crash", request_index, spec_.origin.crash_rate)) {
+    out.kind = net::ServerFault::Kind::kCrash;
+    out.fraction = spec_.origin.crash_fraction;
+  } else if (spec_.origin.stall_rate > 0.0 &&
+             chance(key + "/stall", request_index, spec_.origin.stall_rate)) {
+    out.kind = net::ServerFault::Kind::kStall;
+  }
+  return out;
+}
+
+net::DnsFault FaultPlan::dns_query_fault(std::uint64_t query_index) const {
+  if (!spec_.dns.any()) {
+    return net::DnsFault::kNone;
+  }
+  if (spec_.dns.drop_rate > 0.0 &&
+      chance("dns/drop", query_index, spec_.dns.drop_rate)) {
+    return net::DnsFault::kDrop;
+  }
+  if (spec_.dns.fail_rate > 0.0 &&
+      chance("dns/fail", query_index, spec_.dns.fail_rate)) {
+    return net::DnsFault::kFail;
+  }
+  return net::DnsFault::kNone;
+}
+
+}  // namespace mahimahi::fault

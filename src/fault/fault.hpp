@@ -1,0 +1,120 @@
+#pragma once
+
+// Deterministic fault injection. A FaultSpec says *which* failure modes are
+// active (parsed from an experiment axis like
+// "flap:period=5s,down=500ms + crash:p=0.1 + dns:fail=0.05"); a FaultPlan
+// binds a spec to a plan seed and answers per-event questions ("does query
+// #7 fail?") as a pure function of (plan_seed, stream, index). Nothing in a
+// plan advances state, so every shard/thread sees identical faults — the
+// same contract the traffic side of the simulator already holds.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/fault_hooks.hpp"
+#include "util/time.hpp"
+
+namespace mahimahi::fault {
+
+/// Periodic link outage: the shell goes dark for `down` once per `period`,
+/// first outage starting at `offset`.
+struct FlapSpec {
+  Microseconds period{5'000'000};
+  Microseconds down{500'000};
+  Microseconds offset{1'000'000};
+};
+
+/// Random single-packet corruption (modelled as a drop — the simulator has
+/// no checksum path, and a corrupted frame is discarded either way).
+struct CorruptSpec {
+  double rate{0.001};
+};
+
+/// Origin-server misbehavior, decided per (server, request).
+struct OriginSpec {
+  double crash_rate{0.0};     ///< P(send partial response, then RST)
+  double crash_fraction{0.5}; ///< fraction of wire bytes sent before the RST
+  double stall_rate{0.0};     ///< P(accept request, never respond)
+  Microseconds slow_start{0}; ///< extra delay on each server's first requests
+
+  [[nodiscard]] bool any() const {
+    return crash_rate > 0.0 || stall_rate > 0.0 || slow_start > 0;
+  }
+};
+
+/// DNS misbehavior, decided per query.
+struct DnsSpec {
+  double fail_rate{0.0};  ///< P(NXDOMAIN for a known name)
+  double drop_rate{0.0};  ///< P(swallow the query; client times out + retries)
+
+  [[nodiscard]] bool any() const { return fail_rate > 0.0 || drop_rate > 0.0; }
+};
+
+/// Client-side resilience policy shipped with a fault plan (the browser
+/// maps this onto its retry/deadline machinery when the plan is active).
+struct ClientPolicy {
+  bool no_retry{false};  ///< "noretry": measure the un-defended baseline
+  Microseconds request_deadline{8'000'000};
+  int max_retries{2};
+  Microseconds backoff_base{500'000};
+  Microseconds backoff_max{8'000'000};
+  double backoff_jitter{0.1};
+};
+
+/// Which injectors a scenario turns on. Default-constructed = no faults.
+struct FaultSpec {
+  std::optional<FlapSpec> flap;
+  std::optional<CorruptSpec> corrupt;
+  OriginSpec origin;
+  DnsSpec dns;
+  ClientPolicy client;
+
+  [[nodiscard]] bool any() const {
+    return flap.has_value() || corrupt.has_value() || origin.any() || dns.any();
+  }
+};
+
+/// Parse a plan spec: injector tokens separated by '+' or whitespace.
+///   none
+///   flap:period=5s,down=500ms[,offset=1s]
+///   corrupt:rate=0.001
+///   crash:p=0.1[,frac=0.5]
+///   stall:p=0.05
+///   slowstart:delay=200ms
+///   dns:fail=0.1[,drop=0.3]
+///   noretry
+///   retry:deadline=8s,max=2,base=500ms,cap=8s[,jitter=0.1]
+/// Throws std::invalid_argument with a token-level message on bad input.
+FaultSpec parse_fault_spec(std::string_view text);
+
+/// A spec bound to a seed. Copyable value; all queries are const and pure.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(FaultSpec spec, std::uint64_t plan_seed)
+      : spec_{spec}, plan_seed_{plan_seed} {}
+
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint64_t plan_seed() const { return plan_seed_; }
+  [[nodiscard]] bool active() const { return spec_.any(); }
+
+  /// Pure Bernoulli decision for event `index` of `stream`.
+  [[nodiscard]] bool chance(std::string_view stream, std::uint64_t index,
+                            double p) const;
+
+  /// Origin fault for request `request_index` on server `server_index`
+  /// (decision streams are keyed per server so servers fail independently).
+  [[nodiscard]] net::ServerFault server_fault(std::size_t server_index,
+                                              std::uint64_t request_index) const;
+
+  /// DNS fault for query `query_index`.
+  [[nodiscard]] net::DnsFault dns_query_fault(std::uint64_t query_index) const;
+
+ private:
+  FaultSpec spec_{};
+  std::uint64_t plan_seed_{0};
+};
+
+}  // namespace mahimahi::fault

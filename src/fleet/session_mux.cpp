@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "net/dns.hpp"
+#include "net/element.hpp"
 #include "net/fabric.hpp"
 #include "util/assert.hpp"
 #include "util/random.hpp"
@@ -17,14 +18,16 @@ namespace {
 /// finite double printf'd at fixed precision is a pure function of the
 /// value, so byte-identical outcomes serialize to byte-identical text.
 void append_outcome_line(std::string& out, const SessionOutcome& o) {
-  char buffer[256];
+  char buffer[320];
   std::snprintf(buffer, sizeof buffer,
                 "session %6d ok=%d plt_ms=%.6f start_ms=%.3f finish_ms=%.3f "
-                "objects=%u failed=%u connections=%u bytes=%llu\n",
+                "objects=%u failed=%u connections=%u bytes=%llu "
+                "retries=%u timeouts=%u degraded_plt_ms=%.6f\n",
                 o.session_index, o.success ? 1 : 0, o.plt_ms, o.start_ms,
                 o.finish_ms, o.objects_loaded, o.objects_failed,
                 o.connections_opened,
-                static_cast<unsigned long long>(o.bytes_downloaded));
+                static_cast<unsigned long long>(o.bytes_downloaded),
+                o.retries, o.timeouts, o.degraded_plt_ms);
   out += buffer;
 }
 
@@ -51,14 +54,49 @@ std::string serialize_outcomes(const std::vector<SessionOutcome>& outcomes) {
 /// fabric, one shell stack, one origin-server farm, one DNS. Browsers are
 /// per-session; everything they contend for is here.
 struct SessionMux::SharedWorld {
+  /// The shared world's fault plan forks from the fleet seed, like its
+  /// shells: faults belong to the world, not to any one user, so every
+  /// session observes the same flap/crash/DNS schedule regardless of
+  /// sharding (a shared world never splits across muxes).
+  static std::uint64_t fault_plan_seed(const MuxConfig& config) {
+    util::Rng rng{config.fleet_seed ^ config.session.host.seed_salt};
+    return rng.fork("fault-plan").next();
+  }
+
+  static replay::OriginServerSet::Options origin_options(
+      const MuxConfig& config, const fault::FaultPlan& plan) {
+    replay::OriginServerSet::Options options =
+        core::session_origin_options(config.session, config.origin);
+    if (plan.active()) {
+      options.fault = plan;
+    }
+    return options;
+  }
+
   SharedWorld(net::EventLoop& loop, const record::RecordStore& store,
               const MuxConfig& config)
-      : fabric{loop},
-        servers{fabric, store,
-                core::session_origin_options(config.session, config.origin)},
+      : plan{config.session.fault, fault_plan_seed(config)},
+        fabric{loop},
+        servers{fabric, store, origin_options(config, plan)},
         dns_server{fabric,
                    net::Address{fabric.allocate_server_ip(), net::kDnsPort},
                    servers.dns_table()} {
+    if (plan.spec().dns.any()) {
+      dns_server.set_fault_hook([p = plan](std::uint64_t query_index) {
+        return p.dns_query_fault(query_index);
+      });
+    }
+    // Fault elements sit innermost, before any shell — same layering as
+    // ReplayWorld, so a fault spec means the same thing in both modes.
+    if (plan.spec().flap.has_value()) {
+      const auto& flap = *plan.spec().flap;
+      fabric.chain().push_back(std::make_unique<net::FlapBox>(
+          loop, flap.period, flap.down, flap.offset));
+    }
+    if (plan.spec().corrupt.has_value()) {
+      fabric.chain().push_back(std::make_unique<net::CorruptBox>(
+          plan.plan_seed(), plan.spec().corrupt->rate));
+    }
     // The shared stack's randomness forks from the fleet seed, not from
     // any session: shells belong to the world, not to a user.
     util::Rng rng{config.fleet_seed ^ config.session.host.seed_salt};
@@ -67,6 +105,7 @@ struct SessionMux::SharedWorld {
                        shell_rng);
   }
 
+  fault::FaultPlan plan;
   net::Fabric fabric;
   replay::OriginServerSet servers;
   net::DnsServer dns_server;
@@ -150,6 +189,9 @@ void SessionMux::complete(Slot& slot, web::PageLoadResult result) {
   o.connections_opened =
       static_cast<std::uint32_t>(result.connections_opened);
   o.bytes_downloaded = result.bytes_downloaded;
+  o.retries = static_cast<std::uint32_t>(result.retries);
+  o.timeouts = static_cast<std::uint32_t>(result.timeouts);
+  o.degraded_plt_ms = to_ms(result.degraded_page_load_time);
   if (config_.shared_world) {
     // Retire the browser once the loop is past its frames: destroying it
     // inside its own completion callback would unwind into freed state.

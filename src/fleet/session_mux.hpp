@@ -29,6 +29,12 @@ struct SessionOutcome {
   std::uint32_t objects_failed{0};
   std::uint32_t connections_opened{0};
   std::uint64_t bytes_downloaded{0};
+  /// Resilience accounting (fault axis): retry attempts and deadline
+  /// expiries the session's browser recorded, and its graceful-degradation
+  /// PLT (== plt_ms for clean loads).
+  std::uint32_t retries{0};
+  std::uint32_t timeouts{0};
+  double degraded_plt_ms{0};
 };
 
 /// One line per session, fixed precision, in session-index order — the

@@ -43,13 +43,25 @@ void DnsServer::handle_packet(Packet&& packet) {
   }
   const std::string hostname{
       std::string_view{packet.payload}.substr(kQueryPrefix.size())};
-  ++queries_served_;
+  const std::uint64_t query_index = queries_served_++;
+
+  DnsFault fault = DnsFault::kNone;
+  if (fault_hook_) {
+    fault = fault_hook_(query_index);
+  }
+  if (fault == DnsFault::kDrop) {
+    ++faults_injected_;
+    return;  // swallow the query; the client times out and retries
+  }
 
   Packet answer;
   answer.protocol = Protocol::kUdp;
   answer.src = local_;
   answer.dst = packet.src;
-  if (const auto ip = table_.lookup(hostname)) {
+  if (fault == DnsFault::kFail) {
+    ++faults_injected_;
+    answer.payload = std::string{kNxPrefix} + hostname;
+  } else if (const auto ip = table_.lookup(hostname)) {
     answer.payload = std::string{kAnswerPrefix} + hostname + ':' + ip->to_string();
   } else {
     answer.payload = std::string{kNxPrefix} + hostname;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/fabric.hpp"
+#include "net/fault_hooks.hpp"
 #include "util/time.hpp"
 
 namespace mahimahi::net {
@@ -42,6 +43,11 @@ class DnsServer {
 
   [[nodiscard]] Address address() const { return local_; }
   [[nodiscard]] std::uint64_t queries_served() const { return queries_served_; }
+  [[nodiscard]] std::uint64_t faults_injected() const { return faults_injected_; }
+
+  /// Fault injection: consulted once per arriving query (indexed in arrival
+  /// order) before the answer is formed. Null = no faults.
+  void set_fault_hook(DnsFaultHook hook) { fault_hook_ = std::move(hook); }
 
  private:
   void handle_packet(Packet&& packet);
@@ -50,6 +56,8 @@ class DnsServer {
   Address local_;
   const DnsTable& table_;
   std::uint64_t queries_served_{0};
+  std::uint64_t faults_injected_{0};
+  DnsFaultHook fault_hook_;
 };
 
 /// Stub resolver with a cache and retry-on-timeout, used by the browser.

@@ -94,6 +94,50 @@ void ReorderBox::process(Packet&& packet, Direction direction) {
                     });
 }
 
+// --- FlapBox ----------------------------------------------------------------
+
+FlapBox::FlapBox(EventLoop& loop, Microseconds period, Microseconds down,
+                 Microseconds offset)
+    : loop_{loop}, period_{period}, down_{down}, offset_{offset} {
+  MAHI_ASSERT_MSG(period > 0 && down > 0 && down < period,
+                  "flap needs 0 < down < period");
+  MAHI_ASSERT(offset >= 0);
+}
+
+bool FlapBox::link_down() const {
+  const Microseconds now = loop_.now();
+  if (now < offset_) {
+    return false;
+  }
+  return (now - offset_) % period_ < down_;
+}
+
+void FlapBox::process(Packet&& packet, Direction direction) {
+  if (link_down()) {
+    ++dropped_[direction == Direction::kUplink ? 0 : 1];
+    return;  // blackhole while the link is down
+  }
+  emit(std::move(packet), direction);
+}
+
+// --- CorruptBox -------------------------------------------------------------
+
+CorruptBox::CorruptBox(std::uint64_t seed, double rate)
+    : seed_{seed}, rate_{rate} {
+  MAHI_ASSERT(rate >= 0.0 && rate <= 1.0);
+}
+
+void CorruptBox::process(Packet&& packet, Direction direction) {
+  const std::size_t i = direction == Direction::kUplink ? 0 : 1;
+  const std::uint64_t index = seen_[i]++;
+  if (util::derive_chance(seed_, i == 0 ? "corrupt-up" : "corrupt-down", index,
+                          rate_)) {
+    ++corrupted_[i];
+    return;  // corrupted frame: receiver would discard it
+  }
+  emit(std::move(packet), direction);
+}
+
 // --- Chain ------------------------------------------------------------------
 
 void Chain::push_back(std::unique_ptr<NetworkElement> element) {

@@ -145,6 +145,51 @@ class ReorderBox final : public NetworkElement {
   Microseconds max_extra_;
 };
 
+/// Periodic link outage (fault injection): both directions drop every
+/// packet while the link is down. Down iff some k >= 0 has
+/// offset + k*period <= now < offset + k*period + down — a pure function
+/// of simulated time, so flaps are identical at any thread/shard count.
+class FlapBox final : public NetworkElement {
+ public:
+  FlapBox(EventLoop& loop, Microseconds period, Microseconds down,
+          Microseconds offset);
+
+  void process(Packet&& packet, Direction direction) override;
+
+  [[nodiscard]] bool link_down() const;
+  [[nodiscard]] std::uint64_t dropped(Direction direction) const {
+    return dropped_[direction == Direction::kUplink ? 0 : 1];
+  }
+
+ private:
+  EventLoop& loop_;
+  Microseconds period_;
+  Microseconds down_;
+  Microseconds offset_;
+  std::uint64_t dropped_[2]{0, 0};
+};
+
+/// Payload-corruption fault: per-direction packet counters feed the
+/// stateless (seed, stream, index) hash, so whether packet #i is corrupted
+/// never depends on other traffic. A corrupted packet is dropped — the
+/// simulator has no checksum path, and a bad frame is discarded either way.
+class CorruptBox final : public NetworkElement {
+ public:
+  CorruptBox(std::uint64_t seed, double rate);
+
+  void process(Packet&& packet, Direction direction) override;
+
+  [[nodiscard]] std::uint64_t corrupted(Direction direction) const {
+    return corrupted_[direction == Direction::kUplink ? 0 : 1];
+  }
+
+ private:
+  std::uint64_t seed_;
+  double rate_;
+  std::uint64_t seen_[2]{0, 0};
+  std::uint64_t corrupted_[2]{0, 0};
+};
+
 /// An ordered stack of elements wired together. Uplink packets traverse
 /// element 0 → N-1 and exit via `uplink_out`; downlink packets traverse
 /// N-1 → 0 and exit via `downlink_out`. An empty chain forwards directly.

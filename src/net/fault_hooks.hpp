@@ -1,0 +1,46 @@
+#pragma once
+
+// Fault-injection hook types shared by the origin servers (HTTP + mux) and
+// the DNS server. The servers only *consume* these — deciding which request
+// or query misbehaves is the fault layer's job (src/fault/), which hands a
+// hook down through the server options. Keeping the types here (dep-free)
+// lets src/net stay below src/fault in the layering.
+
+#include <cstdint>
+#include <functional>
+
+#include "util/time.hpp"
+
+namespace mahimahi::net {
+
+/// What an origin server should do with one incoming request.
+struct ServerFault {
+  enum class Kind : std::uint8_t {
+    kNone,   ///< serve normally
+    kCrash,  ///< send a prefix of the response bytes, then RST the connection
+    kStall,  ///< accept the request and never respond
+  };
+  Kind kind{Kind::kNone};
+  /// kCrash: fraction of the wire bytes sent before the reset (clamped so at
+  /// least one byte goes out — a crash mid-response, not a refused request).
+  double fraction{0.5};
+  /// Added to the server's processing delay (slow-start / brown-out faults).
+  Microseconds extra_delay{0};
+};
+
+/// Decides the fault for request number `request_index` (0-based, in the
+/// order the server parses requests). Must be a pure function of the index
+/// so injected faults are identical at any thread or shard count.
+using ServerFaultHook = std::function<ServerFault(std::uint64_t request_index)>;
+
+/// What the DNS server should do with one incoming query.
+enum class DnsFault : std::uint8_t {
+  kNone,  ///< answer normally
+  kDrop,  ///< swallow the query (client sees a timeout and retries)
+  kFail,  ///< reply NXDOMAIN even for known names
+};
+
+/// Decides the fault for query number `query_index` (0-based arrival order).
+using DnsFaultHook = std::function<DnsFault(std::uint64_t query_index)>;
+
+}  // namespace mahimahi::net

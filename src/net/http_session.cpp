@@ -1,5 +1,7 @@
 #include "net/http_session.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -141,6 +143,17 @@ void HttpServer::drain_requests(const std::shared_ptr<Session>& session) {
   }
   while (session->parser.has_message()) {
     const http::Request request = session->parser.pop();
+    ServerFault fault;
+    if (fault_hook_) {
+      fault = fault_hook_(requests_seen_);
+    }
+    ++requests_seen_;
+    if (fault.kind == ServerFault::Kind::kStall) {
+      // Accept-and-stall: the request is swallowed, no response ever comes,
+      // and the worker stays pinned (a hung Apache child).
+      ++faults_injected_;
+      continue;
+    }
     const bool keep_alive = request.keep_alive();
     http::Response response = handler_(request);
     http::finalize_content_length(response);
@@ -149,12 +162,36 @@ void HttpServer::drain_requests(const std::shared_ptr<Session>& session) {
       observer_(request, response);
     }
     std::string wire = http::to_bytes(response);
-    if (processing_delay_ > 0) {
+    const Microseconds delay = processing_delay_ + fault.extra_delay;
+    if (fault.kind == ServerFault::Kind::kCrash) {
+      // Crash mid-response: emit a prefix of the wire bytes, then RST.
+      // The crashed worker's slot is freed (the process died).
+      ++faults_injected_;
+      const double fraction = std::clamp(fault.fraction, 0.0, 1.0);
+      const auto cut = static_cast<std::size_t>(
+          static_cast<double>(wire.size()) * fraction);
+      wire.resize(std::max<std::size_t>(1, std::min(cut, wire.size())));
+      const std::weak_ptr<TcpConnection> weak = session->connection;
+      auto crash = [this, weak, session, wire = std::move(wire)] {
+        if (const auto conn = weak.lock()) {
+          conn->send(wire);
+          conn->abort();
+        }
+        release_worker(session);
+      };
+      if (delay > 0) {
+        fabric_.loop().schedule_in(delay, std::move(crash));
+      } else {
+        crash();
+      }
+      return;  // the connection is (about to be) gone
+    }
+    if (delay > 0) {
       // Simulated server think time (first-byte latency); overlaps freely
       // across requests.
       const std::weak_ptr<TcpConnection> weak = session->connection;
       fabric_.loop().schedule_in(
-          processing_delay_, [weak, wire = std::move(wire), keep_alive] {
+          delay, [weak, wire = std::move(wire), keep_alive] {
             if (const auto conn = weak.lock()) {
               conn->send(wire);
               if (!keep_alive) {
@@ -193,7 +230,22 @@ HttpClientConnection::HttpClientConnection(Fabric& fabric, Address server,
                           alive_ = false;
                         }
                       },
-                  .on_reset = [this] { fail("connection reset"); }},
+                  .on_reset =
+                      [this] {
+                        // Typed close reason from TCP: a deadline-driven
+                        // resilience layer treats "server crashed" and
+                        // "network unreachable" differently.
+                        switch (client_.connection().close_reason()) {
+                          case TcpConnection::CloseReason::kSynTimeout:
+                          case TcpConnection::CloseReason::kRetransmitExhausted:
+                            fail(std::string{to_string(
+                                client_.connection().close_reason())});
+                            break;
+                          default:
+                            fail("connection reset");
+                            break;
+                        }
+                      }},
               config} {}
 
 void HttpClientConnection::fetch(http::Request request,
@@ -215,6 +267,14 @@ void HttpClientConnection::close_when_idle() {
     alive_ = false;
     client_.connection().close();
   }
+}
+
+void HttpClientConnection::abort() {
+  alive_ = false;
+  outstanding_ = 0;
+  queue_.clear();
+  in_flight_callbacks_.clear();
+  client_.connection().abort();
 }
 
 void HttpClientConnection::maybe_send_next() {

@@ -6,6 +6,7 @@
 
 #include "http/message.hpp"
 #include "http/parser.hpp"
+#include "net/fault_hooks.hpp"
 #include "net/tcp.hpp"
 
 namespace mahimahi::net {
@@ -62,6 +63,11 @@ class HttpServer {
   }
   /// Connections that had to wait for a worker (starvation indicator).
   [[nodiscard]] std::uint64_t worker_waits() const { return worker_waits_; }
+  [[nodiscard]] std::uint64_t faults_injected() const { return faults_injected_; }
+
+  /// Fault injection: consulted once per parsed request (indexed in parse
+  /// order, including requests that end up faulted). Null = no faults.
+  void set_fault_hook(ServerFaultHook hook) { fault_hook_ = std::move(hook); }
 
  private:
   struct Session {
@@ -92,6 +98,9 @@ class HttpServer {
   EventLoop::EventId spawn_event_{0};
   std::uint64_t worker_waits_{0};
   std::uint64_t requests_served_{0};
+  std::uint64_t requests_seen_{0};  // fault-hook index (includes faulted)
+  std::uint64_t faults_injected_{0};
+  ServerFaultHook fault_hook_;
   TcpListener listener_;  // must outlive nothing: declared last
 };
 
@@ -116,6 +125,10 @@ class HttpClientConnection {
 
   /// Half-close after the queue drains (Connection: close semantics).
   void close_when_idle();
+
+  /// Hard-kill the connection (RST) without invoking the error callback —
+  /// the caller has already decided this request's fate (deadline expiry).
+  void abort();
 
   [[nodiscard]] bool idle() const { return outstanding_ == 0 && queue_.empty(); }
   [[nodiscard]] bool alive() const { return alive_; }

@@ -1,5 +1,7 @@
 #include "net/mux.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -150,14 +152,48 @@ void MuxServer::on_data(const std::shared_ptr<Session>& session,
       MAHI_WARN("mux-server") << "bad request in stream " << frame.stream_id;
       continue;
     }
+    ServerFault fault;
+    if (fault_hook_) {
+      fault = fault_hook_(requests_seen_);
+    }
+    ++requests_seen_;
+    if (fault.kind == ServerFault::Kind::kStall) {
+      // Accept-and-stall: the stream never sees a data frame.
+      ++faults_injected_;
+      continue;
+    }
     http::Response response = handler_(request_parser.pop());
     http::finalize_content_length(response);
     ++requests_served_;
-    if (processing_delay_ > 0) {
+    const Microseconds delay = processing_delay_ + fault.extra_delay;
+    if (fault.kind == ServerFault::Kind::kCrash) {
+      // Crash mid-response: one partial data frame, then RST. Every other
+      // stream on the connection dies with it — shared-fate, as real.
+      ++faults_injected_;
+      std::string wire = http::to_bytes(response);
+      const double fraction = std::clamp(fault.fraction, 0.0, 1.0);
+      const auto cut = static_cast<std::size_t>(
+          static_cast<double>(wire.size()) * fraction);
+      wire.resize(std::max<std::size_t>(1, std::min(cut, wire.size())));
+      auto crash = [session, id = frame.stream_id, wire = std::move(wire)] {
+        if (const auto conn = session->connection.lock()) {
+          conn->send(encode_frame_header(
+              id, Frame::Type::kData, static_cast<std::uint32_t>(wire.size())));
+          conn->send(wire);
+          conn->abort();
+        }
+      };
+      if (delay > 0) {
+        fabric_.loop().schedule_in(delay, std::move(crash));
+      } else {
+        crash();
+      }
+      return;  // the connection is (about to be) gone
+    }
+    if (delay > 0) {
       fabric_.loop().schedule_in(
-          processing_delay_,
-          [this, session, id = frame.stream_id,
-           r = std::move(response)]() mutable {
+          delay, [this, session, id = frame.stream_id,
+                  r = std::move(response)]() mutable {
             start_response(session, id, std::move(r));
           });
     } else {
@@ -231,7 +267,19 @@ MuxClientConnection::MuxClientConnection(Fabric& fabric, Address server,
                         }
                         alive_ = false;
                       },
-                  .on_reset = [this] { fail("connection reset"); }},
+                  .on_reset =
+                      [this] {
+                        switch (client_.connection().close_reason()) {
+                          case TcpConnection::CloseReason::kSynTimeout:
+                          case TcpConnection::CloseReason::kRetransmitExhausted:
+                            fail(std::string{to_string(
+                                client_.connection().close_reason())});
+                            break;
+                          default:
+                            fail("connection reset");
+                            break;
+                        }
+                      }},
               std::move(config)} {}
 
 void MuxClientConnection::fetch(http::Request request,

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "http/parser.hpp"
+#include "net/fault_hooks.hpp"
 #include "net/tcp.hpp"
 
 namespace mahimahi::net::mux {
@@ -75,6 +76,11 @@ class MuxServer {
   [[nodiscard]] std::uint64_t total_accepted() const {
     return listener_.total_accepted();
   }
+  [[nodiscard]] std::uint64_t faults_injected() const { return faults_injected_; }
+
+  /// Fault injection: consulted once per parsed request frame (indexed in
+  /// parse order, including requests that end up faulted). Null = none.
+  void set_fault_hook(ServerFaultHook hook) { fault_hook_ = std::move(hook); }
 
  private:
   struct Session {
@@ -102,6 +108,9 @@ class MuxServer {
   Microseconds processing_delay_;
   std::size_t chunk_bytes_;
   std::uint64_t requests_served_{0};
+  std::uint64_t requests_seen_{0};  // fault-hook index (includes faulted)
+  std::uint64_t faults_injected_{0};
+  ServerFaultHook fault_hook_;
   TcpListener listener_;
 };
 

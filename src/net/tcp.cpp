@@ -226,6 +226,7 @@ void TcpConnection::abort() {
   if (state_ == State::kClosed) {
     return;
   }
+  close_reason_ = CloseReason::kLocalAbort;
   TcpSegment rst;
   rst.seq = snd_nxt_;
   rst.rst = true;
@@ -334,6 +335,7 @@ void TcpConnection::handle_packet(Packet&& packet) {
   const TcpSegment& seg = packet.tcp;
 
   if (seg.rst) {
+    close_reason_ = CloseReason::kPeerReset;
     if (callbacks_.on_reset) {
       callbacks_.on_reset();
     }
@@ -601,6 +603,7 @@ void TcpConnection::on_rto_expired() {
 
   if (state_ == State::kSynSent || state_ == State::kSynReceived) {
     if (++syn_retries_ > config_.max_syn_retries) {
+      close_reason_ = CloseReason::kSynTimeout;
       if (callbacks_.on_reset) {
         callbacks_.on_reset();
       }
@@ -625,6 +628,7 @@ void TcpConnection::on_rto_expired() {
   }
   if (++consecutive_rtos_ > config_.max_rto_retries) {
     // The peer is unreachable (or gone): give up like tcp_retries2.
+    close_reason_ = CloseReason::kRetransmitExhausted;
     if (callbacks_.on_reset) {
       callbacks_.on_reset();
     }
@@ -692,6 +696,9 @@ void TcpConnection::maybe_finish_close() {
 
 void TcpConnection::become_closed() {
   state_ = State::kClosed;
+  if (close_reason_ == CloseReason::kNone) {
+    close_reason_ = CloseReason::kNormal;
+  }
   disarm_retransmit_timer();
   disarm_pacing_timer();
   if (on_destroyed) {
@@ -761,6 +768,24 @@ void TcpListener::handle_packet(Packet&& packet) {
   connections_.emplace(peer, connection);
   ++total_accepted_;
   connection->accept_syn(packet.tcp);
+}
+
+std::string_view to_string(TcpConnection::CloseReason reason) {
+  switch (reason) {
+    case TcpConnection::CloseReason::kNone:
+      return "open";
+    case TcpConnection::CloseReason::kNormal:
+      return "closed";
+    case TcpConnection::CloseReason::kPeerReset:
+      return "peer reset";
+    case TcpConnection::CloseReason::kSynTimeout:
+      return "connect timeout (SYN retransmit limit)";
+    case TcpConnection::CloseReason::kRetransmitExhausted:
+      return "retransmit limit exhausted";
+    case TcpConnection::CloseReason::kLocalAbort:
+      return "local abort";
+  }
+  return "unknown";
 }
 
 }  // namespace mahimahi::net

@@ -97,6 +97,18 @@ class SendBuffer {
 /// real, so HTTP messages cross the emulated network byte-for-byte.
 class TcpConnection {
  public:
+  /// Why a connection reached kClosed. Set once at the closing transition;
+  /// the resilience layer upstack (HTTP/mux clients, the browser's retry
+  /// policy) keys error handling off this instead of parsing strings.
+  enum class CloseReason : std::uint8_t {
+    kNone,                  ///< still open
+    kNormal,                ///< orderly FIN/FIN-ACK exchange
+    kPeerReset,             ///< RST arrived from the peer
+    kSynTimeout,            ///< handshake gave up after max_syn_retries
+    kRetransmitExhausted,   ///< data RTO gave up after max_rto_retries
+    kLocalAbort,            ///< our side called abort()
+  };
+
   struct Callbacks {
     std::function<void()> on_connected;            // handshake complete
     std::function<void(std::string_view)> on_data; // in-order payload bytes
@@ -163,6 +175,9 @@ class TcpConnection {
   [[nodiscard]] bool established() const { return state_ == State::kEstablished ||
                                                   state_ == State::kCloseWait; }
   [[nodiscard]] bool closed() const { return state_ == State::kClosed; }
+  /// kNone until the connection closes; then the reason it closed. Valid
+  /// to read from inside on_reset / on_peer_close callbacks.
+  [[nodiscard]] CloseReason close_reason() const { return close_reason_; }
   [[nodiscard]] bool send_side_closed() const { return fin_queued_; }
   [[nodiscard]] Address local_address() const { return local_; }
   [[nodiscard]] Address remote_address() const { return remote_; }
@@ -236,6 +251,7 @@ class TcpConnection {
   Callbacks callbacks_;
   Config config_;
   State state_{State::kClosed};
+  CloseReason close_reason_{CloseReason::kNone};
 
   // --- send side ---
   // Sequence numbering: SYN consumes seq 0; application data starts at 1.
@@ -334,5 +350,10 @@ class TcpListener {
   std::map<Address, std::shared_ptr<TcpConnection>> connections_;
   std::uint64_t total_accepted_{0};
 };
+
+/// Stable human-readable label ("peer reset", "retransmit limit
+/// exhausted", ...) — used in page-load error strings, so the wording is
+/// part of the report byte-determinism contract.
+std::string_view to_string(TcpConnection::CloseReason reason);
 
 }  // namespace mahimahi::net

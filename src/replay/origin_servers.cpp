@@ -62,14 +62,31 @@ OriginServerSet::OriginServerSet(net::Fabric& fabric,
     server_controllers_.push_back(tcp.congestion_control.empty()
                                       ? std::string{cc::kDefaultController}
                                       : tcp.congestion_control);
+    // Origin faults: each server decides per request via the plan, keyed
+    // by its spawn index (deterministic: spawn order follows the store's
+    // sorted distinct_servers()).
+    net::ServerFaultHook fault_hook;
+    if (options.fault.active() && options.fault.spec().origin.any()) {
+      const std::size_t server_index = server_controllers_.size() - 1;
+      fault_hook = [plan = options.fault,
+                    server_index](std::uint64_t request_index) {
+        return plan.server_fault(server_index, request_index);
+      };
+    }
     if (options.multiplexed) {
       mux_servers_.push_back(std::make_unique<net::mux::MuxServer>(
           fabric, address, handler, options.processing_delay,
           net::mux::MuxServer::kDefaultChunkBytes, tcp));
+      if (fault_hook) {
+        mux_servers_.back()->set_fault_hook(std::move(fault_hook));
+      }
     } else {
       servers_.push_back(std::make_unique<net::HttpServer>(
           fabric, address, handler, options.processing_delay, tcp));
       servers_.back()->set_worker_pool(options.worker_pool);
+      if (fault_hook) {
+        servers_.back()->set_fault_hook(std::move(fault_hook));
+      }
     }
   };
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "net/dns.hpp"
 #include "net/http_session.hpp"
 #include "net/mux.hpp"
@@ -64,6 +65,10 @@ class OriginServerSet {
     /// same IP to different controllers (servers are per-IP; an ambiguous
     /// pin must never silently measure the wrong fleet).
     std::map<std::string, std::string> cc_by_origin;
+    /// Origin-fault plan: when active, every spawned server consults it
+    /// per request (crash mid-response / stall / slow-start), keyed by the
+    /// server's deterministic spawn index so origins fail independently.
+    fault::FaultPlan fault{};
   };
 
   OriginServerSet(net::Fabric& fabric, const record::RecordStore& store,

@@ -100,6 +100,29 @@ bool Rng::chance(double p) {
   return uniform() < p;
 }
 
+std::uint64_t derive_u64(std::uint64_t seed, std::string_view stream,
+                         std::uint64_t index) {
+  std::uint64_t x =
+      seed ^ fnv1a(stream) ^ (index * 0x9e3779b97f4a7c15ULL + 0x6a09e667f3bcc909ULL);
+  return splitmix64(x);
+}
+
+double derive_uniform(std::uint64_t seed, std::string_view stream,
+                      std::uint64_t index) {
+  return static_cast<double>(derive_u64(seed, stream, index) >> 11) * 0x1.0p-53;
+}
+
+bool derive_chance(std::uint64_t seed, std::string_view stream,
+                   std::uint64_t index, double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return derive_uniform(seed, stream, index) < p;
+}
+
 std::uint64_t fnv1a(std::string_view bytes) {
   std::uint64_t hash = 0xcbf29ce484222325ULL;
   for (const char c : bytes) {

@@ -66,4 +66,20 @@ class Rng {
 /// content-addressed file names in the record store.
 std::uint64_t fnv1a(std::string_view bytes);
 
+/// Stateless counter-mode derivation: a pure function of
+/// (seed, stream, index) with no generator state to advance. This is the
+/// primitive behind per-event fault decisions — any shard or thread can
+/// ask "what happens at event #index of stream S?" and get the same answer
+/// without replaying events 0..index-1.
+std::uint64_t derive_u64(std::uint64_t seed, std::string_view stream,
+                         std::uint64_t index);
+
+/// derive_u64 mapped to a uniform double in [0, 1).
+double derive_uniform(std::uint64_t seed, std::string_view stream,
+                      std::uint64_t index);
+
+/// Bernoulli trial with probability p, decided by (seed, stream, index).
+bool derive_chance(std::uint64_t seed, std::string_view stream,
+                   std::uint64_t index, double p);
+
 }  // namespace mahimahi::util

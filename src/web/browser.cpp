@@ -33,6 +33,11 @@ struct Browser::OriginPool {
 
   // Multiplexed mode only.
   std::unique_ptr<net::mux::MuxClientConnection> mux;
+  /// URLs with a stream in flight on `mux` — the connection's error
+  /// callback fails exactly these (previously they dangled until the
+  /// stall timeout), and a deadline expiry removes its URL so the late
+  /// response cannot double-account.
+  std::map<std::string, http::Url> mux_inflight;
 };
 
 Browser::Browser(net::Fabric& fabric, net::Address dns_server,
@@ -50,6 +55,7 @@ Browser::~Browser() {
   if (finish_event_ != 0) {
     loop_.cancel(finish_event_);
   }
+  cancel_fetch_timers();
 }
 
 void Browser::load(const std::string& url_text, LoadCallback on_done) {
@@ -70,6 +76,9 @@ void Browser::load(const std::string& url_text, LoadCallback on_done) {
   main_thread_busy_until_ = loop_.now();
   seen_urls_.clear();
   pools_.clear();
+  cancel_fetch_timers();
+  fetches_.clear();
+  last_success_time_ = started_at_;
   result_ = PageLoadResult{};
   arm_stall_timer();
   schedule_fetch(*url);
@@ -90,7 +99,7 @@ void Browser::on_resolved(const http::Url& url, std::optional<net::Ipv4> ip) {
     return;  // load already aborted
   }
   if (!ip) {
-    object_finished(false, "DNS failure for " + url.host);
+    attempt_failed(url, "DNS failure for " + url.host, /*timed_out=*/false);
     return;
   }
   OriginPool& pool = pool_for(url, *ip);
@@ -169,12 +178,13 @@ void Browser::pump(OriginPool& pool) {
       OriginPool::Entry* raw = entry.get();
       entry->connection = std::make_unique<net::HttpClientConnection>(
           fabric_, pool.server, [this, raw](const std::string& reason) {
-            // Connection died; fail its in-flight object, if any.
+            // Connection died; fail its in-flight object, if any. The
+            // resilience layer decides between retry and permanent failure.
             if (raw->busy) {
               raw->busy = false;
               MAHI_ASSERT(in_flight_requests_ > 0);
               --in_flight_requests_;
-              object_finished(false, reason);
+              attempt_failed(raw->current, reason, /*timed_out=*/false);
             }
             if (loading_) {
               pump_all();
@@ -192,8 +202,14 @@ void Browser::pump(OriginPool& pool) {
 }
 
 void Browser::pump_mux(OriginPool& pool) {
-  if (pool.mux == nullptr || !pool.mux->alive()) {
-    if (pool.mux != nullptr && !pool.waiting.empty()) {
+  if (pool.mux != nullptr && !pool.mux->alive()) {
+    if (config_.resilience.enabled()) {
+      // Reconnect: defer-destroy the dead connection (we may be inside one
+      // of its callbacks) and fall through to open a fresh one.
+      loop_.schedule_in(0, [old = std::move(pool.mux)] { (void)old; });
+      pool.mux = nullptr;
+      pool.mux_inflight.clear();
+    } else if (!pool.waiting.empty()) {
       // Connection died with work queued: fail those objects.
       while (!pool.waiting.empty()) {
         pool.waiting.pop_front();
@@ -202,16 +218,35 @@ void Browser::pump_mux(OriginPool& pool) {
       }
       return;
     }
-    if (pool.mux == nullptr) {
-      pool.mux = std::make_unique<net::mux::MuxClientConnection>(
-          fabric_, pool.server, [this, &pool](const std::string& reason) {
-            // All outstanding streams on this origin just died.
-            (void)pool;
-            MAHI_WARN("browser") << "mux error: " << reason;
-          },
-          next_connection_config());
-      ++result_.connections_opened;
-    }
+  }
+  if (pool.mux == nullptr) {
+    pool.mux = std::make_unique<net::mux::MuxClientConnection>(
+        fabric_, pool.server, [this, &pool](const std::string& reason) {
+          // All outstanding streams on this origin just died with the
+          // connection. Fail each in-flight object through the resilience
+          // layer; pumping is deferred — this stack frame may sit inside
+          // the dying connection's own callbacks.
+          std::vector<http::Url> dead;
+          dead.reserve(pool.mux_inflight.size());
+          for (const auto& [key, url] : pool.mux_inflight) {
+            dead.push_back(url);
+          }
+          pool.mux_inflight.clear();
+          for (const auto& url : dead) {
+            MAHI_ASSERT(in_flight_requests_ > 0);
+            --in_flight_requests_;
+            attempt_failed(url, reason, /*timed_out=*/false);
+          }
+          if (loading_ && (!dead.empty() || !pool.waiting.empty())) {
+            loop_.schedule_in(0, [this] {
+              if (loading_) {
+                pump_all();
+              }
+            });
+          }
+        },
+        next_connection_config());
+    ++result_.connections_opened;
   }
   while (!pool.waiting.empty() &&
          in_flight_requests_ < config_.max_concurrent_requests) {
@@ -237,7 +272,27 @@ void Browser::pump_mux(OriginPool& pool) {
       if (!loading_ || pool.mux == nullptr) {
         return;
       }
-      pool.mux->fetch(std::move(request), [this, url](http::Response response) {
+      const std::string key = url.to_string();
+      pool.mux_inflight.emplace(key, url);
+      const std::uint64_t generation = fetches_[key].generation;
+      arm_deadline(url, [this, &pool, key] {
+        // Undo the in-flight accounting; the erase also marks any late
+        // response for this stream as stale.
+        if (pool.mux_inflight.erase(key) == 0) {
+          return false;
+        }
+        MAHI_ASSERT(in_flight_requests_ > 0);
+        --in_flight_requests_;
+        return true;
+      });
+      pool.mux->fetch(std::move(request), [this, &pool, url, key,
+                                           generation](http::Response response) {
+        const auto it = fetches_.find(key);
+        if (it == fetches_.end() || it->second.generation != generation ||
+            pool.mux_inflight.erase(key) == 0) {
+          return;  // superseded by a deadline expiry; already accounted
+        }
+        cancel_deadline(key);
         MAHI_ASSERT(in_flight_requests_ > 0);
         --in_flight_requests_;
         on_response(url, std::move(response));
@@ -298,11 +353,26 @@ void Browser::issue(OriginPool& pool, net::HttpClientConnection& connection,
       return;  // load torn down before the issue event fired
     }
     OriginPool::Entry* raw = e.get();
+    arm_deadline(url, [this, weak, key = url.to_string()] {
+      // Deadline expired mid-request: kill the connection silently (its
+      // error callback must not fire — the failure is already attributed)
+      // and undo the in-flight accounting.
+      const auto entry = weak.lock();
+      if (!entry || !entry->busy || entry->current.to_string() != key) {
+        return false;
+      }
+      entry->busy = false;
+      MAHI_ASSERT(in_flight_requests_ > 0);
+      --in_flight_requests_;
+      entry->connection->abort();
+      return true;
+    });
     e->connection->fetch(
         std::move(request), [this, raw, url](http::Response response) {
           raw->busy = false;
           MAHI_ASSERT(in_flight_requests_ > 0);
           --in_flight_requests_;
+          cancel_deadline(url.to_string());
           on_response(url, std::move(response));
           if (loading_) {
             pump_all();
@@ -421,6 +491,7 @@ void Browser::object_finished(bool ok, const std::string& error) {
   }
   if (ok) {
     ++result_.objects_loaded;
+    last_success_time_ = loop_.now();
   } else {
     ++result_.objects_failed;
     if (result_.errors.size() < 16) {
@@ -461,11 +532,120 @@ void Browser::finish() {
   result_.success = result_.objects_failed == 0 && result_.objects_loaded > 0;
   result_.page_load_time = loop_.now() - started_at_;
   result_.started_at = started_at_;
+  fill_degraded_plt();
   // Tear down this load's connections (a fresh load is a fresh browser).
   pools_.clear();
+  cancel_fetch_timers();
   LoadCallback done = std::move(on_done_);
   on_done_ = nullptr;
   done(std::move(result_));
+}
+
+void Browser::attempt_failed(const http::Url& url, const std::string& reason,
+                             bool timed_out) {
+  if (!loading_) {
+    return;
+  }
+  const std::string key = url.to_string();
+  FetchState& state = fetches_[key];
+  cancel_deadline(key);
+  ++state.generation;  // a late response for the old attempt is now stale
+  ++state.attempts;
+  if (timed_out) {
+    ++result_.timeouts;
+  }
+  const auto& policy = config_.resilience;
+  if (policy.enabled() && state.attempts <= policy.max_retries) {
+    ++result_.retries;
+    // Capped exponential backoff with seeded jitter: base * 2^(n-1),
+    // clamped to the cap, scaled by uniform [1-j, 1+j] from the browser's
+    // deterministic RNG.
+    const int exponent = std::min(state.attempts - 1, 20);
+    Microseconds backoff =
+        std::min<Microseconds>(policy.backoff_base << exponent, policy.backoff_max);
+    if (policy.backoff_jitter > 0) {
+      const double scale =
+          1.0 + policy.backoff_jitter * (rng_.uniform() * 2.0 - 1.0);
+      backoff = std::max<Microseconds>(
+          1, static_cast<Microseconds>(static_cast<double>(backoff) * scale));
+    }
+    state.retry_event = loop_.schedule_in(backoff, [this, url] {
+      fetches_[url.to_string()].retry_event = 0;
+      if (!loading_) {
+        return;
+      }
+      // Re-resolve and re-enqueue; the DNS cache makes repeat resolution
+      // synchronous, while a DNS-failure retry genuinely asks again.
+      dns_.resolve(url.host, [this, url](std::optional<net::Ipv4> ip) {
+        on_resolved(url, ip);
+      });
+    });
+    return;  // the object stays outstanding
+  }
+  object_finished(false, reason);
+}
+
+void Browser::arm_deadline(const http::Url& url,
+                           std::function<bool()> on_expire) {
+  const auto& policy = config_.resilience;
+  if (!policy.enabled() || policy.request_deadline <= 0) {
+    return;
+  }
+  const std::string key = url.to_string();
+  FetchState& state = fetches_[key];
+  if (state.deadline_event != 0) {
+    loop_.cancel(state.deadline_event);
+  }
+  state.deadline_event = loop_.schedule_in(
+      policy.request_deadline,
+      [this, url, key, on_expire = std::move(on_expire)] {
+        fetches_[key].deadline_event = 0;
+        if (!loading_ || !on_expire()) {
+          return;
+        }
+        attempt_failed(url, "request deadline exceeded for " + key,
+                       /*timed_out=*/true);
+        if (loading_) {
+          pump_all();
+        }
+      });
+}
+
+void Browser::cancel_deadline(const std::string& key) {
+  const auto it = fetches_.find(key);
+  if (it != fetches_.end() && it->second.deadline_event != 0) {
+    loop_.cancel(it->second.deadline_event);
+    it->second.deadline_event = 0;
+  }
+}
+
+void Browser::cancel_fetch_timers() {
+  for (auto& [key, state] : fetches_) {
+    if (state.deadline_event != 0) {
+      loop_.cancel(state.deadline_event);
+      state.deadline_event = 0;
+    }
+    if (state.retry_event != 0) {
+      loop_.cancel(state.retry_event);
+      state.retry_event = 0;
+    }
+  }
+}
+
+void Browser::fill_degraded_plt() {
+  result_.degraded = result_.objects_failed > 0;
+  if (!result_.degraded || result_.objects_loaded == 0) {
+    // Clean load — or nothing ever rendered, in which case there is no
+    // "partially useful page" moment to report.
+    result_.degraded_page_load_time = result_.page_load_time;
+    return;
+  }
+  // The page "looked done" when its last successful object landed plus the
+  // final layout; everything after that was failure detection.
+  const Microseconds at =
+      last_success_time_ + config_.final_layout_cost - started_at_;
+  result_.degraded_page_load_time =
+      std::clamp<Microseconds>(at, 0, result_.page_load_time);
 }
 
 void Browser::arm_stall_timer() {
@@ -486,7 +666,9 @@ void Browser::arm_stall_timer() {
     result_.success = false;
     result_.page_load_time = loop_.now() - started_at_;
     result_.started_at = started_at_;
+    fill_degraded_plt();
     pools_.clear();
+    cancel_fetch_timers();
     LoadCallback done = std::move(on_done_);
     on_done_ = nullptr;
     done(std::move(result_));

@@ -63,6 +63,27 @@ struct BrowserConfig {
   /// Give up on a page when nothing completes for this long.
   Microseconds stall_timeout{60'000'000};
 
+  /// Resilience policy: per-request deadlines plus capped exponential
+  /// backoff with jittered-but-seeded retries. Disabled by default —
+  /// page loads behave exactly as before (no timers armed, no extra RNG
+  /// draws), keeping healthy-world runs byte-identical.
+  struct ResilienceConfig {
+    /// Abort a request not answered within this long. 0 = no deadline.
+    Microseconds request_deadline{0};
+    /// Re-fetch a failed object up to this many times before giving up.
+    int max_retries{0};
+    Microseconds backoff_base{500'000};
+    Microseconds backoff_max{8'000'000};
+    /// Multiplicative jitter on each backoff, uniform in [1-j, 1+j],
+    /// drawn from the browser's seeded RNG (deterministic).
+    double backoff_jitter{0.1};
+
+    [[nodiscard]] bool enabled() const {
+      return request_deadline > 0 || max_retries > 0;
+    }
+  };
+  ResilienceConfig resilience{};
+
   /// Transport knobs for every connection the browser opens — notably
   /// `tcp.congestion_control`, the uplink-side controller (request bytes;
   /// the server side is configured where the servers are built, e.g.
@@ -89,6 +110,18 @@ struct PageLoadResult {
   Microseconds started_at{0};
   std::size_t objects_loaded{0};
   std::size_t objects_failed{0};
+  /// Re-fetch attempts the resilience policy issued (0 when disabled).
+  std::size_t retries{0};
+  /// Request deadlines that expired (each may then have been retried).
+  std::size_t timeouts{0};
+  /// True when the load completed without every object (graceful
+  /// degradation: the page is up, some resources are missing).
+  bool degraded{false};
+  /// PLT excluding trailing failure detection: time until the last
+  /// *successful* object plus final layout. Equal to page_load_time on a
+  /// clean load; under faults it is the "page looked done" time, bounded
+  /// above by page_load_time.
+  Microseconds degraded_page_load_time{0};
   std::uint64_t bytes_downloaded{0};
   std::size_t origins_contacted{0};
   std::size_t connections_opened{0};
@@ -128,6 +161,17 @@ class Browser {
   /// fleet's per-connection-index controller applied when one is set.
   [[nodiscard]] net::TcpConnection::Config next_connection_config() const;
 
+  /// Per-URL retry/deadline bookkeeping (resilience layer). Entries are
+  /// created on first fetch and live until the load ends.
+  struct FetchState {
+    int attempts{0};  ///< attempts that have *failed* so far
+    /// Bumped when a deadline expires: a late mux response whose captured
+    /// generation no longer matches is stale and must not double-account.
+    std::uint64_t generation{0};
+    net::EventLoop::EventId deadline_event{0};
+    net::EventLoop::EventId retry_event{0};
+  };
+
   void schedule_fetch(const http::Url& url);
   void on_resolved(const http::Url& url, std::optional<net::Ipv4> ip);
   OriginPool& pool_for(const http::Url& url, net::Ipv4 ip);
@@ -143,6 +187,21 @@ class Browser {
   void maybe_finish();
   void finish();
   void arm_stall_timer();
+
+  // --- resilience layer ---
+  /// One attempt at `url` failed (connection error, DNS failure, deadline).
+  /// Schedules a seeded-backoff retry while attempts remain; otherwise
+  /// fails the object for good.
+  void attempt_failed(const http::Url& url, const std::string& reason,
+                      bool timed_out);
+  /// Arm the per-request deadline for `url`; on expiry `on_expire` undoes
+  /// the protocol-specific in-flight accounting and returns whether the
+  /// request was in fact still pending (false = raced with completion, do
+  /// nothing). No-op unless the resilience policy sets a deadline.
+  void arm_deadline(const http::Url& url, std::function<bool()> on_expire);
+  void cancel_deadline(const std::string& key);
+  void cancel_fetch_timers();
+  void fill_degraded_plt();
 
   [[nodiscard]] Microseconds compute_cost(http::ResourceKind kind,
                                           std::size_t bytes);
@@ -162,6 +221,8 @@ class Browser {
   Microseconds main_thread_busy_until_{0};
   std::set<std::string> seen_urls_;
   std::map<std::string, std::unique_ptr<OriginPool>> pools_;
+  std::map<std::string, FetchState> fetches_;
+  Microseconds last_success_time_{0};
   PageLoadResult result_;
   net::EventLoop::EventId stall_event_{0};
   net::EventLoop::EventId finish_event_{0};

@@ -195,5 +195,128 @@ TEST(ExperimentRunner, RejectsBadShards) {
   EXPECT_THROW(run_experiment(small_spec(), options), std::invalid_argument);
 }
 
+/// small_spec() narrowed to one cc, with a fault ladder attached.
+ExperimentSpec faulted_spec() {
+  ExperimentSpec spec = small_spec();
+  spec.ccs = {CcAxis{"reno", {"reno"}}};
+  FaultAxis chaos;
+  chaos.label = "chaos";
+  chaos.fault = fault::parse_fault_spec(
+      "crash:p=0.3 retry:deadline=2s,max=3,base=100ms,cap=1s");
+  FaultAxis grim;
+  grim.label = "grim";
+  grim.fault = fault::parse_fault_spec("crash:p=0.6 noretry");
+  spec.faults = {FaultAxis{}, chaos, grim};
+  return spec;
+}
+
+TEST(ExperimentRunner, FaultNoneAxisChangesNoMeasurement) {
+  // Adding an explicit `fault none` axis widens the report (the fault
+  // column appears) but must not perturb a single sample: the healthy
+  // control is the same simulation, coin-flip for coin-flip.
+  ExperimentSpec bare = small_spec();
+  bare.ccs = {CcAxis{"reno", {"reno"}}};
+  ExperimentSpec with_axis = bare;
+  with_axis.faults = {FaultAxis{}};
+
+  const Report a = run_experiment(bare);
+  const Report b = run_experiment(with_axis);
+  EXPECT_FALSE(a.fault_axis);
+  EXPECT_TRUE(b.fault_axis);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].plt_ms.values(), b.cells[i].plt_ms.values());
+    EXPECT_EQ(a.cells[i].queue_delay_p95_ms, b.cells[i].queue_delay_p95_ms);
+    EXPECT_EQ(b.cells[i].fault, "none");
+  }
+  // And the axis-free report serializes without the fault column at all —
+  // the byte-compat contract for every pre-existing spec.
+  EXPECT_EQ(a.to_json().find("\"fault\""), std::string::npos);
+  EXPECT_EQ(a.to_csv().find("fault"), std::string::npos);
+  EXPECT_NE(b.to_csv().find(",fault,"), std::string::npos);
+}
+
+TEST(ExperimentRunner, FaultedCellsAreByteIdenticalAcrossThreadCounts) {
+  // The whole point of stateless fault decisions: a chaos ladder is as
+  // reproducible as a healthy run, at any pool size.
+  const ExperimentSpec spec = faulted_spec();
+  core::ParallelRunner one{1};
+  core::ParallelRunner four{4};
+  RunOptions options_one;
+  options_one.runner = &one;
+  RunOptions options_four;
+  options_four.runner = &four;
+  const Report a = run_experiment(spec, options_one);
+  const Report b = run_experiment(spec, options_four);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+  EXPECT_EQ(a.to_bench_json(), b.to_bench_json());
+  // Prove the ladder actually injected: the defended cell retried or
+  // timed out, the undefended cell lost objects.
+  ASSERT_EQ(a.cells.size(), 3u);
+  const CellResult& chaos = a.cells[1];
+  const CellResult& grim = a.cells[2];
+  EXPECT_EQ(chaos.fault, "chaos");
+  EXPECT_EQ(grim.fault, "grim");
+  EXPECT_GT(chaos.retries + chaos.timeouts + chaos.objects_failed, 0u);
+  EXPECT_GT(grim.objects_failed, 0u);
+}
+
+TEST(ExperimentRunner, FaultShardsMatchTheUnshardedRows) {
+  // Sharding a faulted matrix must reproduce the full run's rows exactly
+  // — fault plans key off the cell seed, not off which shard ran them.
+  const ExperimentSpec spec = faulted_spec();
+  const Report full = run_experiment(spec);
+  std::vector<CellResult> stitched;
+  for (int shard = 0; shard < 2; ++shard) {
+    RunOptions options;
+    options.shard_count = 2;
+    options.shard_index = shard;
+    for (CellResult& cell : run_experiment(spec, options).cells) {
+      stitched.push_back(std::move(cell));
+    }
+  }
+  ASSERT_EQ(stitched.size(), full.cells.size());
+  for (const CellResult& row : full.cells) {
+    bool matched = false;
+    for (const CellResult& candidate : stitched) {
+      if (candidate.index != row.index) {
+        continue;
+      }
+      matched = candidate.plt_ms.values() == row.plt_ms.values() &&
+                candidate.objects_failed == row.objects_failed &&
+                candidate.retries == row.retries &&
+                candidate.failed_loads == row.failed_loads;
+    }
+    EXPECT_TRUE(matched) << "cell " << row.index << " diverged under sharding";
+  }
+}
+
+TEST(ExperimentRunner, FailedLoadsLandAsReportRowsNotCrashes) {
+  // An undefended cell under heavy crash faults: loads fail, the
+  // experiment completes, and the failures are data — counted per cell,
+  // with the healthy cells untouched.
+  const ExperimentSpec spec = faulted_spec();
+  const Report report = run_experiment(spec);
+  ASSERT_EQ(report.cells.size(), 3u);
+  const CellResult& none = report.cells[0];
+  const CellResult& grim = report.cells[2];
+  EXPECT_EQ(none.failed_loads, 0u);
+  EXPECT_EQ(none.objects_failed, 0u);
+  EXPECT_GT(grim.failed_loads, 0u);
+  // Every load produced a row-worth of samples — failed ones included.
+  EXPECT_EQ(grim.plt_ms.size() + /* torn tasks */ grim.load_errors.size(),
+            static_cast<std::size_t>(report.loads_per_cell));
+  // Degraded PLT never exceeds full PLT, sample for sample.
+  ASSERT_EQ(grim.degraded_plt_ms.size(), grim.plt_ms.size());
+  for (std::size_t i = 0; i < grim.plt_ms.size(); ++i) {
+    EXPECT_LE(grim.degraded_plt_ms.values()[i], grim.plt_ms.values()[i]);
+  }
+  // The serialized report carries the fault axis and the failure counts.
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"fault\": \"grim\""), std::string::npos);
+  EXPECT_NE(json.find("\"objects_failed\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mahimahi::experiment

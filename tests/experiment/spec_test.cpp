@@ -209,6 +209,54 @@ TEST(Matrix, EmptyAxesGetDefaults) {
   EXPECT_EQ(cells[0].fleet.sessions, 1);
 }
 
+TEST(SpecParse, FaultAxisParsesLabelsAndSpecs) {
+  const ExperimentSpec spec = parse_spec(
+      "fault none\n"
+      "fault chaos crash:p=0.1 stall:p=0.05 "
+      "retry:deadline=2s,max=2,base=100ms,cap=1s\n");
+  ASSERT_EQ(spec.faults.size(), 2u);
+  EXPECT_EQ(spec.faults[0].label, "none");
+  EXPECT_FALSE(spec.faults[0].fault.any());
+  EXPECT_EQ(spec.faults[1].label, "chaos");
+  EXPECT_DOUBLE_EQ(spec.faults[1].fault.origin.crash_rate, 0.1);
+  EXPECT_DOUBLE_EQ(spec.faults[1].fault.origin.stall_rate, 0.05);
+  EXPECT_EQ(spec.faults[1].fault.client.max_retries, 2);
+}
+
+TEST(SpecParse, FaultAxisRejectsBadLines) {
+  // 'none' is the only label allowed to carry no injectors — and it may
+  // carry nothing else; labels are unique like every other axis; injector
+  // parse errors surface with the offending line.
+  EXPECT_THROW(parse_spec("fault none crash:p=0.1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("fault broken\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("fault healthy none\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("fault a crash:p=0.1\nfault a crash:p=0.2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_spec("fault bad crash:p=2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("fault bad warp:speed=9\n"), std::invalid_argument);
+}
+
+TEST(Matrix, FaultIsTheInnermostAxisAndNoneStaysOffTheLabel) {
+  const ExperimentSpec spec = parse_spec(
+      "cc reno\ncc cubic\n"
+      "fault none\n"
+      "fault chaos crash:p=0.1 noretry\n");
+  const std::vector<Cell> cells = expand_matrix(spec);
+  ASSERT_EQ(cells.size(), 4u);  // 2 ccs x 2 faults
+  // The healthy control keeps the pre-fault-axis label verbatim; only
+  // faulted cells grow the extra segment.
+  EXPECT_EQ(cells[0].label(), "nytimes/http11/bare/fifo/reno/solo");
+  EXPECT_EQ(cells[1].label(), "nytimes/http11/bare/fifo/reno/solo/chaos");
+  EXPECT_EQ(cells[2].label(), "nytimes/http11/bare/fifo/cubic/solo");
+  EXPECT_EQ(cells[3].label(), "nytimes/http11/bare/fifo/cubic/solo/chaos");
+  EXPECT_TRUE(cells[1].fault.fault.client.no_retry);
+  // A spec with no fault lines defaults to the healthy control.
+  const std::vector<Cell> defaults = expand_matrix(parse_spec("cc reno\n"));
+  ASSERT_EQ(defaults.size(), 1u);
+  EXPECT_EQ(defaults[0].fault.label, "none");
+  EXPECT_FALSE(defaults[0].fault.fault.any());
+}
+
 TEST(Matrix, CellSeedsAreStableAndDistinct) {
   // The (seed, cell) derivation is part of the determinism contract: the
   // same spec must map cell k to the same seed forever.

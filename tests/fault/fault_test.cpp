@@ -1,0 +1,147 @@
+// Fault-spec parser and fault-plan purity tests. The plan's determinism
+// contract — every decision is a pure function of (plan seed, stream,
+// index) — is what lets faulted experiments stay byte-identical at any
+// thread or shard count.
+
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mahimahi::fault {
+namespace {
+
+using namespace mahimahi::literals;
+
+TEST(FaultSpecParser, NoneParsesToEmptySpec) {
+  const FaultSpec spec = parse_fault_spec("none");
+  EXPECT_FALSE(spec.any());
+  EXPECT_FALSE(spec.flap.has_value());
+  EXPECT_FALSE(spec.corrupt.has_value());
+  EXPECT_FALSE(spec.origin.any());
+  EXPECT_FALSE(spec.dns.any());
+}
+
+TEST(FaultSpecParser, ParsesFullLadder) {
+  const FaultSpec spec = parse_fault_spec(
+      "flap:period=5s,down=400ms,offset=2s + corrupt:rate=0.001 "
+      "crash:p=0.1,frac=0.25 stall:p=0.05 slowstart:delay=200ms "
+      "dns:fail=0.1,drop=0.2 retry:deadline=4s,max=3,base=250ms,cap=2s,jitter=0.2");
+  EXPECT_TRUE(spec.any());
+  ASSERT_TRUE(spec.flap.has_value());
+  EXPECT_EQ(spec.flap->period, 5_s);
+  EXPECT_EQ(spec.flap->down, 400_ms);
+  EXPECT_EQ(spec.flap->offset, 2_s);
+  ASSERT_TRUE(spec.corrupt.has_value());
+  EXPECT_DOUBLE_EQ(spec.corrupt->rate, 0.001);
+  EXPECT_DOUBLE_EQ(spec.origin.crash_rate, 0.1);
+  EXPECT_DOUBLE_EQ(spec.origin.crash_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(spec.origin.stall_rate, 0.05);
+  EXPECT_EQ(spec.origin.slow_start, 200_ms);
+  EXPECT_DOUBLE_EQ(spec.dns.fail_rate, 0.1);
+  EXPECT_DOUBLE_EQ(spec.dns.drop_rate, 0.2);
+  EXPECT_FALSE(spec.client.no_retry);
+  EXPECT_EQ(spec.client.request_deadline, 4_s);
+  EXPECT_EQ(spec.client.max_retries, 3);
+  EXPECT_EQ(spec.client.backoff_base, 250_ms);
+  EXPECT_EQ(spec.client.backoff_max, 2_s);
+  EXPECT_DOUBLE_EQ(spec.client.backoff_jitter, 0.2);
+}
+
+TEST(FaultSpecParser, NoRetryMarksUndefendedBaseline) {
+  const FaultSpec spec = parse_fault_spec("crash:p=0.2 noretry");
+  EXPECT_TRUE(spec.client.no_retry);
+  EXPECT_DOUBLE_EQ(spec.origin.crash_rate, 0.2);
+}
+
+TEST(FaultSpecParser, RejectsMalformedSpecs) {
+  // 'none' is exclusive; probabilities live in [0, 1]; flap needs
+  // 0 < down < period; retry needs 0 < base <= cap; unknown tokens and
+  // duplicate keys are errors, never silently ignored.
+  EXPECT_THROW(parse_fault_spec("none crash:p=0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("crash:p=1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("crash:p=-0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("flap:period=1s,down=2s"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("flap:period=1s"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("retry:deadline=1s,max=2,base=2s,cap=1s"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("warp:speed=9"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("crash:p=0.1,p=0.2"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("crash:p=0.1 crash:p=0.2"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec(""), std::invalid_argument);
+}
+
+TEST(FaultPlan, DecisionsArePureFunctionsOfSeedStreamIndex) {
+  const FaultSpec spec = parse_fault_spec("crash:p=0.3 dns:fail=0.3");
+  const FaultPlan a{spec, 42};
+  const FaultPlan b{spec, 42};
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    // Same seed: identical answers, in any query order (no hidden state).
+    EXPECT_EQ(a.chance("s", i, 0.3), b.chance("s", i, 0.3));
+    EXPECT_EQ(a.server_fault(0, i).kind, b.server_fault(0, i).kind);
+    EXPECT_EQ(a.dns_query_fault(i), b.dns_query_fault(i));
+  }
+  // Re-asking out of order changes nothing.
+  EXPECT_EQ(a.server_fault(0, 7).kind, b.server_fault(0, 7).kind);
+}
+
+TEST(FaultPlan, StreamsAndSeedsDecorrelate) {
+  const FaultSpec spec = parse_fault_spec("crash:p=0.5");
+  const FaultPlan a{spec, 1};
+  const FaultPlan b{spec, 2};
+  int differing_seeds = 0;
+  int differing_servers = 0;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    differing_seeds +=
+        a.server_fault(0, i).kind != b.server_fault(0, i).kind ? 1 : 0;
+    differing_servers +=
+        a.server_fault(0, i).kind != a.server_fault(1, i).kind ? 1 : 0;
+  }
+  // Different plan seeds — and different server indices — must not replay
+  // the same coin flips.
+  EXPECT_GT(differing_seeds, 0);
+  EXPECT_GT(differing_servers, 0);
+}
+
+TEST(FaultPlan, ChanceRespectsProbabilityBounds) {
+  const FaultPlan plan{parse_fault_spec("crash:p=0.5"), 9};
+  int hits = 0;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    EXPECT_FALSE(plan.chance("edge", i, 0.0));
+    EXPECT_TRUE(plan.chance("edge", i, 1.0));
+    hits += plan.chance("rate", i, 0.25) ? 1 : 0;
+  }
+  // Law of large numbers, loose bounds: ~500 expected.
+  EXPECT_GT(hits, 350);
+  EXPECT_LT(hits, 650);
+}
+
+TEST(FaultPlan, SlowStartDecaysOverFirstRequests) {
+  FaultSpec spec;
+  spec.origin.slow_start = 400_ms;
+  const FaultPlan plan{spec, 3};
+  const auto extra = [&](std::uint64_t request) {
+    return plan.server_fault(0, request).extra_delay;
+  };
+  EXPECT_EQ(extra(0), 400_ms);
+  EXPECT_GT(extra(0), extra(1));
+  EXPECT_GT(extra(1), extra(2));
+  EXPECT_GT(extra(2), extra(3));
+  EXPECT_EQ(extra(4), 0);  // warmed up
+  EXPECT_EQ(extra(100), 0);
+}
+
+TEST(FaultPlan, InactivePlanNeverInjects) {
+  const FaultPlan plan{};  // default: no spec, no faults
+  EXPECT_FALSE(plan.active());
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(plan.server_fault(0, i).kind, net::ServerFault::Kind::kNone);
+    EXPECT_EQ(plan.dns_query_fault(i), net::DnsFault::kNone);
+  }
+}
+
+}  // namespace
+}  // namespace mahimahi::fault

@@ -242,6 +242,65 @@ TEST(EventLoop, CallbackLargerThanInlineBufferStillRuns) {
   EXPECT_EQ(sum, 7);
 }
 
+TEST(EventLoop, CancelStormOnMidDispatchTeardown) {
+  // The resilience layer's teardown shape: a page finishing (or a session
+  // dying) cancels every armed deadline timer at once, from inside a
+  // callback, while some of those timers share the current timestamp.
+  // None may fire afterwards, and the arena must recycle cleanly.
+  EventLoop loop;
+  struct Owner {
+    EventLoop& loop;
+    std::vector<EventLoop::EventId> deadlines;
+    int fired{0};
+
+    void arm(Microseconds at) {
+      deadlines.push_back(loop.schedule_at(at, [this] { ++fired; }));
+    }
+    void teardown() {
+      for (const auto id : deadlines) {
+        loop.cancel(id);
+      }
+      deadlines.clear();
+    }
+  };
+  Owner owner{loop};
+  // The "page done" event is scheduled first, so FIFO order within t=100
+  // dispatches it ahead of every same-timestamp deadline: the teardown
+  // happens mid-dispatch with the whole cluster still pending.
+  loop.schedule_at(100, [&] { owner.teardown(); });
+  for (int i = 0; i < 300; ++i) {
+    owner.arm(100 + (i % 7));  // clustered timestamps, many at t=100
+  }
+  loop.run();
+  EXPECT_EQ(owner.fired, 0);  // teardown beat every deadline to the punch
+  EXPECT_TRUE(owner.deadlines.empty());
+
+  // The storm of tombstones must not poison later use: re-arm after the
+  // teardown, on recycled slots, and fire normally.
+  for (int i = 0; i < 50; ++i) {
+    owner.arm(loop.now() + 10);
+  }
+  loop.run();
+  EXPECT_EQ(owner.fired, 50);
+}
+
+TEST(EventLoop, RepeatedArmTeardownCyclesStayBalanced) {
+  // Retry/backoff churn: arm a deadline, cancel it on "response", arm the
+  // next — thousands of times. pending_events() must return to zero and
+  // no stale timer may outlive its cycle.
+  EventLoop loop;
+  int stale_fires = 0;
+  for (int cycle = 0; cycle < 2000; ++cycle) {
+    const auto deadline =
+        loop.schedule_at(loop.now() + 500, [&] { ++stale_fires; });
+    loop.schedule_at(loop.now() + 1, [] {});  // the "response" arrives
+    loop.cancel(deadline);
+    loop.run();
+  }
+  EXPECT_EQ(stale_fires, 0);
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
 TEST(EventLoop, HeapGrowthStressKeepsDeterministicOrder) {
   // Interleaved scheduling and cancellation across a growing heap and
   // arena: surviving events must run in exact (time, schedule-order).

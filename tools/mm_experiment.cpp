@@ -16,6 +16,10 @@
 //                         thread, once on several — and fail unless the
 //                         serialized reports are byte-identical (the
 //                         engine's reproducibility contract)
+//     --fail-on-error     exit 1 when any cell recorded a failed load
+//                         (fault cells tolerate failures by default —
+//                         degradation is data; CI's healthy runs use this
+//                         flag to make any failure fatal)
 //
 //   env: MAHI_EXP_LOADS caps loads-per-cell when --loads is absent;
 //        MAHI_THREADS sizes the shared pool, as everywhere in the repo.
@@ -36,8 +40,8 @@ namespace {
 
 void print_cells(const ExperimentSpec& spec) {
   const std::vector<Cell> cells = expand_matrix(spec);
-  std::printf("# %zu cells (site/protocol/shell/queue/cc/fleet), seed %llu, "
-              "%d loads per cell\n",
+  std::printf("# %zu cells (site/protocol/shell/queue/cc/fleet[/fault]), "
+              "seed %llu, %d loads per cell\n",
               cells.size(), static_cast<unsigned long long>(spec.seed),
               spec.loads_per_cell);
   for (const Cell& cell : cells) {
@@ -51,9 +55,11 @@ void print_summary(const Report& report) {
   std::printf("%-4s %-44s %10s %10s %8s %6s\n", "cell", "label",
               "median-plt", "queue-p95", "jain", "loads");
   for (const CellResult& cell : report.cells) {
-    const std::string label = cell.site + "/" + cell.protocol + "/" +
-                              cell.shell + "/" + cell.queue + "/" + cell.cc +
-                              "/" + cell.fleet;
+    std::string label = cell.site + "/" + cell.protocol + "/" + cell.shell +
+                        "/" + cell.queue + "/" + cell.cc + "/" + cell.fleet;
+    if (cell.fault != "none") {
+      label += "/" + cell.fault;
+    }
     std::printf("%-4d %-44s %8.0fms", cell.index, label.c_str(),
                 cell.plt_ms.empty() ? 0.0 : cell.plt_ms.median());
     if (cell.probe_ran) {
@@ -87,7 +93,7 @@ int env_loads() {
       stderr,
       "usage: %s <spec-file> [--list] [--shard i/n] [--loads N] "
       "[--no-probes] [--json PATH] [--csv PATH] [--bench-json PATH] "
-      "[--selfcheck]\n",
+      "[--selfcheck] [--fail-on-error]\n",
       argv0);
   std::exit(2);
 }
@@ -101,6 +107,7 @@ int main(int argc, char** argv) {
   const std::string spec_path = argv[1];
   bool list = false;
   bool selfcheck = false;
+  bool fail_on_error = false;
   RunOptions options;
   std::string json_path;
   std::string csv_path;
@@ -119,6 +126,8 @@ int main(int argc, char** argv) {
       list = true;
     } else if (arg == "--selfcheck") {
       selfcheck = true;
+    } else if (arg == "--fail-on-error") {
+      fail_on_error = true;
     } else if (arg == "--no-probes") {
       options.transport_probes = false;
     } else if (arg == "--loads") {
@@ -219,6 +228,23 @@ int main(int argc, char** argv) {
         // Both sides of the divergence on disk, diffable.
         Report::write_file(json_out + ".selfcheck-divergent",
                            rerun.to_json());
+        return 1;
+      }
+    }
+
+    if (fail_on_error) {
+      std::size_t failed = 0;
+      for (const CellResult& cell : report.cells) {
+        failed += cell.failed_loads;
+        for (const std::string& error : cell.load_errors) {
+          std::fprintf(stderr, "[experiment] cell %d error: %s\n", cell.index,
+                       error.c_str());
+        }
+      }
+      if (failed > 0) {
+        std::fprintf(stderr,
+                     "[experiment] --fail-on-error: %zu failed load(s)\n",
+                     failed);
         return 1;
       }
     }
