@@ -1,0 +1,165 @@
+// Trace overhead — the cost of the observability layer (src/obs/), both
+// off and on:
+//
+//   untraced   config.tracer == nullptr: every instrumentation site is a
+//              single pointer test (the production default)
+//   traced     one obs::Tracer per load recording link/tcp/dns/browser
+//              events plus the per-object waterfall, then exported to all
+//              three formats (Chrome trace JSON, HAR, CSV)
+//
+// Claims under test (exit 1 when violated):
+//   - tracing is an observer, not a participant: the traced loads report
+//     bit-identical PLTs to the untraced ones (no loop events, no RNG
+//     draws, no timing perturbation from recording),
+//   - the trace is non-trivial (events from link, tcp, dns and browser
+//     layers all present).
+//
+// Output: BENCH_obs.json (override with MAHI_OBS_JSON). Wall-clock rows
+// are informational (negative tolerance in the baseline); event/object
+// counts and export byte sizes are deterministic and pinned at the
+// default 0.05 band.
+//
+// Scale knobs: MAHI_OBS_LOADS (loads per scenario, default 6).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "corpus/site_generator.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "web/browser.hpp"
+
+using namespace mahimahi;
+using namespace mahimahi::bench;
+
+namespace {
+
+CorpusEntry recorded_page() {
+  corpus::SiteSpec spec;
+  spec.name = "obs-page";
+  spec.seed = 29;
+  spec.server_count = 3;
+  spec.object_count = 12;
+  spec.size_scale = 0.25;
+  CorpusEntry entry{corpus::generate_site(spec), record::RecordStore{}};
+  core::SessionConfig config;
+  config.seed = 31;
+  core::RecordSession session{entry.site, corpus::LiveWebConfig{}, config};
+  entry.store = session.record();
+  return entry;
+}
+
+core::SessionConfig session_config() {
+  core::SessionConfig config;
+  config.seed = 41;
+  // Delay + a rate-limited link, so the trace carries link-layer
+  // enqueue/dequeue events alongside tcp/dns/browser ones.
+  config.shells = {core::DelayShellSpec{15'000},
+                   core::LinkShellSpec::constant_rate_mbps(12.0, 12.0)};
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  const int loads = env_int("MAHI_OBS_LOADS", 6);
+  const CorpusEntry page = recorded_page();
+  const std::string url = page.site.primary_url();
+
+  // Loads run sequentially on purpose: the wall-clock comparison should
+  // measure the instrumentation, not the pool scheduler.
+  std::vector<double> untraced_plt_us;
+  const WallTimer untraced_timer;
+  {
+    const core::ReplaySession session{page.store, session_config()};
+    for (int i = 0; i < loads; ++i) {
+      untraced_plt_us.push_back(
+          static_cast<double>(session.load_once(url, i).page_load_time));
+    }
+  }
+  const double untraced_s = untraced_timer.elapsed_seconds();
+
+  std::vector<double> traced_plt_us;
+  std::vector<obs::LoadTrace> traces;
+  const WallTimer traced_timer;
+  for (int i = 0; i < loads; ++i) {
+    // One tracer per load, exactly as the experiment engine arranges it.
+    obs::Tracer tracer;
+    core::SessionConfig config = session_config();
+    config.tracer = &tracer;
+    const core::ReplaySession session{page.store, config};
+    traced_plt_us.push_back(
+        static_cast<double>(session.load_once(url, i).page_load_time));
+    traces.push_back(obs::LoadTrace{i, tracer.take()});
+  }
+  const double traced_s = traced_timer.elapsed_seconds();
+
+  bool ok = true;
+  if (traced_plt_us != untraced_plt_us) {
+    std::fprintf(stderr,
+                 "FAIL: tracing perturbed the simulation (PLTs differ)\n");
+    ok = false;
+  }
+
+  std::size_t events = 0;
+  std::size_t objects = 0;
+  bool saw_link = false;
+  bool saw_tcp = false;
+  bool saw_dns = false;
+  bool saw_browser = false;
+  for (const obs::LoadTrace& load : traces) {
+    events += load.buffer.events.size();
+    objects += load.buffer.objects.size();
+    for (const obs::TraceEvent& e : load.buffer.events) {
+      saw_link = saw_link || e.layer == obs::Layer::kLink;
+      saw_tcp = saw_tcp || e.layer == obs::Layer::kTcp;
+      saw_dns = saw_dns || e.layer == obs::Layer::kDns;
+      saw_browser = saw_browser || e.layer == obs::Layer::kBrowser;
+    }
+  }
+  if (!saw_link || !saw_tcp || !saw_dns || !saw_browser) {
+    std::fprintf(stderr,
+                 "FAIL: trace missing a layer (link=%d tcp=%d dns=%d "
+                 "browser=%d)\n",
+                 saw_link, saw_tcp, saw_dns, saw_browser);
+    ok = false;
+  }
+
+  const obs::TraceMeta meta{"bench-obs", "obs-page", 0, 41};
+  const std::string chrome = obs::to_chrome_trace(meta, traces);
+  const std::string har = obs::to_har(meta, traces);
+  const std::string csv = obs::to_csv(meta, traces);
+
+  const double per_load_ns_untraced = untraced_s * 1e9 / loads;
+  const double per_load_ns_traced = traced_s * 1e9 / loads;
+  print_rule();
+  std::printf("trace overhead: %d load(s), %zu events, %zu objects\n", loads,
+              events, objects);
+  std::printf("  untraced  %10.1f ms/load\n", per_load_ns_untraced / 1e6);
+  std::printf("  traced    %10.1f ms/load  (%+.1f%%)\n",
+              per_load_ns_traced / 1e6,
+              untraced_s > 0
+                  ? (per_load_ns_traced / per_load_ns_untraced - 1.0) * 100.0
+                  : 0.0);
+  std::printf("  exports   chrome %zu B, har %zu B, csv %zu B\n",
+              chrome.size(), har.size(), csv.size());
+  if (!ok) {
+    return 1;
+  }
+
+  PerfReport report;
+  // Wall-clock rows (informational in the baseline — shared CI runners).
+  report.add({"obs_untraced_ns_per_load", per_load_ns_untraced, 0, 0});
+  report.add({"obs_traced_ns_per_load", per_load_ns_traced, 0, 0});
+  // Deterministic rows: pure functions of (page seed, session seed).
+  report.add({"obs_trace_events", static_cast<double>(events), 0, 0});
+  report.add({"obs_trace_objects", static_cast<double>(objects), 0, 0});
+  report.add({"obs_chrome_bytes", static_cast<double>(chrome.size()), 0, 0});
+  report.add({"obs_har_bytes", static_cast<double>(har.size()), 0, 0});
+  report.add({"obs_csv_bytes", static_cast<double>(csv.size()), 0, 0});
+  const char* out = std::getenv("MAHI_OBS_JSON");
+  report.write(out != nullptr ? out : "BENCH_obs.json");
+  return 0;
+}

@@ -42,6 +42,8 @@ util::Rng session_load_rng(const SessionConfig& config, int load_index) {
 
 web::BrowserConfig session_browser_config(const SessionConfig& config) {
   web::BrowserConfig browser = scaled_browser(config.browser, config.host);
+  browser.tcp.tracer = config.tracer;
+  browser.tcp.trace_session = config.trace_session;
   if (!config.congestion_control.empty()) {
     browser.tcp.congestion_control = config.congestion_control;
   }
@@ -65,6 +67,8 @@ replay::OriginServerSet::Options session_origin_options(
     const SessionConfig& config,
     const replay::OriginServerSet::Options& base) {
   replay::OriginServerSet::Options options = base;
+  options.tcp.tracer = config.tracer;
+  options.tcp.trace_session = config.trace_session;
   if (!config.congestion_control.empty()) {
     options.tcp.congestion_control = config.congestion_control;
   }
@@ -103,6 +107,7 @@ ReplayWorld::ReplayWorld(net::EventLoop& loop,
   const net::Ipv4 dns_ip = fabric_->allocate_server_ip();
   dns_server_ = std::make_unique<net::DnsServer>(
       *fabric_, net::Address{dns_ip, net::kDnsPort}, servers_->dns_table());
+  dns_server_->set_tracer(config.tracer, config.trace_session);
   if (plan.spec().dns.any()) {
     dns_server_->set_fault_hook(
         [plan](std::uint64_t query_index) { return plan.dns_query_fault(query_index); });
@@ -112,16 +117,21 @@ ReplayWorld::ReplayWorld(net::EventLoop& loop,
   // flap blackhole and corruption hit browser traffic before any shell.
   if (plan.spec().flap.has_value()) {
     const auto& flap = *plan.spec().flap;
-    fabric_->chain().push_back(std::make_unique<net::FlapBox>(
-        loop, flap.period, flap.down, flap.offset));
+    auto box = std::make_unique<net::FlapBox>(loop, flap.period, flap.down,
+                                              flap.offset);
+    box->set_tracer(config.tracer, config.trace_session);
+    fabric_->chain().push_back(std::move(box));
   }
   if (plan.spec().corrupt.has_value()) {
-    fabric_->chain().push_back(std::make_unique<net::CorruptBox>(
-        plan.plan_seed(), plan.spec().corrupt->rate));
+    auto box = std::make_unique<net::CorruptBox>(plan.plan_seed(),
+                                                 plan.spec().corrupt->rate);
+    box->set_tracer(config.tracer, config.trace_session, &loop);
+    fabric_->chain().push_back(std::move(box));
   }
 
   // Nested shells between the application and the replayed servers.
-  apply_shells(*fabric_, config.shells, config.host, rng);
+  apply_shells(*fabric_, config.shells, config.host, rng, config.tracer,
+               config.trace_session);
 
   browser_ = std::make_unique<web::Browser>(*fabric_, dns_server_->address(),
                                             session_browser_config(config),

@@ -41,6 +41,13 @@ struct SessionConfig {
   /// the link/origin/DNS injectors with it, and maps the spec's client
   /// policy onto the browser's resilience machinery.
   fault::FaultSpec fault{};
+  /// Observability: when set, every layer of the load's world — link
+  /// queues, TCP flows, DNS, fault injectors, browser waterfall — records
+  /// into this tracer, tagged with `trace_session`. One Tracer per
+  /// deterministic simulation (the caller injects a fresh one per task);
+  /// null = tracing off, a pointer test on every hot path.
+  obs::Tracer* tracer{nullptr};
+  std::int32_t trace_session{0};
 };
 
 /// Browser config for one session: host-scaled compute, plus the

@@ -17,7 +17,8 @@ LinkShellSpec LinkShellSpec::constant_rate_mbps(double up_mbps, double down_mbps
 }
 
 void apply_shells(net::Fabric& fabric, const std::vector<ShellSpec>& shells,
-                  const HostProfile& host, util::Rng& rng) {
+                  const HostProfile& host, util::Rng& rng,
+                  obs::Tracer* tracer, std::int32_t trace_session) {
   // Innermost shell (last in command-line order) is nearest the app, so it
   // must be pushed first (chain index 0 is the application side).
   for (auto it = shells.rbegin(); it != shells.rend(); ++it) {
@@ -38,9 +39,17 @@ void apply_shells(net::Fabric& fabric, const std::vector<ShellSpec>& shells,
       fabric.chain().push_back(
           std::make_unique<net::DelayBox>(fabric.loop(), delay->one_way));
     } else if (const auto* link = std::get_if<LinkShellSpec>(&*it)) {
-      fabric.chain().push_back(std::make_unique<net::TraceLink>(
+      auto trace_link = std::make_unique<net::TraceLink>(
           fabric.loop(), *link->uplink, *link->downlink, link->uplink_queue,
-          link->downlink_queue));
+          link->downlink_queue);
+      if (tracer != nullptr) {
+        // Name by command-line position so nested shells stay tellable
+        // apart in the exported trace.
+        const auto shell_index = shells.rend() - it - 1;
+        trace_link->set_tracer(tracer, trace_session,
+                               "shell" + std::to_string(shell_index));
+      }
+      fabric.chain().push_back(std::move(trace_link));
     } else if (const auto* loss = std::get_if<LossShellSpec>(&*it)) {
       fabric.chain().push_back(std::make_unique<net::LossBox>(
           rng.fork("loss-shell"), loss->uplink_loss, loss->downlink_loss));

@@ -8,6 +8,7 @@
 #include "net/fabric.hpp"
 #include "net/link.hpp"
 #include "net/queue.hpp"
+#include "obs/trace.hpp"
 #include "trace/trace.hpp"
 #include "util/random.hpp"
 
@@ -44,7 +45,12 @@ using ShellSpec = std::variant<DelayShellSpec, LinkShellSpec, LossShellSpec>;
 /// innermost shell, nearest the application, exactly like nesting the real
 /// tools. Each shell contributes its functional element plus a per-packet
 /// forwarding cost from the host profile (the Figure 2 overhead).
+///
+/// When `tracer` is set, every link shell records queue events into it,
+/// labeled "shell<i>/up|down" with i the shell's command-line index.
 void apply_shells(net::Fabric& fabric, const std::vector<ShellSpec>& shells,
-                  const HostProfile& host, util::Rng& rng);
+                  const HostProfile& host, util::Rng& rng,
+                  obs::Tracer* tracer = nullptr,
+                  std::int32_t trace_session = 0);
 
 }  // namespace mahimahi::core

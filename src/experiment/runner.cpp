@@ -1,11 +1,14 @@
 #include "experiment/runner.hpp"
 
+#include <filesystem>
 #include <map>
 #include <stdexcept>
 
 #include "core/sessions.hpp"
 #include "fleet/session_mux.hpp"
 #include "net/bulk_probe.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/random.hpp"
 
@@ -35,6 +38,9 @@ struct TaskOutcome {
   /// lands as a failed report row instead of tearing the experiment down.
   std::string error;
   net::MultiBulkFlowReport probe{};
+  /// Everything this load traced (empty unless RunOptions::trace_dir is
+  /// set). Harvested by load index into the cell's merged artifacts.
+  obs::TraceBuffer trace{};
 };
 
 core::SessionConfig cell_session_config(const Cell& cell,
@@ -153,12 +159,19 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
     }
   }
 
-  const std::vector<TaskOutcome> outcomes = pool.map(
+  const bool tracing = !options.trace_dir.empty();
+  std::vector<TaskOutcome> outcomes = pool.map(
       static_cast<int>(tasks.size()), [&](int task_index) {
         const Task& task = tasks[static_cast<std::size_t>(task_index)];
         const Cell& cell = cells[task.cell_pos];
         const MaterializedCell& cell_net = materialized[task.cell_pos];
         TaskOutcome outcome;
+        // One Tracer per task (the obs determinism contract): a load task
+        // is one deterministic simulation, so its buffer depends only on
+        // (cell seed, load index) — never on threads or sharding.
+        obs::Tracer tracer;
+        obs::Tracer* task_tracer =
+            tracing && !task.is_probe ? &tracer : nullptr;
         // A throwing task (a faulted world can starve a load past the
         // event limit) must not tear down the other tasks: it becomes a
         // failed row. The message is deterministic — it derives from the
@@ -184,6 +197,10 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
                     .next();
             mux_config.stagger = cell.fleet.stagger;
             mux_config.session = cell_session_config(cell, cell_net);
+            // A shared-world fleet is one indivisible simulation: the
+            // whole mux traces into this task's one buffer, sessions told
+            // apart by their fleet index (shared infrastructure = -1).
+            mux_config.session.tracer = task_tracer;
             mux_config.origin = cell_origin_options(cell);
             mux_config.shared_world = true;
             fleet::SessionMux mux{entry.store, entry.site.primary_url(),
@@ -199,13 +216,17 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
               outcome.retries.push_back(session.retries);
               outcome.timeouts.push_back(session.timeouts);
             }
+            outcome.trace = tracer.take();
             return outcome;
           }
-          const core::ReplaySession session{
-              entry.store, cell_session_config(cell, cell_net),
-              cell_origin_options(cell)};
+          core::SessionConfig session_config =
+              cell_session_config(cell, cell_net);
+          session_config.tracer = task_tracer;
+          const core::ReplaySession session{entry.store, session_config,
+                                            cell_origin_options(cell)};
           const web::PageLoadResult result =
               session.load_once(entry.site.primary_url(), task.load_index);
+          outcome.trace = tracer.take();
           outcome.plts.push_back(to_ms(result.page_load_time));
           outcome.oks.push_back(result.success ? 1 : 0);
           outcome.degraded.push_back(to_ms(result.degraded_page_load_time));
@@ -290,6 +311,33 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
             << ") load " << task.load_index << " session " << s
             << " had failures";
       }
+    }
+  }
+
+  if (tracing) {
+    // Per-cell trace artifacts, merged by global load index — the same
+    // ordering contract as the report rows, so the exported bytes are
+    // identical at any thread count and across shard splits.
+    std::filesystem::create_directories(options.trace_dir);
+    std::vector<std::vector<obs::LoadTrace>> cell_traces(cells.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const Task& task = tasks[i];
+      if (task.is_probe) {
+        continue;
+      }
+      cell_traces[task.cell_pos].push_back(
+          obs::LoadTrace{task.load_index, std::move(outcomes[i].trace)});
+    }
+    for (std::size_t pos = 0; pos < cells.size(); ++pos) {
+      const Cell& cell = cells[pos];
+      const obs::TraceMeta meta{spec.name, cell.label(), cell.index,
+                                cell.cell_seed};
+      const std::string base =
+          options.trace_dir + "/cell" + std::to_string(cell.index);
+      Report::write_file(base + ".trace.json",
+                         obs::to_chrome_trace(meta, cell_traces[pos]));
+      Report::write_file(base + ".har", obs::to_har(meta, cell_traces[pos]));
+      Report::write_file(base + ".csv", obs::to_csv(meta, cell_traces[pos]));
     }
   }
   return report;

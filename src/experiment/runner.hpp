@@ -23,6 +23,14 @@ struct RunOptions {
   /// Run the per-cell transport probe (throughput shares, Jain's index,
   /// queue-delay p95). Off = page loads only.
   bool transport_probes{true};
+  /// When non-empty: every load task records a full obs trace, and each
+  /// cell exports three artifacts into this directory — cell<index>.trace
+  /// .json (Chrome trace-event / Perfetto), cell<index>.har (HAR 1.2) and
+  /// cell<index>.csv (time series, the mm_trace_dump input). Tracing
+  /// follows the same determinism contract as the report: one Tracer per
+  /// task, buffers merged by load index, so artifact bytes are identical
+  /// at any thread or shard count. Off (empty) = zero tracing overhead.
+  std::string trace_dir{};
 };
 
 /// Expand the spec's matrix, record each corpus site once, fan every

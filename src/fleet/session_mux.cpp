@@ -65,8 +65,12 @@ struct SessionMux::SharedWorld {
 
   static replay::OriginServerSet::Options origin_options(
       const MuxConfig& config, const fault::FaultPlan& plan) {
+    // Shared infrastructure — origin servers, DNS, shells, fault boxes —
+    // belongs to no one session: its trace events carry session -1.
+    core::SessionConfig shared_session = config.session;
+    shared_session.trace_session = -1;
     replay::OriginServerSet::Options options =
-        core::session_origin_options(config.session, config.origin);
+        core::session_origin_options(shared_session, config.origin);
     if (plan.active()) {
       options.fault = plan;
     }
@@ -81,6 +85,7 @@ struct SessionMux::SharedWorld {
         dns_server{fabric,
                    net::Address{fabric.allocate_server_ip(), net::kDnsPort},
                    servers.dns_table()} {
+    dns_server.set_tracer(config.session.tracer, -1);
     if (plan.spec().dns.any()) {
       dns_server.set_fault_hook([p = plan](std::uint64_t query_index) {
         return p.dns_query_fault(query_index);
@@ -90,19 +95,23 @@ struct SessionMux::SharedWorld {
     // ReplayWorld, so a fault spec means the same thing in both modes.
     if (plan.spec().flap.has_value()) {
       const auto& flap = *plan.spec().flap;
-      fabric.chain().push_back(std::make_unique<net::FlapBox>(
-          loop, flap.period, flap.down, flap.offset));
+      auto box = std::make_unique<net::FlapBox>(loop, flap.period, flap.down,
+                                                flap.offset);
+      box->set_tracer(config.session.tracer, -1);
+      fabric.chain().push_back(std::move(box));
     }
     if (plan.spec().corrupt.has_value()) {
-      fabric.chain().push_back(std::make_unique<net::CorruptBox>(
-          plan.plan_seed(), plan.spec().corrupt->rate));
+      auto box = std::make_unique<net::CorruptBox>(
+          plan.plan_seed(), plan.spec().corrupt->rate);
+      box->set_tracer(config.session.tracer, -1, &loop);
+      fabric.chain().push_back(std::move(box));
     }
     // The shared stack's randomness forks from the fleet seed, not from
     // any session: shells belong to the world, not to a user.
     util::Rng rng{config.fleet_seed ^ config.session.host.seed_salt};
     util::Rng shell_rng = rng.fork("shared-world-shells");
     core::apply_shells(fabric, config.session.shells, config.session.host,
-                       shell_rng);
+                       shell_rng, config.session.tracer, -1);
   }
 
   fault::FaultPlan plan;
@@ -146,6 +155,9 @@ void SessionMux::admit(Slot& slot) {
 
   core::SessionConfig session = config_.session;
   session.seed = slot.session_seed;
+  // Trace attribution: this session's events carry its global fleet index
+  // (shared infrastructure logs as -1; see SharedWorld).
+  session.trace_session = slot.global_index;
 
   auto on_done = [this, &slot](web::PageLoadResult result) {
     complete(slot, std::move(result));

@@ -63,6 +63,7 @@ BulkFlowReport run_bulk_flow(const BulkFlowSpec& spec) {
   report.final_srtt = conn.smoothed_rtt();
   report.final_cwnd_bytes = conn.cwnd_bytes();
   report.final_pacing_rate = conn.congestion().pacing_rate();
+  report.close_reason = conn.close_reason();
   report.uplink = summarize_link_log(link_ref.log(Direction::kUplink));
   return report;
 }

@@ -7,6 +7,7 @@
 
 #include "net/link_log.hpp"
 #include "net/queue.hpp"
+#include "net/tcp.hpp"
 #include "trace/trace.hpp"
 #include "util/time.hpp"
 
@@ -39,6 +40,9 @@ struct BulkFlowReport {
   Microseconds final_srtt{0};
   double final_cwnd_bytes{0};
   double final_pacing_rate{0};  // 0 = unpaced controller
+  /// How the transport ended — the typed reason (normal close, SYN
+  /// timeout, retransmit exhaustion...), not a bare "closed".
+  TcpConnection::CloseReason close_reason{TcpConnection::CloseReason::kNone};
   // Queueing the flow induced at the bottleneck (uplink direction).
   LinkLogSummary uplink;
 };

@@ -49,6 +49,12 @@ void DnsServer::handle_packet(Packet&& packet) {
   if (fault_hook_) {
     fault = fault_hook_(query_index);
   }
+  if (tracer_ != nullptr && fault != DnsFault::kNone) {
+    tracer_->event(fabric_.loop().now(), obs::Layer::kFault,
+                   obs::EventKind::kFaultInjected, trace_session_, 0,
+                   query_index, 0,
+                   fault == DnsFault::kDrop ? "dns/drop" : "dns/fail");
+  }
   if (fault == DnsFault::kDrop) {
     ++faults_injected_;
     return;  // swallow the query; the client times out and retries
@@ -105,6 +111,10 @@ void DnsClient::resolve(const std::string& hostname, ResolveCallback callback) {
     return;  // query already in flight; coalesce
   }
   pending.retries_left = max_retries_;
+  if (tracer_ != nullptr) {
+    tracer_->event(fabric_.loop().now(), obs::Layer::kDns,
+                   obs::EventKind::kDnsQuery, trace_session_, 0, 0, 0, key);
+  }
   send_query(key);
 }
 
@@ -128,6 +138,11 @@ void DnsClient::on_timeout(const std::string& hostname) {
   }
   it->second.timeout_event = 0;
   if (it->second.retries_left-- > 0) {
+    if (tracer_ != nullptr) {
+      tracer_->event(fabric_.loop().now(), obs::Layer::kDns,
+                     obs::EventKind::kDnsRetransmit, trace_session_, 0, 0, 0,
+                     hostname);
+    }
     send_query(hostname);
     return;
   }
@@ -163,6 +178,11 @@ void DnsClient::complete(const std::string& hostname, std::optional<Ipv4> answer
   pending_.erase(it);
   if (pending.timeout_event != 0) {
     fabric_.loop().cancel(pending.timeout_event);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->event(fabric_.loop().now(), obs::Layer::kDns,
+                   obs::EventKind::kDnsAnswer, trace_session_, 0,
+                   answer ? 1 : 0, 0, hostname);
   }
   for (auto& callback : pending.callbacks) {
     callback(answer);

@@ -8,6 +8,7 @@
 
 #include "net/fabric.hpp"
 #include "net/fault_hooks.hpp"
+#include "obs/trace.hpp"
 #include "util/time.hpp"
 
 namespace mahimahi::net {
@@ -49,6 +50,13 @@ class DnsServer {
   /// order) before the answer is formed. Null = no faults.
   void set_fault_hook(DnsFaultHook hook) { fault_hook_ = std::move(hook); }
 
+  /// Observability: injected DNS faults are recorded as fault-layer
+  /// events tagged "dns/drop" or "dns/fail" with the query index.
+  void set_tracer(obs::Tracer* tracer, std::int32_t session) {
+    tracer_ = tracer;
+    trace_session_ = session;
+  }
+
  private:
   void handle_packet(Packet&& packet);
 
@@ -58,6 +66,8 @@ class DnsServer {
   std::uint64_t queries_served_{0};
   std::uint64_t faults_injected_{0};
   DnsFaultHook fault_hook_;
+  obs::Tracer* tracer_{nullptr};
+  std::int32_t trace_session_{0};
 };
 
 /// Stub resolver with a cache and retry-on-timeout, used by the browser.
@@ -75,6 +85,13 @@ class DnsClient {
 
   /// Resolve a hostname. Cached answers complete synchronously.
   void resolve(const std::string& hostname, ResolveCallback callback);
+
+  /// Observability: queries, timeout retransmits and answers become
+  /// dns-layer events labeled with the hostname.
+  void set_tracer(obs::Tracer* tracer, std::int32_t session) {
+    tracer_ = tracer;
+    trace_session_ = session;
+  }
 
   [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
   [[nodiscard]] std::uint64_t queries_sent() const { return queries_sent_; }
@@ -100,6 +117,8 @@ class DnsClient {
   std::unordered_map<std::string, Pending> pending_;
   std::uint64_t cache_hits_{0};
   std::uint64_t queries_sent_{0};
+  obs::Tracer* tracer_{nullptr};
+  std::int32_t trace_session_{0};
 };
 
 }  // namespace mahimahi::net

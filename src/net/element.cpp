@@ -114,7 +114,14 @@ bool FlapBox::link_down() const {
 
 void FlapBox::process(Packet&& packet, Direction direction) {
   if (link_down()) {
-    ++dropped_[direction == Direction::kUplink ? 0 : 1];
+    const std::size_t i = direction == Direction::kUplink ? 0 : 1;
+    const std::uint64_t index = dropped_[i]++;
+    if (tracer_ != nullptr) {
+      tracer_->event(loop_.now(), obs::Layer::kFault,
+                     obs::EventKind::kFaultInjected, trace_session_,
+                     packet.id, index, 0,
+                     i == 0 ? "flap/up" : "flap/down");
+    }
     return;  // blackhole while the link is down
   }
   emit(std::move(packet), direction);
@@ -133,6 +140,12 @@ void CorruptBox::process(Packet&& packet, Direction direction) {
   if (util::derive_chance(seed_, i == 0 ? "corrupt-up" : "corrupt-down", index,
                           rate_)) {
     ++corrupted_[i];
+    if (tracer_ != nullptr) {
+      tracer_->event(trace_loop_ != nullptr ? trace_loop_->now() : 0,
+                     obs::Layer::kFault, obs::EventKind::kFaultInjected,
+                     trace_session_, packet.id, index, 0,
+                     i == 0 ? "corrupt/up" : "corrupt/down");
+    }
     return;  // corrupted frame: receiver would discard it
   }
   emit(std::move(packet), direction);

@@ -6,6 +6,7 @@
 
 #include "net/event_loop.hpp"
 #include "net/packet.hpp"
+#include "obs/trace.hpp"
 #include "util/random.hpp"
 
 namespace mahimahi::net {
@@ -161,12 +162,21 @@ class FlapBox final : public NetworkElement {
     return dropped_[direction == Direction::kUplink ? 0 : 1];
   }
 
+  /// Observability: each outage drop becomes a fault-layer event labeled
+  /// "flap/<direction>" with the box's running drop index.
+  void set_tracer(obs::Tracer* tracer, std::int32_t session) {
+    tracer_ = tracer;
+    trace_session_ = session;
+  }
+
  private:
   EventLoop& loop_;
   Microseconds period_;
   Microseconds down_;
   Microseconds offset_;
   std::uint64_t dropped_[2]{0, 0};
+  obs::Tracer* tracer_{nullptr};
+  std::int32_t trace_session_{0};
 };
 
 /// Payload-corruption fault: per-direction packet counters feed the
@@ -183,11 +193,24 @@ class CorruptBox final : public NetworkElement {
     return corrupted_[direction == Direction::kUplink ? 0 : 1];
   }
 
+  /// Observability: corruption drops become fault-layer events labeled
+  /// "corrupt/<direction>". The box is clockless, so the caller lends it
+  /// the loop for timestamps.
+  void set_tracer(obs::Tracer* tracer, std::int32_t session,
+                  const EventLoop* loop) {
+    tracer_ = tracer;
+    trace_session_ = session;
+    trace_loop_ = loop;
+  }
+
  private:
   std::uint64_t seed_;
   double rate_;
   std::uint64_t seen_[2]{0, 0};
   std::uint64_t corrupted_[2]{0, 0};
+  obs::Tracer* tracer_{nullptr};
+  std::int32_t trace_session_{0};
+  const EventLoop* trace_loop_{nullptr};
 };
 
 /// An ordered stack of elements wired together. Uplink packets traverse

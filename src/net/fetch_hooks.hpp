@@ -1,0 +1,18 @@
+#pragma once
+
+#include <functional>
+
+namespace mahimahi::net {
+
+/// Optional per-request observability callbacks, shared by the HTTP/1.1
+/// and multiplexed client connections. All members may be null (the
+/// default — zero overhead). The browser uses these to timestamp the
+/// request→first-byte edges of its per-object waterfall.
+struct FetchHooks {
+  /// Request bytes were handed to the transport.
+  std::function<void()> on_sent;
+  /// First bytes of this request's response arrived.
+  std::function<void()> on_first_byte;
+};
+
+}  // namespace mahimahi::net

@@ -249,7 +249,7 @@ HttpClientConnection::HttpClientConnection(Fabric& fabric, Address server,
               config} {}
 
 void HttpClientConnection::fetch(http::Request request,
-                                 ResponseCallback callback) {
+                                 ResponseCallback callback, FetchHooks hooks) {
   MAHI_ASSERT(callback != nullptr);
   if (!alive_) {
     if (on_error_) {
@@ -257,7 +257,8 @@ void HttpClientConnection::fetch(http::Request request,
     }
     return;
   }
-  queue_.push_back(PendingRequest{std::move(request), std::move(callback)});
+  queue_.push_back(PendingRequest{std::move(request), std::move(callback),
+                                  std::move(hooks)});
   maybe_send_next();
 }
 
@@ -274,6 +275,7 @@ void HttpClientConnection::abort() {
   outstanding_ = 0;
   queue_.clear();
   in_flight_callbacks_.clear();
+  current_hooks_ = {};
   client_.connection().abort();
 }
 
@@ -286,11 +288,22 @@ void HttpClientConnection::maybe_send_next() {
   http::finalize_content_length(next.request);
   parser_.notify_request(next.request.method);
   in_flight_callbacks_.push_back(std::move(next.callback));
+  current_hooks_ = std::move(next.hooks);
   outstanding_ = 1;
   client_.connection().send(http::to_bytes(next.request));
+  if (current_hooks_.on_sent) {
+    current_hooks_.on_sent();
+  }
 }
 
 void HttpClientConnection::on_data(std::string_view bytes) {
+  if (!bytes.empty() && outstanding_ > 0 && current_hooks_.on_first_byte) {
+    // First response bytes for the outstanding request (no pipelining, so
+    // any arriving data belongs to it). Fire once, then disarm.
+    auto first_byte = std::move(current_hooks_.on_first_byte);
+    current_hooks_.on_first_byte = nullptr;
+    first_byte();
+  }
   if (!bytes.empty()) {
     parser_.push(bytes);
   }
@@ -331,6 +344,7 @@ void HttpClientConnection::fail(const std::string& reason) {
   outstanding_ = 0;
   queue_.clear();
   in_flight_callbacks_.clear();
+  current_hooks_ = {};
   if (on_error_) {
     on_error_(reason);
   }

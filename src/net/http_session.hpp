@@ -7,6 +7,7 @@
 #include "http/message.hpp"
 #include "http/parser.hpp"
 #include "net/fault_hooks.hpp"
+#include "net/fetch_hooks.hpp"
 #include "net/tcp.hpp"
 
 namespace mahimahi::net {
@@ -121,7 +122,9 @@ class HttpClientConnection {
   HttpClientConnection& operator=(const HttpClientConnection&) = delete;
 
   /// Queue a request; `callback` fires with the complete response.
-  void fetch(http::Request request, ResponseCallback callback);
+  /// `hooks` (optional) observe the request's transport edges.
+  void fetch(http::Request request, ResponseCallback callback,
+             FetchHooks hooks = {});
 
   /// Half-close after the queue drains (Connection: close semantics).
   void close_when_idle();
@@ -141,6 +144,7 @@ class HttpClientConnection {
   struct PendingRequest {
     http::Request request;
     ResponseCallback callback;
+    FetchHooks hooks;
   };
 
   void maybe_send_next();
@@ -151,6 +155,8 @@ class HttpClientConnection {
   http::ResponseParser parser_;
   std::deque<PendingRequest> queue_;
   std::deque<ResponseCallback> in_flight_callbacks_;
+  /// Hooks of the single outstanding request (no pipelining, so one set).
+  FetchHooks current_hooks_;
   std::size_t outstanding_{0};
   bool connected_{false};
   bool alive_{true};

@@ -21,9 +21,25 @@ void LinkQueue::accept(Packet&& packet) {
     log_->arrival(loop_.now(), bytes, id);
   }
   const std::uint64_t drops_before = queue_->drops();
+  const std::uint64_t overflow_before = queue_->overflow_drops();
   queue_->enqueue(std::move(packet), loop_.now());
-  if (log_ != nullptr && queue_->drops() > drops_before) {
-    log_->drop(loop_.now(), bytes, id);
+  if (queue_->drops() > drops_before) {
+    const DropReason reason = queue_->overflow_drops() > overflow_before
+                                  ? DropReason::kOverflow
+                                  : DropReason::kAqm;
+    if (log_ != nullptr) {
+      log_->drop(loop_.now(), bytes, id, reason);
+    }
+    if (tracer_ != nullptr) {
+      tracer_->event(loop_.now(), obs::Layer::kLink, obs::EventKind::kDrop,
+                     trace_session_, id, queue_->packet_count(),
+                     static_cast<double>(queue_->byte_count()),
+                     trace_label_ + "/" + std::string(to_string(reason)));
+    }
+  } else if (tracer_ != nullptr) {
+    tracer_->event(loop_.now(), obs::Layer::kLink, obs::EventKind::kEnqueue,
+                   trace_session_, id, queue_->packet_count(),
+                   static_cast<double>(queue_->byte_count()), trace_label_);
   }
   schedule_next_opportunity();
 }
@@ -52,7 +68,33 @@ void LinkQueue::schedule_next_opportunity() {
 void LinkQueue::use_opportunity() {
   ++next_opportunity_;  // this opportunity is consumed regardless of use
   if (!in_service_) {
+    const std::uint64_t drops_before = queue_->drops();
+    const std::size_t bytes_before = queue_->byte_count();
     auto head = queue_->dequeue(loop_.now());
+    const std::uint64_t dropped = queue_->drops() - drops_before;
+    if (dropped > 0 && (log_ != nullptr || tracer_ != nullptr)) {
+      // Dequeue-time AQM drops (CoDel). The discipline pops them
+      // internally, so individual sizes and ids are not observable; the
+      // first record carries the aggregate dropped bytes, the rest zero —
+      // packet counts stay exact, byte depth stays consistent.
+      const std::size_t head_bytes = head ? head->wire_size() : 0;
+      const std::size_t dropped_bytes =
+          bytes_before - queue_->byte_count() - head_bytes;
+      for (std::uint64_t i = 0; i < dropped; ++i) {
+        const auto bytes =
+            static_cast<std::uint32_t>(i == 0 ? dropped_bytes : 0);
+        if (log_ != nullptr) {
+          log_->drop(loop_.now(), bytes, 0, DropReason::kAqm);
+        }
+        if (tracer_ != nullptr) {
+          tracer_->event(loop_.now(), obs::Layer::kLink,
+                         obs::EventKind::kDrop, trace_session_, 0,
+                         queue_->packet_count(),
+                         static_cast<double>(queue_->byte_count()),
+                         trace_label_ + "/aqm");
+        }
+      }
+    }
     if (!head) {
       return;  // AQM drained the queue; idle until the next arrival
     }
@@ -69,6 +111,11 @@ void LinkQueue::use_opportunity() {
       log_->departure(loop_.now(),
                       static_cast<std::uint32_t>(in_service_->wire_size()),
                       in_service_->id);
+    }
+    if (tracer_ != nullptr) {
+      tracer_->event(loop_.now(), obs::Layer::kLink, obs::EventKind::kDequeue,
+                     trace_session_, in_service_->id, queue_->packet_count(),
+                     static_cast<double>(queue_->byte_count()), trace_label_);
     }
     deliver_(std::move(*in_service_));
     in_service_.reset();
@@ -103,6 +150,12 @@ void TraceLink::enable_logging() {
   }
   uplink_->set_log(logs_[0].get());
   downlink_->set_log(logs_[1].get());
+}
+
+void TraceLink::set_tracer(obs::Tracer* tracer, std::int32_t session,
+                           const std::string& name) {
+  uplink_->set_tracer(tracer, session, name + "/up");
+  downlink_->set_tracer(tracer, session, name + "/down");
 }
 
 const LinkLog& TraceLink::log(Direction direction) const {

@@ -2,10 +2,12 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "net/element.hpp"
 #include "net/link_log.hpp"
 #include "net/queue.hpp"
+#include "obs/trace.hpp"
 #include "trace/trace.hpp"
 
 namespace mahimahi::net {
@@ -30,6 +32,17 @@ class LinkQueue {
   /// Record arrivals/departures/drops into `log` (mm-link --*-log).
   void set_log(LinkLog* log) { log_ = log; }
 
+  /// Mirror enqueue/dequeue/drop events (with instantaneous queue depth)
+  /// into an obs tracer. `label` names this queue in the trace, e.g.
+  /// "shell0/up"; drops append their reason ("label/overflow"). Null
+  /// tracer disables (the default, near-free path).
+  void set_tracer(obs::Tracer* tracer, std::int32_t session,
+                  std::string label) {
+    tracer_ = tracer;
+    trace_session_ = session;
+    trace_label_ = std::move(label);
+  }
+
   [[nodiscard]] const PacketQueue& queue() const { return *queue_; }
   [[nodiscard]] std::uint64_t delivered_packets() const { return delivered_packets_; }
   [[nodiscard]] std::uint64_t delivered_bytes() const { return delivered_bytes_; }
@@ -43,6 +56,9 @@ class LinkQueue {
   std::unique_ptr<PacketQueue> queue_;
   Deliver deliver_;
   LinkLog* log_{nullptr};
+  obs::Tracer* tracer_{nullptr};
+  std::int32_t trace_session_{0};
+  std::string trace_label_;
 
   std::uint64_t next_opportunity_{0};      // index into the (repeating) trace
   EventLoop::EventId pending_event_{0};    // scheduled opportunity, 0 = none
@@ -65,6 +81,11 @@ class TraceLink final : public NetworkElement {
   /// Turn on per-direction logging (kept by the link; see logs()).
   void enable_logging();
   [[nodiscard]] const LinkLog& log(Direction direction) const;
+
+  /// Trace both directions into `tracer`; queues are labeled
+  /// "<name>/up" and "<name>/down".
+  void set_tracer(obs::Tracer* tracer, std::int32_t session,
+                  const std::string& name);
 
   [[nodiscard]] const LinkQueue& uplink() const { return *uplink_; }
   [[nodiscard]] const LinkQueue& downlink() const { return *downlink_; }

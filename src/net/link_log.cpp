@@ -10,9 +10,21 @@
 
 namespace mahimahi::net {
 
+std::string_view to_string(DropReason reason) {
+  switch (reason) {
+    case DropReason::kOverflow:
+      return "overflow";
+    case DropReason::kAqm:
+      return "aqm";
+    case DropReason::kUnknown:
+      break;
+  }
+  return "unknown";
+}
+
 void LinkLog::add(Microseconds at, LinkLogEvent::Kind kind, std::uint32_t bytes,
-                  std::uint64_t id) {
-  events_.push_back(LinkLogEvent{at, kind, bytes, id});
+                  std::uint64_t id, DropReason reason) {
+  events_.push_back(LinkLogEvent{at, kind, bytes, id, reason});
 }
 
 void LinkLog::arrival(Microseconds at, std::uint32_t bytes, std::uint64_t id) {
@@ -23,8 +35,9 @@ void LinkLog::departure(Microseconds at, std::uint32_t bytes, std::uint64_t id) 
   add(at, LinkLogEvent::Kind::kDeparture, bytes, id);
 }
 
-void LinkLog::drop(Microseconds at, std::uint32_t bytes, std::uint64_t id) {
-  add(at, LinkLogEvent::Kind::kDrop, bytes, id);
+void LinkLog::drop(Microseconds at, std::uint32_t bytes, std::uint64_t id,
+                   DropReason reason) {
+  add(at, LinkLogEvent::Kind::kDrop, bytes, id, reason);
 }
 
 std::string LinkLog::to_text() const {
@@ -80,12 +93,22 @@ LinkLogSummary summarize_link_log(const LinkLog& log, Microseconds bin_width) {
   std::deque<Microseconds> fifo;
   util::Samples delays_ms;
   Microseconds last_time = 0;
+  // Instantaneous queue depth, replayed from the event stream: +1 at
+  // arrival, -1 at departure or drop.
+  std::uint64_t depth_packets = 0;
+  std::uint64_t depth_bytes = 0;
 
   for (const auto& event : log.events()) {
     last_time = std::max(last_time, event.at);
     switch (event.kind) {
       case LinkLogEvent::Kind::kArrival:
         ++summary.arrivals;
+        ++depth_packets;
+        depth_bytes += event.bytes;
+        summary.queue_high_water_packets =
+            std::max(summary.queue_high_water_packets, depth_packets);
+        summary.queue_high_water_bytes =
+            std::max(summary.queue_high_water_bytes, depth_bytes);
         if (event.packet_id != 0) {
           by_id[event.packet_id] = event.at;
         } else {
@@ -95,6 +118,10 @@ LinkLogSummary summarize_link_log(const LinkLog& log, Microseconds bin_width) {
       case LinkLogEvent::Kind::kDeparture: {
         ++summary.departures;
         summary.bytes_delivered += event.bytes;
+        if (depth_packets > 0) {
+          --depth_packets;
+        }
+        depth_bytes -= std::min<std::uint64_t>(depth_bytes, event.bytes);
         Microseconds arrived = -1;
         if (event.packet_id != 0) {
           if (const auto it = by_id.find(event.packet_id); it != by_id.end()) {
@@ -112,6 +139,21 @@ LinkLogSummary summarize_link_log(const LinkLog& log, Microseconds bin_width) {
       }
       case LinkLogEvent::Kind::kDrop:
         ++summary.drops;
+        switch (event.reason) {
+          case DropReason::kOverflow:
+            ++summary.drops_overflow;
+            break;
+          case DropReason::kAqm:
+            ++summary.drops_aqm;
+            break;
+          case DropReason::kUnknown:
+            ++summary.drops_unknown;
+            break;
+        }
+        if (depth_packets > 0) {
+          --depth_packets;
+        }
+        depth_bytes -= std::min<std::uint64_t>(depth_bytes, event.bytes);
         break;
     }
   }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/element.hpp"
@@ -8,6 +9,14 @@
 #include "util/time.hpp"
 
 namespace mahimahi::net {
+
+/// Why a queue dropped a packet: capacity overflow (droptail/drophead/
+/// bounded-AQM tail limits) vs an AQM control-law decision (CoDel, PIE).
+/// Logs parsed back from text carry kUnknown (the text format predates
+/// reasons and stays mahimahi-compatible).
+enum class DropReason : std::uint8_t { kUnknown, kOverflow, kAqm };
+
+[[nodiscard]] std::string_view to_string(DropReason reason);
 
 /// One event in a link log — mahimahi's mm-link --uplink-log/--downlink-log
 /// records arrivals (+), departures (-) and drops (d) with millisecond
@@ -18,6 +27,7 @@ struct LinkLogEvent {
   Kind kind{Kind::kArrival};
   std::uint32_t bytes{0};
   std::uint64_t packet_id{0};
+  DropReason reason{DropReason::kUnknown};  // meaningful for kDrop only
 };
 
 /// In-memory per-direction link log with mahimahi-compatible text output.
@@ -25,7 +35,8 @@ class LinkLog {
  public:
   void arrival(Microseconds at, std::uint32_t bytes, std::uint64_t id);
   void departure(Microseconds at, std::uint32_t bytes, std::uint64_t id);
-  void drop(Microseconds at, std::uint32_t bytes, std::uint64_t id);
+  void drop(Microseconds at, std::uint32_t bytes, std::uint64_t id,
+            DropReason reason = DropReason::kUnknown);
 
   [[nodiscard]] const std::vector<LinkLogEvent>& events() const { return events_; }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
@@ -38,7 +49,7 @@ class LinkLog {
 
  private:
   void add(Microseconds at, LinkLogEvent::Kind kind, std::uint32_t bytes,
-           std::uint64_t id);
+           std::uint64_t id, DropReason reason = DropReason::kUnknown);
   std::vector<LinkLogEvent> events_;
 };
 
@@ -48,6 +59,17 @@ struct LinkLogSummary {
   std::uint64_t arrivals{0};
   std::uint64_t departures{0};
   std::uint64_t drops{0};
+  /// Drops split by reason (drops == overflow + aqm + unknown; parsed
+  /// text logs land in unknown).
+  std::uint64_t drops_overflow{0};
+  std::uint64_t drops_aqm{0};
+  std::uint64_t drops_unknown{0};
+  /// High-water mark of the queue, reconstructed by replaying the event
+  /// stream (+1 at arrival, -1 at departure/drop). The arriving packet
+  /// counts at its arrival instant, so a droptail overflow registers the
+  /// full queue plus the packet it turned away.
+  std::uint64_t queue_high_water_packets{0};
+  std::uint64_t queue_high_water_bytes{0};
   std::uint64_t bytes_delivered{0};
   double average_throughput_bps{0};
   /// Per-packet queueing delay (arrival -> departure) percentiles, ms.

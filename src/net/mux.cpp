@@ -283,7 +283,7 @@ MuxClientConnection::MuxClientConnection(Fabric& fabric, Address server,
               std::move(config)} {}
 
 void MuxClientConnection::fetch(http::Request request,
-                                ResponseCallback callback) {
+                                ResponseCallback callback, FetchHooks hooks) {
   MAHI_ASSERT(callback != nullptr);
   if (!alive_) {
     if (on_error_) {
@@ -294,6 +294,7 @@ void MuxClientConnection::fetch(http::Request request,
   const std::uint32_t id = next_stream_id_++;
   auto& stream = streams_[id];
   stream.callback = std::move(callback);
+  stream.hooks = std::move(hooks);
   stream.parser.notify_request(request.method);
 
   http::finalize_content_length(request);
@@ -302,10 +303,17 @@ void MuxClientConnection::fetch(http::Request request,
   frame.type = Frame::Type::kRequest;
   frame.payload = http::to_bytes(request);
   std::string wire = encode_frame(frame);
+  // "Sent" = handed to the transport (or its pre-connect queue), matching
+  // the HTTP/1.1 client's notion of the request leaving the application.
+  // Copied out first: the stream map must not be touched after send().
+  const auto on_sent = stream.hooks.on_sent;
   if (connected_) {
     client_.connection().send(std::move(wire));
   } else {
     queued_frames_.push_back(std::move(wire));
+  }
+  if (on_sent) {
+    on_sent();
   }
 }
 
@@ -323,6 +331,11 @@ void MuxClientConnection::on_data(std::string_view bytes) {
     }
     Stream& stream = it->second;
     if (frame.type == Frame::Type::kData) {
+      if (!frame.payload.empty() && stream.hooks.on_first_byte) {
+        auto first_byte = std::move(stream.hooks.on_first_byte);
+        stream.hooks.on_first_byte = nullptr;
+        first_byte();
+      }
       stream.parser.push(frame.payload);
       if (stream.parser.failed()) {
         fail("response parse failure on stream " +

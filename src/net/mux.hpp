@@ -6,6 +6,7 @@
 
 #include "http/parser.hpp"
 #include "net/fault_hooks.hpp"
+#include "net/fetch_hooks.hpp"
 #include "net/tcp.hpp"
 
 namespace mahimahi::net::mux {
@@ -128,7 +129,9 @@ class MuxClientConnection {
   MuxClientConnection& operator=(const MuxClientConnection&) = delete;
 
   /// Issue a request; unlike HTTP/1.1, any number may be outstanding.
-  void fetch(http::Request request, ResponseCallback callback);
+  /// `hooks` (optional) observe this stream's transport edges.
+  void fetch(http::Request request, ResponseCallback callback,
+             FetchHooks hooks = {});
 
   [[nodiscard]] bool alive() const { return alive_; }
   [[nodiscard]] std::size_t outstanding() const { return streams_.size(); }
@@ -140,6 +143,7 @@ class MuxClientConnection {
   struct Stream {
     http::ResponseParser parser;
     ResponseCallback callback;
+    FetchHooks hooks;  // on_first_byte disarmed after the first kData frame
   };
 
   void on_data(std::string_view bytes);

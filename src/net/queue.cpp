@@ -112,7 +112,7 @@ CoDelQueue::CoDelQueue(Microseconds target, Microseconds interval,
 
 void CoDelQueue::enqueue(Packet&& packet, Microseconds now) {
   if (max_packets_ != 0 && queue_.size() >= max_packets_) {
-    ++drops_;
+    ++overflow_drops_;
     return;
   }
   packet.queued_at = now;
@@ -148,7 +148,7 @@ std::optional<Packet> CoDelQueue::dequeue(Microseconds now) {
         drop_next_ = now + static_cast<Microseconds>(
                                static_cast<double>(interval_) /
                                std::sqrt(static_cast<double>(drop_count_)));
-        ++drops_;
+        ++aqm_drops_;
         continue;  // drop this packet, try the next
       }
       return packet;
@@ -163,7 +163,7 @@ std::optional<Packet> CoDelQueue::dequeue(Microseconds now) {
       drop_next_ += static_cast<Microseconds>(
           static_cast<double>(interval_) /
           std::sqrt(static_cast<double>(drop_count_)));
-      ++drops_;
+      ++aqm_drops_;
       continue;
     }
     return packet;
@@ -252,11 +252,11 @@ bool PieQueue::should_drop(const Packet& packet) {
 void PieQueue::enqueue(Packet&& packet, Microseconds now) {
   maybe_update(now);
   if (max_packets_ != 0 && queue_.size() >= max_packets_) {
-    ++drops_;  // hard tail limit, like the RFC's TAIL_DROP backstop
+    ++overflow_drops_;  // hard tail limit, like the RFC's TAIL_DROP backstop
     return;
   }
   if (should_drop(packet)) {
-    ++drops_;
+    ++aqm_drops_;
     return;
   }
   packet.queued_at = now;

@@ -33,6 +33,13 @@ class PacketQueue {
   /// Packets dropped so far (overflow or AQM).
   [[nodiscard]] virtual std::uint64_t drops() const = 0;
 
+  /// Drop attribution: capacity-overflow drops vs AQM control-law drops.
+  /// For every shipped discipline overflow_drops() + aqm_drops() equals
+  /// drops() — link instrumentation relies on the deltas to label each
+  /// drop with its reason.
+  [[nodiscard]] virtual std::uint64_t overflow_drops() const { return 0; }
+  [[nodiscard]] virtual std::uint64_t aqm_drops() const { return 0; }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -63,6 +70,7 @@ class DropTailQueue final : public PacketQueue {
   [[nodiscard]] std::size_t packet_count() const override { return queue_.size(); }
   [[nodiscard]] std::size_t byte_count() const override { return bytes_; }
   [[nodiscard]] std::uint64_t drops() const override { return drops_; }
+  [[nodiscard]] std::uint64_t overflow_drops() const override { return drops_; }
   [[nodiscard]] std::string name() const override { return "droptail"; }
 
  private:
@@ -85,6 +93,7 @@ class DropHeadQueue final : public PacketQueue {
   [[nodiscard]] std::size_t packet_count() const override { return queue_.size(); }
   [[nodiscard]] std::size_t byte_count() const override { return bytes_; }
   [[nodiscard]] std::uint64_t drops() const override { return drops_; }
+  [[nodiscard]] std::uint64_t overflow_drops() const override { return drops_; }
   [[nodiscard]] std::string name() const override { return "drophead"; }
 
  private:
@@ -108,7 +117,13 @@ class CoDelQueue final : public PacketQueue {
   std::optional<Packet> dequeue(Microseconds now) override;
   [[nodiscard]] std::size_t packet_count() const override { return queue_.size(); }
   [[nodiscard]] std::size_t byte_count() const override { return bytes_; }
-  [[nodiscard]] std::uint64_t drops() const override { return drops_; }
+  [[nodiscard]] std::uint64_t drops() const override {
+    return overflow_drops_ + aqm_drops_;
+  }
+  [[nodiscard]] std::uint64_t overflow_drops() const override {
+    return overflow_drops_;
+  }
+  [[nodiscard]] std::uint64_t aqm_drops() const override { return aqm_drops_; }
   [[nodiscard]] std::string name() const override { return "codel"; }
 
  private:
@@ -119,7 +134,8 @@ class CoDelQueue final : public PacketQueue {
   std::size_t max_packets_;
   std::deque<Packet> queue_;
   std::size_t bytes_{0};
-  std::uint64_t drops_{0};
+  std::uint64_t overflow_drops_{0};  // hard max_packets bound at enqueue
+  std::uint64_t aqm_drops_{0};       // control-law drops at dequeue
   // CoDel state machine.
   bool dropping_{false};
   Microseconds first_above_time_{0};
@@ -152,7 +168,13 @@ class PieQueue final : public PacketQueue {
   std::optional<Packet> dequeue(Microseconds now) override;
   [[nodiscard]] std::size_t packet_count() const override { return queue_.size(); }
   [[nodiscard]] std::size_t byte_count() const override { return bytes_; }
-  [[nodiscard]] std::uint64_t drops() const override { return drops_; }
+  [[nodiscard]] std::uint64_t drops() const override {
+    return overflow_drops_ + aqm_drops_;
+  }
+  [[nodiscard]] std::uint64_t overflow_drops() const override {
+    return overflow_drops_;
+  }
+  [[nodiscard]] std::uint64_t aqm_drops() const override { return aqm_drops_; }
   [[nodiscard]] std::string name() const override { return "pie"; }
 
   /// Current drop probability (test/meter introspection).
@@ -172,7 +194,8 @@ class PieQueue final : public PacketQueue {
   util::Rng rng_;
   std::deque<Packet> queue_;
   std::size_t bytes_{0};
-  std::uint64_t drops_{0};
+  std::uint64_t overflow_drops_{0};  // hard max_packets bound
+  std::uint64_t aqm_drops_{0};       // probabilistic controller drops
   // Controller state.
   double p_{0.0};
   Microseconds qdelay_old_{0};

@@ -122,6 +122,21 @@ TcpConnection::TcpConnection(Fabric& fabric, Side side, Address local,
   params.mss_bytes = kMssBytes;
   params.initial_cwnd_bytes = config_.initial_window_segments * kMssBytes;
   cc_ = cc::make_controller(config_.congestion_control, params);
+  if (config_.tracer != nullptr) {
+    // Flow ids are allocated in construction order, which is simulation
+    // order — deterministic per the event-loop contract.
+    flow_id_ = config_.tracer->allocate_flow_id();
+  }
+}
+
+void TcpConnection::trace(obs::EventKind kind, std::uint64_t value,
+                          double metric, std::string label) {
+  if (config_.tracer == nullptr) {
+    return;
+  }
+  config_.tracer->event(loop_.now(), obs::Layer::kTcp, kind,
+                        config_.trace_session, flow_id_, value, metric,
+                        std::move(label));
 }
 
 void TcpConnection::start() { send_syn(); }
@@ -129,6 +144,7 @@ void TcpConnection::start() { send_syn(); }
 void TcpConnection::accept_syn(const TcpSegment& syn) {
   MAHI_ASSERT(syn.syn && !syn.has_ack);
   state_ = State::kSynReceived;
+  trace(obs::EventKind::kTcpConnect, 0, 0, remote_.to_string());
   snd_una_ = 0;
   snd_nxt_ = 1;  // our SYN-ACK's SYN consumes sequence 0
   rcv_nxt_ = syn.seq + 1;
@@ -170,6 +186,7 @@ void TcpConnection::emit_segment(TcpSegment segment) {
 
 void TcpConnection::send_syn() {
   state_ = State::kSynSent;
+  trace(obs::EventKind::kTcpConnect, 0, 0, remote_.to_string());
   snd_una_ = 0;
   snd_nxt_ = 1;  // SYN consumes sequence 0
   syn_sent_at_ = loop_.now();
@@ -311,6 +328,7 @@ void TcpConnection::send_data_segment(std::uint64_t seq, std::size_t length,
   emit_segment(std::move(seg));
   if (retransmit) {
     ++retransmissions_;
+    trace(obs::EventKind::kTcpRetransmit, seq, 0, {});
     // Karn's algorithm: samples spanning a retransmission are invalid.
     rtt_sample_pending_ = false;
   } else if (!rtt_sample_pending_) {
@@ -349,6 +367,7 @@ void TcpConnection::handle_packet(Packet&& packet) {
       snd_una_ = 1;
       rcv_nxt_ = seg.seq + 1;
       state_ = State::kEstablished;
+      trace(obs::EventKind::kTcpEstablished, 0, 0, {});
       backoff_rto_ = 0;
       if (syn_retries_ == 0) {  // Karn: no sample across a retransmitted SYN
         rtt_sample(loop_.now() - syn_sent_at_);
@@ -378,6 +397,7 @@ void TcpConnection::handle_packet(Packet&& packet) {
     if (seg.has_ack && seg.ack >= 1) {
       snd_una_ = std::max<std::uint64_t>(snd_una_, 1);
       state_ = State::kEstablished;
+      trace(obs::EventKind::kTcpEstablished, 0, 0, {});
       backoff_rto_ = 0;
       if (syn_retries_ == 0) {
         rtt_sample(loop_.now() - syn_sent_at_);
@@ -598,6 +618,8 @@ void TcpConnection::on_rto_expired() {
   if (state_ == State::kClosed) {
     return;
   }
+  trace(obs::EventKind::kTcpRto,
+        static_cast<std::uint64_t>(consecutive_rtos_ + 1), to_ms(rto()), {});
   // Back off the timer (RFC 6298 §5.5).
   backoff_rto_ = std::min<Microseconds>(rto() * 2, config_.max_rto);
 
@@ -682,6 +704,18 @@ void TcpConnection::rtt_sample(Microseconds sample) {
     srtt_ = (7 * srtt_ + sample) / 8;
   }
   cc_->on_rtt_sample(sample, loop_.now());
+  if (config_.tracer != nullptr) {
+    // One cwnd/srtt sample per accepted RTT measurement — bounds trace
+    // volume to O(RTTs) instead of O(segments).
+    const double ssthresh = cc_->ssthresh_bytes();
+    trace(obs::EventKind::kTcpCwndSample,
+          ssthresh >= cc::kInfiniteSsthresh
+              ? 0
+              : static_cast<std::uint64_t>(ssthresh),
+          cc_->cwnd_bytes(), {});
+    trace(obs::EventKind::kTcpRttSample, static_cast<std::uint64_t>(sample),
+          to_ms(srtt_), {});
+  }
 }
 
 void TcpConnection::maybe_finish_close() {
@@ -699,6 +733,8 @@ void TcpConnection::become_closed() {
   if (close_reason_ == CloseReason::kNone) {
     close_reason_ = CloseReason::kNormal;
   }
+  trace(obs::EventKind::kTcpClose, 0, 0,
+        std::string(to_string(close_reason_)));
   disarm_retransmit_timer();
   disarm_pacing_timer();
   if (on_destroyed) {

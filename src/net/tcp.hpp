@@ -10,6 +10,7 @@
 #include "cc/congestion_controller.hpp"
 #include "net/fabric.hpp"
 #include "net/packet.hpp"
+#include "obs/trace.hpp"
 #include "util/time.hpp"
 
 namespace mahimahi::net {
@@ -131,6 +132,13 @@ class TcpConnection {
     /// "bbr", ...); empty selects cc::kDefaultController. Unknown names
     /// throw std::invalid_argument at connection construction.
     std::string congestion_control{};
+    /// Observability: when set, the connection records state transitions,
+    /// per-RTT cwnd/ssthresh/srtt samples, retransmits and its typed
+    /// close reason under `trace_session`, with a flow id allocated from
+    /// the tracer at construction. Null = tracing off (the near-free
+    /// default; see bench_trace_overhead).
+    obs::Tracer* tracer{nullptr};
+    std::int32_t trace_session{0};
   };
 
   /// Constructs an idle connection. The caller's wrapper binds `local` in
@@ -240,6 +248,10 @@ class TcpConnection {
   void maybe_finish_close();
   void become_closed();
 
+  /// Record one obs event for this flow; no-op when tracing is off.
+  void trace(obs::EventKind kind, std::uint64_t value, double metric,
+             std::string label);
+
   [[nodiscard]] std::uint64_t flight_size() const { return snd_nxt_ - snd_una_; }
   [[nodiscard]] Microseconds rto() const;
 
@@ -252,6 +264,7 @@ class TcpConnection {
   Config config_;
   State state_{State::kClosed};
   CloseReason close_reason_{CloseReason::kNone};
+  std::uint64_t flow_id_{0};  // tracer-allocated; 0 when tracing is off
 
   // --- send side ---
   // Sequence numbering: SYN consumes seq 0; application data starts at 1.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "cc/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace mahimahi::replay {
@@ -72,6 +73,28 @@ OriginServerSet::OriginServerSet(net::Fabric& fabric,
                     server_index](std::uint64_t request_index) {
         return plan.server_fault(server_index, request_index);
       };
+      if (options.tcp.tracer != nullptr) {
+        // Tracing wrap: every injected origin fault becomes a fault-layer
+        // event tagged with the injector ("origin/crash" or
+        // "origin/stall"), the server's spawn index as the flow and the
+        // request index as the decision-stream position.
+        fault_hook = [inner = std::move(fault_hook),
+                      tracer = options.tcp.tracer,
+                      session = options.tcp.trace_session,
+                      loop = &fabric.loop(),
+                      server_index](std::uint64_t request_index) {
+          const net::ServerFault fault = inner(request_index);
+          if (fault.kind != net::ServerFault::Kind::kNone) {
+            tracer->event(loop->now(), obs::Layer::kFault,
+                          obs::EventKind::kFaultInjected, session,
+                          server_index, request_index, 0,
+                          fault.kind == net::ServerFault::Kind::kCrash
+                              ? "origin/crash"
+                              : "origin/stall");
+          }
+          return fault;
+        };
+      }
     }
     if (options.multiplexed) {
       mux_servers_.push_back(std::make_unique<net::mux::MuxServer>(

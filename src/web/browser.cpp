@@ -46,7 +46,43 @@ Browser::Browser(net::Fabric& fabric, net::Address dns_server,
       loop_{fabric.loop()},
       dns_{fabric, dns_server},
       config_{config},
-      rng_{std::move(rng)} {}
+      rng_{std::move(rng)} {
+  dns_.set_tracer(config_.tcp.tracer, config_.tcp.trace_session);
+}
+
+obs::ObjectRecord* Browser::trace_object(const http::Url& url) {
+  if (tracer() == nullptr) {
+    return nullptr;
+  }
+  return &tracer()->object(config_.tcp.trace_session, url.to_string());
+}
+
+void Browser::trace_event(obs::EventKind kind, std::uint64_t value,
+                          const std::string& label) {
+  if (tracer() != nullptr) {
+    tracer()->event(loop_.now(), obs::Layer::kBrowser, kind,
+                    config_.tcp.trace_session, 0, value, 0, label);
+  }
+}
+
+net::FetchHooks Browser::make_fetch_hooks(const http::Url& url) {
+  net::FetchHooks hooks;
+  if (tracer() == nullptr) {
+    return hooks;
+  }
+  hooks.on_sent = [this, url] {
+    if (auto* object = trace_object(url)) {
+      object->request_sent = loop_.now();
+      object->first_byte = -1;  // a retry's stale first-byte must not stick
+    }
+  };
+  hooks.on_first_byte = [this, url] {
+    if (auto* object = trace_object(url)) {
+      object->first_byte = loop_.now();
+    }
+  };
+  return hooks;
+}
 
 Browser::~Browser() {
   if (stall_event_ != 0) {
@@ -70,6 +106,7 @@ void Browser::load(const std::string& url_text, LoadCallback on_done) {
   }
   loading_ = true;
   on_done_ = std::move(on_done);
+  page_url_ = url_text;
   started_at_ = loop_.now();
   outstanding_objects_ = 0;
   in_flight_requests_ = 0;
@@ -89,6 +126,13 @@ void Browser::schedule_fetch(const http::Url& url) {
     return;  // already fetched or in flight
   }
   ++outstanding_objects_;
+  if (auto* object = trace_object(url)) {
+    object->fetch_start = loop_.now();
+    object->dns_start = loop_.now();
+    object->kind = http::resource_kind_name(http::classify_content_type(
+        http::content_type_for_path(url.path)));
+    trace_event(obs::EventKind::kFetchStart, 0, url.to_string());
+  }
   dns_.resolve(url.host, [this, url](std::optional<net::Ipv4> ip) {
     on_resolved(url, ip);
   });
@@ -97,6 +141,9 @@ void Browser::schedule_fetch(const http::Url& url) {
 void Browser::on_resolved(const http::Url& url, std::optional<net::Ipv4> ip) {
   if (!loading_) {
     return;  // load already aborted
+  }
+  if (auto* object = trace_object(url)) {
+    object->dns_done = loop_.now();
   }
   if (!ip) {
     attempt_failed(url, "DNS failure for " + url.host, /*timed_out=*/false);
@@ -285,21 +332,23 @@ void Browser::pump_mux(OriginPool& pool) {
         --in_flight_requests_;
         return true;
       });
-      pool.mux->fetch(std::move(request), [this, &pool, url, key,
-                                           generation](http::Response response) {
-        const auto it = fetches_.find(key);
-        if (it == fetches_.end() || it->second.generation != generation ||
-            pool.mux_inflight.erase(key) == 0) {
-          return;  // superseded by a deadline expiry; already accounted
-        }
-        cancel_deadline(key);
-        MAHI_ASSERT(in_flight_requests_ > 0);
-        --in_flight_requests_;
-        on_response(url, std::move(response));
-        if (loading_) {
-          pump_all();
-        }
-      });
+      pool.mux->fetch(
+          std::move(request),
+          [this, &pool, url, key, generation](http::Response response) {
+            const auto it = fetches_.find(key);
+            if (it == fetches_.end() || it->second.generation != generation ||
+                pool.mux_inflight.erase(key) == 0) {
+              return;  // superseded by a deadline expiry; already accounted
+            }
+            cancel_deadline(key);
+            MAHI_ASSERT(in_flight_requests_ > 0);
+            --in_flight_requests_;
+            on_response(url, std::move(response));
+            if (loading_) {
+              pump_all();
+            }
+          },
+          make_fetch_hooks(url));
     };
     if (config_.request_issue_cost > 0) {
       const Microseconds at = std::max(loop_.now(), main_thread_busy_until_) +
@@ -368,7 +417,8 @@ void Browser::issue(OriginPool& pool, net::HttpClientConnection& connection,
       return true;
     });
     e->connection->fetch(
-        std::move(request), [this, raw, url](http::Response response) {
+        std::move(request),
+        [this, raw, url](http::Response response) {
           raw->busy = false;
           MAHI_ASSERT(in_flight_requests_ > 0);
           --in_flight_requests_;
@@ -377,7 +427,8 @@ void Browser::issue(OriginPool& pool, net::HttpClientConnection& connection,
           if (loading_) {
             pump_all();
           }
-        });
+        },
+        make_fetch_hooks(url));
   };
   if (config_.request_issue_cost > 0) {
     // Issuing a request costs main-thread time; a post-parse burst of
@@ -396,6 +447,15 @@ void Browser::on_response(const http::Url& url, http::Response response) {
     return;
   }
   result_.bytes_downloaded += response.body.size() + kHeaderOverheadBytes;
+  if (auto* object = trace_object(url)) {
+    object->complete = loop_.now();
+    object->bytes = response.body.size() + kHeaderOverheadBytes;
+    object->status = response.status;
+    if (const auto content_type = response.headers.get("Content-Type")) {
+      object->kind =
+          http::resource_kind_name(http::classify_content_type(*content_type));
+    }
+  }
 
   if (http::is_redirect(response.status)) {
     if (const auto location = response.headers.get("Location")) {
@@ -405,6 +465,10 @@ void Browser::on_response(const http::Url& url, http::Response response) {
     return;
   }
   if (!http::is_success(response.status)) {
+    if (auto* object = trace_object(url)) {
+      object->failed = true;
+      object->error = "status " + std::to_string(response.status);
+    }
     object_finished(false,
                     url.to_string() + " -> " + std::to_string(response.status));
     return;
@@ -533,6 +597,12 @@ void Browser::finish() {
   result_.page_load_time = loop_.now() - started_at_;
   result_.started_at = started_at_;
   fill_degraded_plt();
+  if (tracer() != nullptr) {
+    tracer()->page(obs::PageRecord{config_.tcp.trace_session, page_url_,
+                                   started_at_, result_.page_load_time,
+                                   result_.degraded_page_load_time,
+                                   result_.success});
+  }
   // Tear down this load's connections (a fresh load is a fresh browser).
   pools_.clear();
   cancel_fetch_timers();
@@ -553,10 +623,24 @@ void Browser::attempt_failed(const http::Url& url, const std::string& reason,
   ++state.attempts;
   if (timed_out) {
     ++result_.timeouts;
+    trace_event(obs::EventKind::kFetchTimeout,
+                static_cast<std::uint64_t>(state.attempts), key);
   }
   const auto& policy = config_.resilience;
   if (policy.enabled() && state.attempts <= policy.max_retries) {
     ++result_.retries;
+    if (auto* object = trace_object(url)) {
+      // Retry: the next attempt re-stamps the phase columns from scratch
+      // (fetch_start keeps the first attempt — the waterfall bar spans the
+      // whole wait, attempt count marks the churn inside it).
+      ++object->attempts;
+      object->dns_start = -1;
+      object->dns_done = -1;
+      object->request_sent = -1;
+      object->first_byte = -1;
+      trace_event(obs::EventKind::kFetchRetry,
+                  static_cast<std::uint64_t>(state.attempts), key);
+    }
     // Capped exponential backoff with seeded jitter: base * 2^(n-1),
     // clamped to the cap, scaled by uniform [1-j, 1+j] from the browser's
     // deterministic RNG.
@@ -574,6 +658,9 @@ void Browser::attempt_failed(const http::Url& url, const std::string& reason,
       if (!loading_) {
         return;
       }
+      if (auto* object = trace_object(url)) {
+        object->dns_start = loop_.now();
+      }
       // Re-resolve and re-enqueue; the DNS cache makes repeat resolution
       // synchronous, while a DNS-failure retry genuinely asks again.
       dns_.resolve(url.host, [this, url](std::optional<net::Ipv4> ip) {
@@ -581,6 +668,10 @@ void Browser::attempt_failed(const http::Url& url, const std::string& reason,
       });
     });
     return;  // the object stays outstanding
+  }
+  if (auto* object = trace_object(url)) {
+    object->failed = true;
+    object->error = reason;
   }
   object_finished(false, reason);
 }
@@ -667,6 +758,12 @@ void Browser::arm_stall_timer() {
     result_.page_load_time = loop_.now() - started_at_;
     result_.started_at = started_at_;
     fill_degraded_plt();
+    if (tracer() != nullptr) {
+      tracer()->page(obs::PageRecord{config_.tcp.trace_session, page_url_,
+                                     started_at_, result_.page_load_time,
+                                     result_.degraded_page_load_time,
+                                     result_.success});
+    }
     pools_.clear();
     cancel_fetch_timers();
     LoadCallback done = std::move(on_done_);

@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "net/dns.hpp"
+#include "net/fetch_hooks.hpp"
 #include "net/http_session.hpp"
 #include "net/mux.hpp"
+#include "obs/trace.hpp"
 #include "util/random.hpp"
 #include "web/discovery.hpp"
 
@@ -172,6 +174,18 @@ class Browser {
     net::EventLoop::EventId retry_event{0};
   };
 
+  // --- observability. The tracer rides in config_.tcp (so TCP-layer
+  // events share it); these helpers add the browser's per-object
+  // waterfall on top. All are no-ops when no tracer is installed.
+  [[nodiscard]] obs::Tracer* tracer() const { return config_.tcp.tracer; }
+  /// Find-or-create the waterfall record for `url`; null without a tracer.
+  obs::ObjectRecord* trace_object(const http::Url& url);
+  void trace_event(obs::EventKind kind, std::uint64_t value,
+                   const std::string& label);
+  /// Transport-edge hooks stamping request_sent / first_byte. Empty (zero
+  /// overhead) without a tracer.
+  [[nodiscard]] net::FetchHooks make_fetch_hooks(const http::Url& url);
+
   void schedule_fetch(const http::Url& url);
   void on_resolved(const http::Url& url, std::optional<net::Ipv4> ip);
   OriginPool& pool_for(const http::Url& url, net::Ipv4 ip);
@@ -215,6 +229,7 @@ class Browser {
   // --- per-load state ---
   bool loading_{false};
   LoadCallback on_done_;
+  std::string page_url_;  // for the traced PageRecord
   Microseconds started_at_{0};
   std::size_t outstanding_objects_{0};
   std::size_t in_flight_requests_{0};

@@ -1,0 +1,121 @@
+// Unit tests for the observability substrate: Tracer bookkeeping and the
+// three exporters on a hand-built buffer.
+
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/export.hpp"
+
+namespace mahimahi::obs {
+namespace {
+
+TEST(Tracer, AllocatesSequentialFlowIds) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.allocate_flow_id(), 1u);
+  EXPECT_EQ(tracer.allocate_flow_id(), 2u);
+  EXPECT_EQ(tracer.allocate_flow_id(), 3u);
+}
+
+TEST(Tracer, ObjectFindsOrCreatesPerSessionUrl) {
+  Tracer tracer;
+  ObjectRecord& a = tracer.object(0, "http://x.test/a");
+  a.bytes = 7;
+  // Same key returns the same record; a different session is a new one.
+  EXPECT_EQ(tracer.object(0, "http://x.test/a").bytes, 7u);
+  EXPECT_EQ(tracer.object(1, "http://x.test/a").bytes, 0u);
+  EXPECT_EQ(tracer.buffer().objects.size(), 2u);
+  ASSERT_NE(tracer.find_object(0, "http://x.test/a"), nullptr);
+  EXPECT_EQ(tracer.find_object(2, "http://x.test/a"), nullptr);
+}
+
+TEST(Tracer, TakeMovesTheBufferOut) {
+  Tracer tracer;
+  tracer.event(10, Layer::kDns, EventKind::kDnsQuery, 0, 0, 0, 0.0, "x.test");
+  const TraceBuffer buffer = tracer.take();
+  EXPECT_EQ(buffer.events.size(), 1u);
+  EXPECT_TRUE(tracer.buffer().empty());
+}
+
+std::vector<LoadTrace> sample_loads() {
+  Tracer tracer;
+  tracer.event(1'000, Layer::kLink, EventKind::kEnqueue, -1, 0, 3, 4500.0,
+               "uplink");
+  tracer.event(2'000, Layer::kTcp, EventKind::kTcpCwndSample, 0, 1, 0,
+               14480.0, "");
+  tracer.event(3'000, Layer::kFault, EventKind::kFaultInjected, 0, 0, 2, 0.0,
+               "origin/crash");
+  ObjectRecord& object = tracer.object(0, "http://site.test/a.js");
+  object.kind = "js";
+  object.fetch_start = 500;
+  object.dns_start = 500;
+  object.dns_done = 900;
+  object.request_sent = 1'100;
+  object.first_byte = 2'200;
+  object.complete = 3'300;
+  object.bytes = 1234;
+  object.status = 200;
+  tracer.page(PageRecord{0, "http://site.test/", 0, 4'000, 4'000, true});
+  std::vector<LoadTrace> loads;
+  loads.push_back(LoadTrace{0, tracer.take()});
+  return loads;
+}
+
+TEST(Exporters, ChromeTraceCarriesLanesAndSpans) {
+  const TraceMeta meta{"unit", "cell-label", 3, 99};
+  const std::string json = to_chrome_trace(meta, sample_loads());
+  // Valid-looking trace-event JSON: metadata naming the lanes, a counter
+  // for the link queue, and the object span.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("shared:link"), std::string::npos);
+  EXPECT_NE(json.find("s0:tcp"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("a.js"), std::string::npos);
+  EXPECT_EQ(json.find("NaN"), std::string::npos);
+}
+
+TEST(Exporters, HarListsPagesAndEntriesWithTimings) {
+  const TraceMeta meta{"unit", "cell-label", 3, 99};
+  const std::string har = to_har(meta, sample_loads());
+  EXPECT_NE(har.find("\"version\":\"1.2\""), std::string::npos);
+  EXPECT_NE(har.find("http://site.test/a.js"), std::string::npos);
+  EXPECT_NE(har.find("\"onLoad\":4.000"), std::string::npos);
+  // DNS phase: dns_done - dns_start = 400 us = 0.4 ms.
+  EXPECT_NE(har.find("\"dns\":0.400"), std::string::npos);
+}
+
+TEST(Exporters, CsvRoundTripsEveryRecordKind) {
+  const TraceMeta meta{"unit", "cell-label", 3, 99};
+  const std::string csv = to_csv(meta, sample_loads());
+  EXPECT_NE(csv.find("# mahimahi-obs-trace-v1 experiment=unit cell=3 "
+                     "label=cell-label seed=99"),
+            std::string::npos);
+  EXPECT_NE(csv.find("load,session,t_us,layer,kind,flow,value,metric,label,"
+                     "detail"),
+            std::string::npos);
+  EXPECT_NE(csv.find(",fault,injected,"), std::string::npos);
+  EXPECT_NE(csv.find(",browser,object,"), std::string::npos);
+  EXPECT_NE(csv.find(",browser,page,"), std::string::npos);
+  EXPECT_NE(csv.find("first_byte_us=2200"), std::string::npos);
+}
+
+TEST(Exporters, EmptyLoadsStillProduceValidArtifacts) {
+  const TraceMeta meta{"unit", "empty", 0, 1};
+  const std::vector<LoadTrace> none;
+  EXPECT_NE(to_chrome_trace(meta, none).find("\"traceEvents\""),
+            std::string::npos);
+  EXPECT_NE(to_har(meta, none).find("\"entries\":[]"), std::string::npos);
+  EXPECT_NE(to_csv(meta, none).find("mahimahi-obs-trace-v1"),
+            std::string::npos);
+}
+
+TEST(Exporters, SameInputSameBytes) {
+  const TraceMeta meta{"unit", "cell-label", 3, 99};
+  EXPECT_EQ(to_chrome_trace(meta, sample_loads()),
+            to_chrome_trace(meta, sample_loads()));
+  EXPECT_EQ(to_har(meta, sample_loads()), to_har(meta, sample_loads()));
+  EXPECT_EQ(to_csv(meta, sample_loads()), to_csv(meta, sample_loads()));
+}
+
+}  // namespace
+}  // namespace mahimahi::obs

@@ -12,6 +12,13 @@
 //     --csv PATH          write the report CSV (default <name>.csv)
 //     --bench-json PATH   also write mahimahi-bench-v1 perf rows
 //                         (CI uploads BENCH_experiment.json)
+//     --trace-dir DIR     record a full observability trace of every load
+//                         and write three artifacts per cell into DIR:
+//                         cell<i>.trace.json (Chrome trace-event, loadable
+//                         in Perfetto), cell<i>.har (HAR 1.2) and
+//                         cell<i>.csv (mm_trace_dump input). Artifact
+//                         bytes are deterministic at any MAHI_THREADS and
+//                         across --shard splits.
 //     --selfcheck         run the whole experiment twice — once on 1
 //                         thread, once on several — and fail unless the
 //                         serialized reports are byte-identical (the
@@ -93,7 +100,7 @@ int env_loads() {
       stderr,
       "usage: %s <spec-file> [--list] [--shard i/n] [--loads N] "
       "[--no-probes] [--json PATH] [--csv PATH] [--bench-json PATH] "
-      "[--selfcheck] [--fail-on-error]\n",
+      "[--trace-dir DIR] [--selfcheck] [--fail-on-error]\n",
       argv0);
   std::exit(2);
 }
@@ -156,6 +163,8 @@ int main(int argc, char** argv) {
       csv_path = value();
     } else if (arg == "--bench-json") {
       bench_json_path = value();
+    } else if (arg == "--trace-dir") {
+      options.trace_dir = value();
     } else {
       std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
       usage(argv[0]);

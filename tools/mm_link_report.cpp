@@ -27,11 +27,35 @@ using namespace mahimahi::net;
 
 namespace {
 
+void print_drop_reasons(const LinkLogSummary& summary) {
+  if (summary.drops == 0) {
+    return;
+  }
+  std::string reasons;
+  if (summary.drops_overflow > 0) {
+    reasons += "overflow " + std::to_string(summary.drops_overflow);
+  }
+  if (summary.drops_aqm > 0) {
+    reasons += (reasons.empty() ? "" : ", ") +
+               std::string("aqm ") + std::to_string(summary.drops_aqm);
+  }
+  if (summary.drops_unknown > 0) {
+    reasons += (reasons.empty() ? "" : ", ") +
+               std::string("unattributed ") +
+               std::to_string(summary.drops_unknown);
+  }
+  std::printf("  drop reasons:        %s\n", reasons.c_str());
+}
+
 void print_summary(const LinkLogSummary& summary) {
   std::printf("  arrivals %llu, departures %llu, drops %llu\n",
               (unsigned long long)summary.arrivals,
               (unsigned long long)summary.departures,
               (unsigned long long)summary.drops);
+  print_drop_reasons(summary);
+  std::printf("  queue high water:    %llu packets / %llu bytes\n",
+              (unsigned long long)summary.queue_high_water_packets,
+              (unsigned long long)summary.queue_high_water_bytes);
   std::printf("  average throughput:  %.3f Mbit/s\n",
               summary.average_throughput_bps / 1e6);
   std::printf("  queueing delay:      p50 %.1f ms, p95 %.1f ms, max %.1f ms\n",
@@ -59,13 +83,17 @@ int run_cc_flows(const std::vector<std::string>& controllers) {
                   static_cast<long long>(flow.final_pacing_rate * 8 / 1e3)) +
                   " kbit/s"
             : "off";
+    // The transport's own typed verdict — "close=normal" for a clean FIN
+    // exchange, "close=retransmit-exhausted" etc. under faults — rather
+    // than an undifferentiated "closed".
     std::printf("flow: cc=%-6s  srtt=%6.1f ms  cwnd=%8.0f B  "
-                "pacing=%s  rexmit=%llu  completed=%.2f s%s\n",
+                "pacing=%s  rexmit=%llu  completed=%.2f s  close=%s%s\n",
                 flow.controller.c_str(),
                 static_cast<double>(flow.final_srtt) / 1e3,
                 flow.final_cwnd_bytes, pacing_text.c_str(),
                 (unsigned long long)flow.retransmissions,
                 static_cast<double>(flow.completed_at) / 1e6,
+                std::string{to_string(flow.close_reason)}.c_str(),
                 flow.complete ? "" : "  [INCOMPLETE]");
     print_summary(flow.uplink);
     std::printf("\n");
@@ -122,6 +150,15 @@ int main(int argc, char** argv) {
   std::printf("departures:          %llu\n",
               (unsigned long long)summary.departures);
   std::printf("drops:               %llu\n", (unsigned long long)summary.drops);
+  if (summary.drops > 0) {
+    std::printf("  overflow %llu, aqm %llu, unattributed %llu\n",
+                (unsigned long long)summary.drops_overflow,
+                (unsigned long long)summary.drops_aqm,
+                (unsigned long long)summary.drops_unknown);
+  }
+  std::printf("queue high water:    %llu packets / %llu bytes\n",
+              (unsigned long long)summary.queue_high_water_packets,
+              (unsigned long long)summary.queue_high_water_bytes);
   std::printf("bytes delivered:     %llu\n",
               (unsigned long long)summary.bytes_delivered);
   std::printf("average throughput:  %.3f Mbit/s\n",
