@@ -7,12 +7,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/parallel_runner.hpp"
 #include "core/sessions.hpp"
 #include "corpus/alexa.hpp"
+#include "util/atomic_file.hpp"
 #include "util/statistics.hpp"
 
 namespace mahimahi::bench {
@@ -117,15 +119,11 @@ class PerfReport {
   void add(Row row) { rows_.push_back(std::move(row)); }
   [[nodiscard]] bool empty() const { return rows_.empty(); }
 
-  /// Write `{"schema": ..., "benchmarks": [...]}` (insertion order kept).
-  /// Returns false (after warning on stderr) if the file cannot be opened.
+  /// Write `{"schema": ..., "benchmarks": [...]}` (insertion order kept),
+  /// atomically — a crash mid-write never leaves CI a truncated baseline.
+  /// Returns false (after warning on stderr) if the file cannot be written.
   bool write(const std::string& path) const {
-    std::ofstream out{path};
-    if (!out) {
-      std::fprintf(stderr, "[bench] cannot write perf report to %s\n",
-                   path.c_str());
-      return false;
-    }
+    std::ostringstream out;
     out.precision(12);
     out << "{\n  \"schema\": \"mahimahi-bench-v1\",\n  \"benchmarks\": [";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
@@ -136,7 +134,7 @@ class PerfReport {
           << ", \"bytes_per_second\": " << row.bytes_per_second << "}";
     }
     out << "\n  ]\n}\n";
-    return static_cast<bool>(out);
+    return util::atomic_write_file(path, out.str());
   }
 
  private:

@@ -13,9 +13,28 @@ namespace {
 constexpr std::size_t kEventLimit = 200'000'000;
 
 web::PageLoadResult run_load(net::EventLoop& loop, web::Browser& browser,
-                             const std::string& url) {
+                             const std::string& url,
+                             const SessionConfig& config = {}) {
   std::optional<web::PageLoadResult> result;
   browser.load(url, [&](web::PageLoadResult r) { result = std::move(r); });
+  if (config.deadline > 0) {
+    // Watchdog: run only up to the virtual deadline. A load that has not
+    // finished by then is a runaway simulation — abort it with a typed
+    // error rather than draining (possibly forever-rescheduling) events.
+    loop.run_until(config.deadline);
+    if (!result.has_value()) {
+      if (config.tracer != nullptr) {
+        config.tracer->event(config.deadline, obs::Layer::kRunner,
+                             obs::EventKind::kWatchdogExpired,
+                             config.trace_session, 0, 0,
+                             to_ms(config.deadline), url);
+      }
+      throw WatchdogError{"watchdog: page load exceeded " +
+                          std::to_string(config.deadline / 1000) +
+                          " ms of virtual time (deadline)"};
+    }
+    return std::move(*result);
+  }
   loop.run();
   if (!result.has_value()) {
     throw std::runtime_error{"page load never completed (event loop drained)"};
@@ -170,7 +189,7 @@ web::PageLoadResult ReplaySession::load_once(const std::string& url,
   net::EventLoop loop;
   loop.set_event_limit(kEventLimit);
   ReplayWorld world{loop, store_, config_, options_, load_index};
-  return run_load(loop, world.browser(), url);
+  return run_load(loop, world.browser(), url, config_);
 }
 
 util::Samples ReplaySession::measure(const std::string& url, int count,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,21 @@ struct SessionConfig {
   /// null = tracing off, a pointer test on every hot path.
   obs::Tracer* tracer{nullptr};
   std::int32_t trace_session{0};
+  /// Per-load virtual-time watchdog (0 = off): a load whose simulation
+  /// passes this much virtual time without finishing is aborted with a
+  /// typed WatchdogError instead of running the event loop dry — the
+  /// experiment engine turns that into a failed report row, so one
+  /// runaway cell can never hang a matrix. For a fleet cell the deadline
+  /// covers the whole shared-world mux (one indivisible simulation).
+  Microseconds deadline{0};
+};
+
+/// A load (or fleet) exceeded its virtual-time deadline. Typed so the
+/// experiment runner can tell a deterministic runaway simulation from a
+/// transient worker failure: watchdog trips are never retried.
+class WatchdogError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 /// Browser config for one session: host-scaled compute, plus the

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "experiment/matrix.hpp"
+#include "experiment/spec.hpp"
+#include "journal/journal.hpp"
+#include "net/bulk_probe.hpp"
+#include "obs/trace.hpp"
+
+namespace mahimahi::experiment {
+
+/// Identity of one worker task within the *full* (unsharded) matrix —
+/// the journal key. Global indices make journal records relocatable: a
+/// record written by shard 0/2 replays into the same slot of an
+/// unsharded resume.
+struct TaskKey {
+  int cell_index{0};  // Cell::index, global
+  int load_index{0};
+  bool probe{false};
+
+  [[nodiscard]] bool operator<(const TaskKey& other) const {
+    if (cell_index != other.cell_index) {
+      return cell_index < other.cell_index;
+    }
+    if (load_index != other.load_index) {
+      return load_index < other.load_index;
+    }
+    return probe < other.probe;
+  }
+
+  /// "cell3/load1" / "cell3/probe" — the label runner events carry.
+  [[nodiscard]] std::string label() const;
+};
+
+/// Everything one task produced — the journal's unit of durability and
+/// the runner's merge slot. A load task yields one entry per session in
+/// each vector (fleet cells journal their per-session outcomes here); a
+/// probe task fills `probe`. Default-constructible for ParallelRunner.
+struct TaskResult {
+  std::vector<double> plts;
+  std::vector<char> oks;
+  std::vector<double> degraded;
+  std::vector<std::uint32_t> failed_objects;
+  std::vector<std::uint32_t> retries;
+  std::vector<std::uint32_t> timeouts;
+  /// Non-empty when the task failed: the failure lands as a failed report
+  /// row. "watchdog: ..." marks a virtual-time deadline trip.
+  std::string error;
+  net::MultiBulkFlowReport probe{};
+  /// The task's full observability trace (empty unless tracing). Journaled
+  /// so a resumed --trace-dir run re-exports byte-identical artifacts.
+  obs::TraceBuffer trace{};
+  // --- execution-only bookkeeping, never serialized -----------------------
+  /// Task skipped because cancellation was requested before it started.
+  char skipped{0};
+  /// Satisfied from the journal instead of running.
+  char replayed{0};
+  /// 1 + transient retries this execution took (always 1 on replay).
+  std::uint32_t attempts{1};
+};
+
+/// Serialize (key, result) into a journal payload, and back. The format
+/// is internal to a (spec, toolchain) pair — the manifest refuses
+/// cross-version replay, so there is no versioned migration path, only
+/// the frame-level corruption check. decode returns std::nullopt on a
+/// corrupt payload (treated like a torn record by the caller).
+[[nodiscard]] std::string encode_task_record(const TaskKey& key,
+                                             const TaskResult& result);
+[[nodiscard]] std::optional<std::pair<TaskKey, TaskResult>> decode_task_record(
+    std::string_view payload);
+
+/// Everything a journal run must agree on before records can be replayed:
+/// experiment name, seed, effective loads-per-cell, probe/tracing flags,
+/// watchdog deadline, a hash of the expanded matrix (labels, seeds, fleet
+/// sizes), the spec fingerprint (hash of the spec file text; "-" for
+/// programmatic specs) and the toolchain fingerprint. A resume whose
+/// manifest differs in any field is refused with the field named.
+[[nodiscard]] journal::Manifest build_manifest(
+    const ExperimentSpec& spec, const std::vector<Cell>& matrix,
+    int effective_loads, bool probes, bool traced,
+    const std::string& spec_fingerprint);
+
+}  // namespace mahimahi::experiment

@@ -2,7 +2,8 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <fstream>
+
+#include "util/atomic_file.hpp"
 
 namespace mahimahi::experiment {
 namespace {
@@ -49,6 +50,9 @@ std::string Report::to_json() const {
   out += "  \"total_cells\": " + std::to_string(total_cells) + ",\n";
   out += "  \"shard\": \"" + std::to_string(shard_index) + "/" +
          std::to_string(shard_count) + "\",\n";
+  if (interrupted) {
+    out += "  \"interrupted\": true,\n";
+  }
   out += "  \"cells\": [";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const CellResult& cell = cells[i];
@@ -63,6 +67,10 @@ std::string Report::to_json() const {
     out += ", \"fleet_sessions\": " + std::to_string(cell.fleet_sessions);
     if (fault_axis) {
       out += ", \"fault\": \"" + json_escape(cell.fault) + "\"";
+    }
+    if (interrupted) {
+      out += ", \"loads_done\": " + std::to_string(cell.loads_done);
+      out += ", \"loads_expected\": " + std::to_string(cell.loads_expected);
     }
     out += ", \"failed_loads\": " + std::to_string(cell.failed_loads);
     out += ", ";
@@ -202,13 +210,7 @@ std::string Report::to_bench_json() const {
 }
 
 bool Report::write_file(const std::string& path, const std::string& content) {
-  std::ofstream out{path, std::ios::binary};
-  if (!out) {
-    std::fprintf(stderr, "[experiment] cannot write %s\n", path.c_str());
-    return false;
-  }
-  out << content;
-  return static_cast<bool>(out);
+  return util::atomic_write_file(path, content);
 }
 
 }  // namespace mahimahi::experiment

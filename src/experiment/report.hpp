@@ -46,6 +46,11 @@ struct CellResult {
   /// Worker-task failures (exceptions) per load, in load order — failed
   /// rows instead of a torn-down run.
   std::vector<std::string> load_errors;
+  /// Completion accounting for interrupted runs: how many of the cell's
+  /// load tasks finished before cancellation stopped admission. Equal when
+  /// the cell completed; serialized only in interrupted reports.
+  int loads_done{0};
+  int loads_expected{0};
   /// Transport probe: one bulk flow per fleet entry over the cell's
   /// bottleneck. probe_ran is false when probes were disabled.
   bool probe_ran{false};
@@ -72,6 +77,12 @@ class Report {
   /// outputs are byte-identical to a report built before the fault axis
   /// existed — the fault-none compatibility contract.
   bool fault_axis{false};
+  /// True when a cancellation request (SIGINT/SIGTERM) stopped the run
+  /// before every task finished: the report is partial. Gates the
+  /// "interrupted" key and per-cell completion counts in to_json, so
+  /// complete runs keep their exact byte layout. An interrupted run's
+  /// artifacts are overwritten by the --resume that completes it.
+  bool interrupted{false};
   std::vector<CellResult> cells;
 
   /// Schema "mahimahi-experiment-v1": metadata + one object per cell with
@@ -86,8 +97,9 @@ class Report {
   /// median PLT, queue p95 and Jain rows per cell, diffable across PRs.
   [[nodiscard]] std::string to_bench_json() const;
 
-  /// Write `content` to `path`; warns on stderr and returns false on
-  /// failure (bench/tool convention).
+  /// Write `content` to `path` atomically (temp + fsync + rename — a
+  /// crash never leaves a half-written artifact); warns on stderr and
+  /// returns false on failure (bench/tool convention).
   static bool write_file(const std::string& path, const std::string& content);
 };
 

@@ -1,11 +1,16 @@
 #include "experiment/runner.hpp"
 
+#include <chrono>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <stdexcept>
+#include <thread>
 
 #include "core/sessions.hpp"
+#include "experiment/checkpoint.hpp"
 #include "fleet/session_mux.hpp"
+#include "journal/journal.hpp"
 #include "net/bulk_probe.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
@@ -22,33 +27,14 @@ struct Task {
   bool is_probe{false};
 };
 
-/// Result slot — default-constructible so ParallelRunner can preallocate.
-/// A load task yields one PLT per session: one entry for a classic
-/// single-user cell, fleet.sessions entries (in session-index order) for
-/// an offered-load cell.
-struct TaskOutcome {
-  std::vector<double> plts;
-  std::vector<char> oks;
-  /// Per-session resilience accounting, parallel to `plts`.
-  std::vector<double> degraded;
-  std::vector<std::uint32_t> failed_objects;
-  std::vector<std::uint32_t> retries;
-  std::vector<std::uint32_t> timeouts;
-  /// Non-empty when the task threw: the run keeps going and the failure
-  /// lands as a failed report row instead of tearing the experiment down.
-  std::string error;
-  net::MultiBulkFlowReport probe{};
-  /// Everything this load traced (empty unless RunOptions::trace_dir is
-  /// set). Harvested by load index into the cell's merged artifacts.
-  obs::TraceBuffer trace{};
-};
-
 core::SessionConfig cell_session_config(const Cell& cell,
-                                        const MaterializedCell& materialized) {
+                                        const MaterializedCell& materialized,
+                                        Microseconds deadline) {
   core::SessionConfig config;
   config.seed = cell.cell_seed;
   config.shells = materialized.shells;
   config.browser.protocol = cell.protocol;
+  config.deadline = deadline;
   if (cell.cc.fleet.size() == 1) {
     config.congestion_control = cell.cc.fleet.front();
   } else {
@@ -88,6 +74,90 @@ net::MultiBulkFlowSpec cell_probe_spec(const Cell& cell,
   return probe;
 }
 
+/// Backoff before retry `attempt` (1-based: the attempt that just failed):
+/// capped exponential with jitter seeded from (cell seed, load, attempt) —
+/// the delays are deterministic even though they burn wall-clock, so retry
+/// timing never becomes a hidden source of scheduling nondeterminism.
+std::chrono::milliseconds retry_backoff(const Cell& cell, const Task& task,
+                                        std::uint32_t attempt) {
+  const util::Rng root{cell.cell_seed};
+  const std::uint64_t bits =
+      root.fork("task-retry-" + std::to_string(task.load_index) + "-" +
+                (task.is_probe ? "p" : "l") + "-" + std::to_string(attempt))
+          .next();
+  // uniform [0.5, 1.5) from the top 53 bits
+  const double jitter =
+      0.5 + static_cast<double>(bits >> 11) / 9007199254740992.0;
+  const std::uint32_t shift = attempt > 6 ? 6 : attempt - 1;
+  const double base_ms = 100.0 * static_cast<double>(1U << shift);
+  return std::chrono::milliseconds{
+      static_cast<long long>(base_ms * jitter)};
+}
+
+/// The journal side-channel of one run: the open writer plus the results
+/// replayed from a previous attempt, keyed by global task identity.
+struct JournalState {
+  std::unique_ptr<journal::Writer> writer;
+  std::map<TaskKey, TaskResult> replayed;
+};
+
+JournalState open_journal(const ExperimentSpec& spec,
+                          const std::vector<Cell>& matrix, int loads,
+                          bool tracing, const RunOptions& options) {
+  JournalState state;
+  if (options.journal_dir.empty()) {
+    if (options.resume) {
+      throw std::invalid_argument{
+          "experiment: --resume requires a journal directory"};
+    }
+    return state;
+  }
+  std::filesystem::create_directories(options.journal_dir);
+  const journal::Manifest manifest =
+      build_manifest(spec, matrix, loads, options.transport_probes, tracing,
+                     options.spec_fingerprint);
+  std::uint64_t truncate_to = 0;
+  if (options.resume) {
+    const journal::Manifest existing =
+        journal::read_manifest(options.journal_dir);
+    const std::string mismatch = manifest.first_mismatch(existing);
+    if (!mismatch.empty()) {
+      throw std::invalid_argument{
+          "journal: cannot resume from " + options.journal_dir +
+          ": manifest field '" + mismatch + "' does not match this run "
+          "(journal has '" + existing.get(mismatch) + "', this run is '" +
+          manifest.get(mismatch) +
+          "') — the journal belongs to a different spec, options or build; "
+          "rerun without --resume to start over"};
+    }
+    journal::ReadResult read = journal::read_journal_file(
+        journal::Writer::journal_path(options.journal_dir));
+    if (read.torn_tail) {
+      MAHI_WARN("journal") << "discarding torn tail after "
+                           << read.records.size() << " valid record(s) in "
+                           << options.journal_dir
+                           << " (the record being written at the crash)";
+    }
+    for (const std::string& record : read.records) {
+      auto decoded = decode_task_record(record);
+      if (!decoded.has_value()) {
+        MAHI_WARN("journal") << "skipping one undecodable record in "
+                             << options.journal_dir;
+        continue;
+      }
+      state.replayed[decoded->first] = std::move(decoded->second);
+    }
+    truncate_to = read.valid_bytes;
+  } else {
+    // Fresh run: pin this run's identity, then start the log over (a
+    // leftover journal.bin from an earlier run is truncated away).
+    journal::write_manifest(options.journal_dir, manifest);
+  }
+  state.writer =
+      std::make_unique<journal::Writer>(options.journal_dir, truncate_to);
+  return state;
+}
+
 }  // namespace
 
 Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
@@ -109,6 +179,10 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
       cells.push_back(cell);
     }
   }
+
+  const bool tracing = !options.trace_dir.empty();
+  JournalState journal_state =
+      open_journal(spec, matrix, loads, tracing, options);
 
   // --- record each referenced site once (they are shared, read-only) ----
   // Distinct site labels in first-appearance order; recording seeds fork
@@ -159,88 +233,138 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
     }
   }
 
-  const bool tracing = !options.trace_dir.empty();
-  std::vector<TaskOutcome> outcomes = pool.map(
+  const int max_attempts = 1 + spec.task_retries;
+  std::vector<TaskResult> outcomes = pool.map(
       static_cast<int>(tasks.size()), [&](int task_index) {
         const Task& task = tasks[static_cast<std::size_t>(task_index)];
         const Cell& cell = cells[task.cell_pos];
-        const MaterializedCell& cell_net = materialized[task.cell_pos];
-        TaskOutcome outcome;
-        // One Tracer per task (the obs determinism contract): a load task
-        // is one deterministic simulation, so its buffer depends only on
-        // (cell seed, load index) — never on threads or sharding.
-        obs::Tracer tracer;
-        obs::Tracer* task_tracer =
-            tracing && !task.is_probe ? &tracer : nullptr;
-        // A throwing task (a faulted world can starve a load past the
-        // event limit) must not tear down the other tasks: it becomes a
-        // failed row. The message is deterministic — it derives from the
-        // task's own simulation, never from sibling threads.
-        try {
-          if (task.is_probe) {
-            outcome.probe = net::run_multi_bulk_flow(
-                cell_probe_spec(cell, cell_net, spec.probe_duration));
-            return outcome;
-          }
-          const RecordedSite& entry =
-              recorded[site_pos.at(cell.site.label)];
-          if (cell.fleet.sessions > 1) {
-            // Offered-load cell: one load = one shared-world fleet, every
-            // user contending in the same namespace. The whole fleet is one
-            // indivisible simulation under one task, seeded from
-            // (cell_seed, load index) — deterministic at any thread count,
-            // like every other task.
-            fleet::MuxConfig mux_config;
-            mux_config.fleet_seed =
-                util::Rng{cell.cell_seed}
-                    .fork("fleet-load-" + std::to_string(task.load_index))
-                    .next();
-            mux_config.stagger = cell.fleet.stagger;
-            mux_config.session = cell_session_config(cell, cell_net);
-            // A shared-world fleet is one indivisible simulation: the
-            // whole mux traces into this task's one buffer, sessions told
-            // apart by their fleet index (shared infrastructure = -1).
-            mux_config.session.tracer = task_tracer;
-            mux_config.origin = cell_origin_options(cell);
-            mux_config.shared_world = true;
-            fleet::SessionMux mux{entry.store, entry.site.primary_url(),
-                                  mux_config};
-            for (int s = 0; s < cell.fleet.sessions; ++s) {
-              mux.add_session(s);
-            }
-            for (const fleet::SessionOutcome& session : mux.run()) {
-              outcome.plts.push_back(session.plt_ms);
-              outcome.oks.push_back(session.success);
-              outcome.degraded.push_back(session.degraded_plt_ms);
-              outcome.failed_objects.push_back(session.objects_failed);
-              outcome.retries.push_back(session.retries);
-              outcome.timeouts.push_back(session.timeouts);
-            }
-            outcome.trace = tracer.take();
-            return outcome;
-          }
-          core::SessionConfig session_config =
-              cell_session_config(cell, cell_net);
-          session_config.tracer = task_tracer;
-          const core::ReplaySession session{entry.store, session_config,
-                                            cell_origin_options(cell)};
-          const web::PageLoadResult result =
-              session.load_once(entry.site.primary_url(), task.load_index);
-          outcome.trace = tracer.take();
-          outcome.plts.push_back(to_ms(result.page_load_time));
-          outcome.oks.push_back(result.success ? 1 : 0);
-          outcome.degraded.push_back(to_ms(result.degraded_page_load_time));
-          outcome.failed_objects.push_back(
-              static_cast<std::uint32_t>(result.objects_failed));
-          outcome.retries.push_back(
-              static_cast<std::uint32_t>(result.retries));
-          outcome.timeouts.push_back(
-              static_cast<std::uint32_t>(result.timeouts));
-          return outcome;
-        } catch (const std::exception& e) {
-          outcome.error = e.what();
+        const TaskKey key{cell.index, task.is_probe ? 0 : task.load_index,
+                          task.is_probe};
+        // Resume: a journaled result satisfies the task without running
+        // anything — the copy lands in the same global-index slot the live
+        // run would have filled, so the merge below cannot tell the
+        // difference.
+        const auto it = journal_state.replayed.find(key);
+        if (it != journal_state.replayed.end()) {
+          return it->second;
+        }
+        TaskResult outcome;
+        // Graceful cancellation: stop admitting work. Tasks already past
+        // this check drain normally; this one reports itself skipped and
+        // the merge marks the report interrupted.
+        if (options.cancel != nullptr &&
+            options.cancel->load(std::memory_order_relaxed)) {
+          outcome.skipped = 1;
           return outcome;
         }
+        const MaterializedCell& cell_net = materialized[task.cell_pos];
+        for (std::uint32_t attempt = 1;; ++attempt) {
+          outcome = TaskResult{};
+          outcome.attempts = attempt;
+          // One Tracer per attempt (the obs determinism contract): a load
+          // task is one deterministic simulation, so its buffer depends
+          // only on (cell seed, load index) — never on threads, sharding
+          // or which attempt finally succeeded.
+          obs::Tracer tracer;
+          obs::Tracer* task_tracer =
+              tracing && !task.is_probe ? &tracer : nullptr;
+          try {
+            if (options.transient_fault &&
+                options.transient_fault(cell.index, task.load_index,
+                                        task.is_probe, attempt)) {
+              throw std::runtime_error{
+                  "transient: injected worker fault (test hook)"};
+            }
+            if (task.is_probe) {
+              outcome.probe = net::run_multi_bulk_flow(
+                  cell_probe_spec(cell, cell_net, spec.probe_duration));
+              break;
+            }
+            const RecordedSite& entry =
+                recorded[site_pos.at(cell.site.label)];
+            if (cell.fleet.sessions > 1) {
+              // Offered-load cell: one load = one shared-world fleet,
+              // every user contending in the same namespace. The whole
+              // fleet is one indivisible simulation under one task, seeded
+              // from (cell_seed, load index) — deterministic at any thread
+              // count, like every other task. The watchdog deadline covers
+              // the whole mux.
+              fleet::MuxConfig mux_config;
+              mux_config.fleet_seed =
+                  util::Rng{cell.cell_seed}
+                      .fork("fleet-load-" + std::to_string(task.load_index))
+                      .next();
+              mux_config.stagger = cell.fleet.stagger;
+              mux_config.session =
+                  cell_session_config(cell, cell_net, spec.cell_deadline);
+              // A shared-world fleet is one indivisible simulation: the
+              // whole mux traces into this task's one buffer, sessions
+              // told apart by their fleet index (shared infra = -1).
+              mux_config.session.tracer = task_tracer;
+              mux_config.origin = cell_origin_options(cell);
+              mux_config.shared_world = true;
+              fleet::SessionMux mux{entry.store, entry.site.primary_url(),
+                                    mux_config};
+              for (int s = 0; s < cell.fleet.sessions; ++s) {
+                mux.add_session(s);
+              }
+              for (const fleet::SessionOutcome& session : mux.run()) {
+                outcome.plts.push_back(session.plt_ms);
+                outcome.oks.push_back(session.success);
+                outcome.degraded.push_back(session.degraded_plt_ms);
+                outcome.failed_objects.push_back(session.objects_failed);
+                outcome.retries.push_back(session.retries);
+                outcome.timeouts.push_back(session.timeouts);
+              }
+              outcome.trace = tracer.take();
+              break;
+            }
+            core::SessionConfig session_config =
+                cell_session_config(cell, cell_net, spec.cell_deadline);
+            session_config.tracer = task_tracer;
+            const core::ReplaySession session{entry.store, session_config,
+                                              cell_origin_options(cell)};
+            const web::PageLoadResult result =
+                session.load_once(entry.site.primary_url(), task.load_index);
+            outcome.trace = tracer.take();
+            outcome.plts.push_back(to_ms(result.page_load_time));
+            outcome.oks.push_back(result.success ? 1 : 0);
+            outcome.degraded.push_back(to_ms(result.degraded_page_load_time));
+            outcome.failed_objects.push_back(
+                static_cast<std::uint32_t>(result.objects_failed));
+            outcome.retries.push_back(
+                static_cast<std::uint32_t>(result.retries));
+            outcome.timeouts.push_back(
+                static_cast<std::uint32_t>(result.timeouts));
+            break;
+          } catch (const core::WatchdogError& e) {
+            // A watchdog trip is deterministic — the simulation ran out of
+            // virtual time, and rerunning would reproduce it bit-for-bit —
+            // so it is final, never retried. The partial trace (everything
+            // up to the deadline, ending in the kWatchdogExpired event) is
+            // kept: it is the diagnosis.
+            outcome.error = e.what();
+            outcome.trace = tracer.take();
+            break;
+          } catch (const std::exception& e) {
+            // Any other failure becomes a failed row. With task-retries
+            // configured it is first retried with identical inputs, so a
+            // transient worker hiccup heals into the exact bytes an
+            // untroubled run produces; a deterministic failure just fails
+            // the same way again and the last error stands.
+            outcome.error = e.what();
+            if (attempt >= static_cast<std::uint32_t>(max_attempts)) {
+              break;
+            }
+            std::this_thread::sleep_for(retry_backoff(cell, task, attempt));
+          }
+        }
+        // Durability point: the record is fsync'd before the task counts
+        // as done — a SIGKILL after this line cannot lose the result.
+        if (journal_state.writer != nullptr) {
+          journal_state.writer->append(encode_task_record(key, outcome));
+        }
+        return outcome;
       });
 
   // --- assemble, in cell order (failure logs after the merge, so even
@@ -267,11 +391,22 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
     row.fleet = cell.fleet.label;
     row.fleet_sessions = cell.fleet.sessions;
     row.fault = cell.fault.label;
+    row.loads_expected = loads;
   }
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     const Task& task = tasks[i];
-    const TaskOutcome& outcome = outcomes[i];
+    const TaskResult& outcome = outcomes[i];
     CellResult& row = report.cells[task.cell_pos];
+    if (outcome.skipped != 0) {
+      // Cancelled before it started: the report is partial. The journal
+      // (when active) already holds every completed sibling, so --resume
+      // picks up exactly here.
+      report.interrupted = true;
+      continue;
+    }
+    if (!task.is_probe) {
+      ++row.loads_done;
+    }
     if (!outcome.error.empty()) {
       // A torn task is one failed load (or a skipped probe) — recorded in
       // task order, which is load order, so error lists are deterministic.
@@ -312,6 +447,48 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
             << " had failures";
       }
     }
+  }
+
+  // --- runner-lifecycle observability: one events.csv in the journal dir,
+  // written post-merge in task (= load) order so its bytes are as
+  // deterministic as the report's. These events stay OUT of the per-cell
+  // trace artifacts on purpose: a resumed run replays instead of loading,
+  // and injecting replay markers into cell traces would break the
+  // byte-identity guarantee. (Watchdog events are different — they happen
+  // inside the simulation and land in the cell's own trace.)
+  if (journal_state.writer != nullptr) {
+    obs::TraceBuffer events;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const Task& task = tasks[i];
+      const TaskResult& outcome = outcomes[i];
+      const Cell& cell = cells[task.cell_pos];
+      const TaskKey key{cell.index, task.is_probe ? 0 : task.load_index,
+                        task.is_probe};
+      const std::uint64_t cell_index =
+          static_cast<std::uint64_t>(cell.index);
+      const obs::EventKind kind =
+          outcome.skipped != 0  ? obs::EventKind::kTaskCancelled
+          : outcome.replayed != 0 ? obs::EventKind::kJournalReplay
+                                  : obs::EventKind::kJournalAppend;
+      events.events.push_back(obs::TraceEvent{
+          0, obs::Layer::kRunner, kind, -1, 0, cell_index, 0, key.label()});
+      if (outcome.attempts > 1) {
+        events.events.push_back(obs::TraceEvent{
+            0, obs::Layer::kRunner, obs::EventKind::kTaskRetry, -1, 0,
+            outcome.attempts, 0, key.label()});
+      }
+      if (outcome.error.rfind("watchdog:", 0) == 0) {
+        events.events.push_back(obs::TraceEvent{
+            spec.cell_deadline, obs::Layer::kRunner,
+            obs::EventKind::kWatchdogExpired, -1, 0, cell_index,
+            to_ms(spec.cell_deadline), key.label()});
+      }
+    }
+    const obs::TraceMeta meta{spec.name, "runner", -1, spec.seed};
+    std::vector<obs::LoadTrace> runner_trace;
+    runner_trace.push_back(obs::LoadTrace{0, std::move(events)});
+    Report::write_file(options.journal_dir + "/events.csv",
+                       obs::to_csv(meta, runner_trace));
   }
 
   if (tracing) {

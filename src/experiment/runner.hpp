@@ -1,5 +1,10 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
 #include "core/parallel_runner.hpp"
 #include "experiment/matrix.hpp"
 #include "experiment/report.hpp"
@@ -31,6 +36,35 @@ struct RunOptions {
   /// task, buffers merged by load index, so artifact bytes are identical
   /// at any thread or shard count. Off (empty) = zero tracing overhead.
   std::string trace_dir{};
+  /// When non-empty: crash-safe execution. The directory receives a
+  /// MANIFEST pinning the run's identity (spec/matrix/toolchain hashes), a
+  /// journal.bin with one fsync'd checksummed record per completed task,
+  /// and an events.csv of runner-lifecycle events (mm_trace_dump input).
+  /// A fresh run (resume == false) starts the journal over.
+  std::string journal_dir{};
+  /// Replay journaled task results into their global-index slots and run
+  /// only the missing work. Requires journal_dir; refuses (with the
+  /// offending field named) a journal whose manifest does not match this
+  /// run. Journal keys are global (cell, load) indices, so a journal
+  /// written sharded resumes unsharded and vice versa. The completed
+  /// report, CSV, bench-JSON and trace artifacts are byte-identical to an
+  /// uninterrupted run at any thread or shard count.
+  bool resume{false};
+  /// Fingerprint of the spec's source text (mm_experiment hashes the spec
+  /// file; "-" = programmatic spec). Pinned in the journal manifest.
+  std::string spec_fingerprint{"-"};
+  /// Graceful-cancellation token (e.g. flipped by a SIGINT handler): when
+  /// it becomes true, tasks that have not started are skipped — in-flight
+  /// ones drain normally — and the report comes back partial with
+  /// Report::interrupted set and per-cell completion counts. With a
+  /// journal, every finished task is already durable, so a later --resume
+  /// completes the run.
+  const std::atomic<bool>* cancel{nullptr};
+  /// Test hook: pre-simulation transient-failure injection. Called per
+  /// attempt with (cell index, load index, is_probe, attempt [1-based]);
+  /// returning true makes that attempt fail with a typed transient error,
+  /// exercising the bounded-retry path without touching any simulation.
+  std::function<bool(int, int, bool, std::uint32_t)> transient_fault{};
 };
 
 /// Expand the spec's matrix, record each corpus site once, fan every

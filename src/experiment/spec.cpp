@@ -358,6 +358,24 @@ ExperimentSpec parse_spec(std::string_view text) {
       claim_scalar(key, line_number);
       spec.probe_duration = static_cast<Microseconds>(
           parse_u64_or_fail(tokens[1], line_number) * 1'000'000);
+    } else if (key == "deadline") {
+      if (tokens.size() != 2) {
+        fail(line_number, "deadline takes exactly one duration, e.g. "
+                          "'deadline 120s'");
+      }
+      claim_scalar(key, line_number);
+      spec.cell_deadline = parse_duration_ms(tokens[1], line_number);
+      if (spec.cell_deadline <= 0) {
+        fail(line_number, "deadline must be positive (omit it to disable "
+                          "the watchdog)");
+      }
+    } else if (key == "task-retries") {
+      if (tokens.size() != 2) {
+        fail(line_number, "task-retries takes exactly one value");
+      }
+      claim_scalar(key, line_number);
+      spec.task_retries =
+          static_cast<int>(parse_u64_or_fail(tokens[1], line_number));
     } else if (key == "site") {
       if (tokens.size() != 2) {
         fail(line_number, "site takes exactly one label");
@@ -434,8 +452,9 @@ ExperimentSpec parse_spec(std::string_view text) {
     } else {
       fail(line_number,
            "unknown key '" + std::string{key} +
-               "' (known: name, seed, loads, probe-seconds, site, protocol, "
-               "shell, queue, cc, fleet, fault)");
+               "' (known: name, seed, loads, probe-seconds, deadline, "
+               "task-retries, site, protocol, shell, queue, cc, fleet, "
+               "fault)");
     }
   }
   validate_spec(spec);
@@ -464,6 +483,9 @@ void validate_spec(const ExperimentSpec& spec) {
   };
   require(!spec.name.empty(), "name must not be empty");
   require(spec.loads_per_cell >= 1, "loads must be >= 1");
+  require(spec.cell_deadline >= 0, "deadline must not be negative");
+  require(spec.task_retries >= 0 && spec.task_retries <= 16,
+          "task-retries must be in [0, 16]");
   require(spec.probe_duration > 0, "probe duration must be positive");
 
   const auto check_unique = [&require](const std::vector<std::string>& labels,

@@ -95,6 +95,20 @@ struct ExperimentSpec {
   /// Measurement window of the per-cell transport probe (multi-flow bulk
   /// rig reporting throughput shares, Jain's index and queue-delay p95).
   Microseconds probe_duration{12'000'000};
+  /// Per-cell virtual-time watchdog (0 = off): every load task — and, for
+  /// fleet cells, the whole shared-world mux — that exceeds this much
+  /// *simulated* time is aborted with a typed "watchdog:" failed row
+  /// instead of hanging the run. Spec key: `deadline 120s`.
+  Microseconds cell_deadline{0};
+  /// Bounded retry for transiently failed worker tasks (allocation
+  /// pressure, I/O hiccups — NOT in-simulation fault retries, which are
+  /// the browser's resilience machinery, and NOT watchdog trips, which
+  /// are deterministic). A retried task reruns with identical inputs, so
+  /// a success on any attempt yields the exact bytes an untroubled run
+  /// produces. Spec key: `task-retries 2`. Backoff between attempts is
+  /// capped-exponential with jitter seeded from (seed, cell, load,
+  /// attempt) — deterministic delays, wall-clock sleeps.
+  int task_retries{0};
 
   // Axes. An empty axis means "the single default": nytimes-like site,
   // HTTP/1.1, bare shell stack, infinite FIFO, default controller.

@@ -224,7 +224,31 @@ std::vector<SessionOutcome> SessionMux::run() {
   for (Slot& slot : slots_) {
     loop_.schedule_at(slot.start_at, [this, &slot] { admit(slot); });
   }
-  loop_.run();
+  if (config_.session.deadline > 0) {
+    // Watchdog over the whole mux: a shared-world fleet is one
+    // indivisible simulation, so the deadline covers every session. An
+    // unfinished fleet becomes a typed failure listing how far it got.
+    loop_.run_until(config_.session.deadline);
+    std::size_t done = 0;
+    for (const Slot& slot : slots_) {
+      done += slot.done ? 1 : 0;
+    }
+    if (done != slots_.size()) {
+      if (config_.session.tracer != nullptr) {
+        config_.session.tracer->event(
+            config_.session.deadline, obs::Layer::kRunner,
+            obs::EventKind::kWatchdogExpired, -1, 0, done,
+            to_ms(config_.session.deadline), url_);
+      }
+      throw core::WatchdogError{
+          "watchdog: fleet load exceeded " +
+          std::to_string(config_.session.deadline / 1000) +
+          " ms of virtual time (" + std::to_string(done) + "/" +
+          std::to_string(slots_.size()) + " sessions complete)"};
+    }
+  } else {
+    loop_.run();
+  }
 
   std::vector<SessionOutcome> outcomes;
   outcomes.reserve(slots_.size());

@@ -14,6 +14,8 @@ std::string_view to_string(Layer layer) {
       return "fault";
     case Layer::kBrowser:
       return "browser";
+    case Layer::kRunner:
+      return "runner";
   }
   return "unknown";
 }
@@ -54,6 +56,16 @@ std::string_view to_string(EventKind kind) {
       return "fetch-retry";
     case EventKind::kFetchTimeout:
       return "fetch-timeout";
+    case EventKind::kJournalAppend:
+      return "journal-append";
+    case EventKind::kJournalReplay:
+      return "journal-replay";
+    case EventKind::kWatchdogExpired:
+      return "watchdog-expired";
+    case EventKind::kTaskCancelled:
+      return "task-cancelled";
+    case EventKind::kTaskRetry:
+      return "task-retry";
   }
   return "unknown";
 }

@@ -19,6 +19,12 @@ enum class Layer : std::uint8_t {
   kDns,
   kFault,
   kBrowser,
+  /// Experiment-runner lifecycle: journal appends/replays, watchdog
+  /// expiries, cancelled tasks, worker retries. Watchdog events land in
+  /// the task's own cell trace; the rest describe work *around* the
+  /// simulations and are exported to the journal's events.csv instead, so
+  /// resumed cell artifacts stay byte-identical to an uninterrupted run.
+  kRunner,
 };
 
 /// What happened. One flat enum across layers keeps TraceEvent a single
@@ -49,6 +55,13 @@ enum class EventKind : std::uint8_t {
   kFetchStart,
   kFetchRetry,    // value = attempt number just failed
   kFetchTimeout,  // deadline expiry, value = attempt number
+  // runner (label = task label "cell<i>/load<j>" or "cell<i>/probe";
+  // value = global cell index)
+  kJournalAppend,    // task result durably journaled
+  kJournalReplay,    // task satisfied from the journal on --resume
+  kWatchdogExpired,  // virtual-time deadline tripped; metric = deadline ms
+  kTaskCancelled,    // task skipped after a cancellation request
+  kTaskRetry,        // transient worker failure retried; value = attempt
 };
 
 [[nodiscard]] std::string_view to_string(Layer layer);

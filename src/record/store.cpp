@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "record/serialize.hpp"
+#include "util/atomic_file.hpp"
 #include "util/random.hpp"
 #include "util/strings.hpp"
 
@@ -70,12 +71,13 @@ void RecordStore::save(const std::filesystem::path& directory) const {
     const std::string encoded = encode_exchange(exchange);
     std::ostringstream name;
     name << "save_" << index++ << '_' << util::to_hex(util::fnv1a(encoded));
-    std::ofstream out{directory / name.str(), std::ios::binary};
-    if (!out) {
+    // Atomic per file: an interrupted save never leaves a torn exchange
+    // for a later load() to trip over.
+    if (!util::atomic_write_file((directory / name.str()).string(),
+                                 encoded)) {
       throw std::runtime_error{"cannot write record file in " +
                                directory.string()};
     }
-    out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
   }
 }
 

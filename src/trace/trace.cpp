@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.hpp"
 #include "util/strings.hpp"
 
 namespace mahimahi::trace {
@@ -68,11 +69,9 @@ std::string PacketTrace::to_text() const {
 }
 
 void PacketTrace::save(const std::filesystem::path& file) const {
-  std::ofstream out{file};
-  if (!out) {
+  if (!util::atomic_write_file(file.string(), to_text())) {
     throw std::runtime_error{"cannot write trace file: " + file.string()};
   }
-  out << to_text();
 }
 
 Microseconds PacketTrace::opportunity_time(std::uint64_t index) const {

@@ -1,0 +1,82 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace mahimahi::util {
+namespace {
+
+void warn(const std::string& path, const char* step) {
+  std::fprintf(stderr, "[atomic-write] %s: %s failed: %s\n", path.c_str(),
+               step, std::strerror(errno));
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t wrote = ::write(fd, data, size);
+    if (wrote < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    data += wrote;
+    size -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, const std::string& content) {
+  // Temp file in the same directory (rename must not cross filesystems).
+  // The pid suffix keeps concurrent processes writing the same artifact
+  // from clobbering each other's in-progress bytes.
+  const std::string temp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    warn(temp, "open");
+    return false;
+  }
+  bool ok = write_all(fd, content.data(), content.size());
+  if (!ok) {
+    warn(temp, "write");
+  }
+  if (ok && ::fsync(fd) != 0) {
+    warn(temp, "fsync");
+    ok = false;
+  }
+  if (::close(fd) != 0 && ok) {
+    warn(temp, "close");
+    ok = false;
+  }
+  if (ok && ::rename(temp.c_str(), path.c_str()) != 0) {
+    warn(path, "rename");
+    ok = false;
+  }
+  if (!ok) {
+    ::unlink(temp.c_str());
+    return false;
+  }
+  // Persist the directory entry: without this, a crash right after the
+  // rename can still lose the new name on some filesystems.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string{"."}
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    // A directory that refuses fsync (some network filesystems) is not a
+    // failed write — the data and rename already succeeded.
+    (void)::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return true;
+}
+
+}  // namespace mahimahi::util

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "gate/bench_gate.hpp"
+#include "util/atomic_file.hpp"
 
 using namespace mahimahi;
 
@@ -42,13 +43,9 @@ namespace {
 }
 
 bool write_file(const std::string& path, const std::string& content) {
-  std::ofstream out{path, std::ios::binary};
-  if (!out) {
-    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-    return false;
-  }
-  out << content;
-  return static_cast<bool>(out);
+  // Atomic (temp + fsync + rename): --update can never leave a baseline
+  // half-written, even if the runner is killed mid-write.
+  return mahimahi::util::atomic_write_file(path, content);
 }
 
 }  // namespace

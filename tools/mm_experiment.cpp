@@ -26,24 +26,89 @@
 //     --fail-on-error     exit 1 when any cell recorded a failed load
 //                         (fault cells tolerate failures by default —
 //                         degradation is data; CI's healthy runs use this
-//                         flag to make any failure fatal)
+//                         flag to make any failure fatal). Reports and
+//                         bench artifacts are written before the verdict;
+//                         each failing cell is listed with its typed error.
+//     --journal DIR       crash-safe execution: append one fsync'd,
+//                         checksummed record per completed task to
+//                         DIR/journal.bin, guarded by DIR/MANIFEST (spec,
+//                         matrix and toolchain fingerprints). A SIGKILL
+//                         loses at most the record being written.
+//     --resume            with --journal: replay journaled results and run
+//                         only the missing work. Refuses (exit 2, naming
+//                         the field) a journal whose manifest does not
+//                         match this spec/options/binary. The completed
+//                         artifacts are byte-identical to an uninterrupted
+//                         run at any thread count or shard split.
 //
 //   env: MAHI_EXP_LOADS caps loads-per-cell when --loads is absent;
 //        MAHI_THREADS sizes the shared pool, as everywhere in the repo.
 //
-// Exit status: 0 ok, 1 runtime/selfcheck failure, 2 usage/spec error.
+// SIGINT/SIGTERM cancel gracefully: no new tasks start, in-flight ones
+// drain (their results still reach the journal), and the report is written
+// partial with "interrupted": true and per-cell completion counts.
+//
+// Exit status: 0 ok, 1 runtime/selfcheck failure, 2 usage/spec error,
+// 130 interrupted (resume with --journal ... --resume).
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "experiment/runner.hpp"
+#include "util/random.hpp"
 
 using namespace mahimahi;
 using namespace mahimahi::experiment;
 
 namespace {
+
+/// Graceful-cancellation token, flipped by the signal handler and polled
+/// by the runner at every task admission. atomic<bool> stores are
+/// async-signal-safe (lock-free on every platform we build for).
+std::atomic<bool> g_cancel{false};
+
+void handle_cancel_signal(int) { g_cancel.store(true); }
+
+void install_signal_handlers() {
+  struct sigaction action {};
+  action.sa_handler = handle_cancel_signal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: an experiment mid-simulation polls the token at task
+  // boundaries anyway, and a second signal should keep working.
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+/// Fingerprint of the spec file's exact bytes, pinned in the journal
+/// manifest: a resume against an edited spec is refused even when the
+/// edit would expand to the same matrix hash.
+std::string spec_file_fingerprint(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    return "-";
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  char hash[32];
+  std::snprintf(hash, sizeof hash, "%016llx",
+                static_cast<unsigned long long>(util::fnv1a(buffer.str())));
+  return hash;
+}
+
+std::string cell_label(const CellResult& cell) {
+  std::string label = cell.site + "/" + cell.protocol + "/" + cell.shell +
+                      "/" + cell.queue + "/" + cell.cc + "/" + cell.fleet;
+  if (cell.fault != "none") {
+    label += "/" + cell.fault;
+  }
+  return label;
+}
 
 void print_cells(const ExperimentSpec& spec) {
   const std::vector<Cell> cells = expand_matrix(spec);
@@ -62,11 +127,7 @@ void print_summary(const Report& report) {
   std::printf("%-4s %-44s %10s %10s %8s %6s\n", "cell", "label",
               "median-plt", "queue-p95", "jain", "loads");
   for (const CellResult& cell : report.cells) {
-    std::string label = cell.site + "/" + cell.protocol + "/" + cell.shell +
-                        "/" + cell.queue + "/" + cell.cc + "/" + cell.fleet;
-    if (cell.fault != "none") {
-      label += "/" + cell.fault;
-    }
+    const std::string label = cell_label(cell);
     std::printf("%-4d %-44s %8.0fms", cell.index, label.c_str(),
                 cell.plt_ms.empty() ? 0.0 : cell.plt_ms.median());
     if (cell.probe_ran) {
@@ -100,7 +161,8 @@ int env_loads() {
       stderr,
       "usage: %s <spec-file> [--list] [--shard i/n] [--loads N] "
       "[--no-probes] [--json PATH] [--csv PATH] [--bench-json PATH] "
-      "[--trace-dir DIR] [--selfcheck] [--fail-on-error]\n",
+      "[--trace-dir DIR] [--journal DIR] [--resume] [--selfcheck] "
+      "[--fail-on-error]\n",
       argv0);
   std::exit(2);
 }
@@ -165,10 +227,19 @@ int main(int argc, char** argv) {
       bench_json_path = value();
     } else if (arg == "--trace-dir") {
       options.trace_dir = value();
+    } else if (arg == "--journal") {
+      options.journal_dir = value();
+    } else if (arg == "--resume") {
+      options.resume = true;
     } else {
       std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
       usage(argv[0]);
     }
+  }
+
+  if (options.resume && options.journal_dir.empty()) {
+    std::fprintf(stderr, "error: --resume requires --journal DIR\n");
+    return 2;
   }
 
   ExperimentSpec spec;
@@ -177,6 +248,9 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
+  }
+  if (!options.journal_dir.empty()) {
+    options.spec_fingerprint = spec_file_fingerprint(spec_path);
   }
 
   // MAHI_EXP_LOADS is a *cap* (CI scale guard), never an amplifier; an
@@ -194,6 +268,8 @@ int main(int argc, char** argv) {
   }
 
   try {
+    install_signal_handlers();
+    options.cancel = &g_cancel;
     const Report report = run_experiment(spec, options);
     std::printf("=== experiment %s: %zu/%d cells (shard %d/%d), "
                 "%d loads/cell ===\n",
@@ -218,15 +294,46 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[experiment] wrote %s and %s\n", json_out.c_str(),
                  csv_out.c_str());
 
+    if (report.interrupted) {
+      // Partial artifacts are on disk (marked "interrupted": true with
+      // per-cell completion counts); the journal holds every finished
+      // task. Exit with the conventional interrupted status.
+      std::size_t done = 0;
+      std::size_t expected = 0;
+      for (const CellResult& cell : report.cells) {
+        done += static_cast<std::size_t>(cell.loads_done);
+        expected += static_cast<std::size_t>(cell.loads_expected);
+        if (cell.loads_done < cell.loads_expected) {
+          std::fprintf(stderr, "[experiment]   cell %d (%s): %d/%d loads\n",
+                       cell.index, cell_label(cell).c_str(), cell.loads_done,
+                       cell.loads_expected);
+        }
+      }
+      std::fprintf(
+          stderr,
+          "[experiment] interrupted: %zu/%zu loads done; %s\n", done,
+          expected,
+          options.journal_dir.empty()
+              ? "no journal — a rerun starts over"
+              : ("resume with: --journal " + options.journal_dir +
+                 " --resume")
+                    .c_str());
+      return 130;
+    }
+
     if (selfcheck) {
       // Rerun the identical experiment at a deliberately different thread
-      // count; the serialized reports must match byte for byte.
+      // count; the serialized reports must match byte for byte. The rerun
+      // must actually run: journal replay (or appending to the same
+      // journal) would make the check vacuous, so it runs journal-free.
       const int current = (options.runner != nullptr
                                ? options.runner->thread_count()
                                : core::ParallelRunner::shared().thread_count());
       core::ParallelRunner other{current == 1 ? 4 : 1};
       RunOptions rerun_options = options;
       rerun_options.runner = &other;
+      rerun_options.journal_dir.clear();
+      rerun_options.resume = false;
       const Report rerun = run_experiment(spec, rerun_options);
       const bool identical = rerun.to_json() == report.to_json() &&
                              rerun.to_csv() == report.to_csv();
@@ -242,12 +349,20 @@ int main(int argc, char** argv) {
     }
 
     if (fail_on_error) {
+      // The verdict comes after every artifact is on disk (above): a
+      // failing CI run still uploads its report. Each failing cell is
+      // named with its typed errors so the log alone identifies the
+      // culprit.
       std::size_t failed = 0;
       for (const CellResult& cell : report.cells) {
+        if (cell.failed_loads == 0 && cell.load_errors.empty()) {
+          continue;
+        }
         failed += cell.failed_loads;
+        std::fprintf(stderr, "[experiment] cell %d (%s): %zu failed load(s)\n",
+                     cell.index, cell_label(cell).c_str(), cell.failed_loads);
         for (const std::string& error : cell.load_errors) {
-          std::fprintf(stderr, "[experiment] cell %d error: %s\n", cell.index,
-                       error.c_str());
+          std::fprintf(stderr, "[experiment]   %s\n", error.c_str());
         }
       }
       if (failed > 0) {
@@ -258,6 +373,11 @@ int main(int argc, char** argv) {
       }
     }
     return wrote ? 0 : 1;
+  } catch (const std::invalid_argument& e) {
+    // Usage-class refusals (bad shard, journal-manifest mismatch): the
+    // caller's invocation is wrong, not the run.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -5,7 +5,8 @@
 // the per-load event/object/page streams recorded by obs::Tracer.
 //
 //   usage: mm_trace_dump <cell.csv> [options]
-//     --layer NAME     only this layer (link, tcp, dns, fault, browser)
+//     --layer NAME     only this layer (link, tcp, dns, fault, browser,
+//                      runner — the journal's events.csv uses it)
 //     --stream N       only this session (stream) index; -1 = shared infra
 //     --load N         only this load index
 //     --events         list the matching raw events instead of a summary
@@ -142,6 +143,20 @@ void print_summary(const std::string& header, const std::vector<Row>& rows) {
     for (const auto& [kind, count] : kinds) {
       std::printf("    %-24s %8zu\n", kind.c_str(), count);
     }
+  }
+  const auto runner = per_layer_kind.find("runner");
+  if (runner != per_layer_kind.end()) {
+    // Runner-lifecycle counters (journal events.csv, or watchdog rows in a
+    // cell trace): the crash-safety story of the run at a glance.
+    const auto count = [&](const char* kind) -> std::size_t {
+      const auto it = runner->second.find(kind);
+      return it == runner->second.end() ? 0 : it->second;
+    };
+    std::printf("runner: journaled=%zu replayed=%zu cancelled=%zu "
+                "retried=%zu watchdog-expired=%zu\n",
+                count("journal-append"), count("journal-replay"),
+                count("task-cancelled"), count("task-retry"),
+                count("watchdog-expired"));
   }
   if (objects > 0) {
     std::printf("objects: %zu (%zu failed), %llu bytes\n", objects,
