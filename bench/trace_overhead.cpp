@@ -28,6 +28,7 @@
 #include "bench/common.hpp"
 #include "corpus/site_generator.hpp"
 #include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "web/browser.hpp"
 
@@ -132,6 +133,15 @@ int main() {
   const std::string har = obs::to_har(meta, traces);
   const std::string csv = obs::to_csv(meta, traces);
 
+  // Derived metrics are a pure function of the buffers; the catalog size
+  // and serialized bytes are pinned alongside the export sizes.
+  const obs::MetricsSnapshot metrics = obs::derive_cell_metrics(traces);
+  const std::string metrics_json = metrics.to_json();
+  if (obs::derive_cell_metrics(traces).to_json() != metrics_json) {
+    std::fprintf(stderr, "FAIL: metric derivation is not deterministic\n");
+    ok = false;
+  }
+
   const double per_load_ns_untraced = untraced_s * 1e9 / loads;
   const double per_load_ns_traced = traced_s * 1e9 / loads;
   print_rule();
@@ -145,6 +155,8 @@ int main() {
                   : 0.0);
   std::printf("  exports   chrome %zu B, har %zu B, csv %zu B\n",
               chrome.size(), har.size(), csv.size());
+  std::printf("  metrics   %zu series, %zu B json\n", metrics.size(),
+              metrics_json.size());
   if (!ok) {
     return 1;
   }
@@ -159,6 +171,9 @@ int main() {
   report.add({"obs_chrome_bytes", static_cast<double>(chrome.size()), 0, 0});
   report.add({"obs_har_bytes", static_cast<double>(har.size()), 0, 0});
   report.add({"obs_csv_bytes", static_cast<double>(csv.size()), 0, 0});
+  report.add({"obs_metrics_count", static_cast<double>(metrics.size()), 0, 0});
+  report.add({"obs_metrics_json_bytes",
+              static_cast<double>(metrics_json.size()), 0, 0});
   const char* out = std::getenv("MAHI_OBS_JSON");
   report.write(out != nullptr ? out : "BENCH_obs.json");
   return 0;

@@ -69,6 +69,7 @@ void put_trace(std::string& out, const obs::TraceBuffer& trace) {
     journal::put_i64(out, o.fetch_start);
     journal::put_i64(out, o.dns_start);
     journal::put_i64(out, o.dns_done);
+    journal::put_i64(out, o.connect_done);
     journal::put_i64(out, o.request_sent);
     journal::put_i64(out, o.first_byte);
     journal::put_i64(out, o.complete);
@@ -115,6 +116,7 @@ obs::TraceBuffer get_trace(journal::Cursor& in) {
     o.fetch_start = in.get_i64();
     o.dns_start = in.get_i64();
     o.dns_done = in.get_i64();
+    o.connect_done = in.get_i64();
     o.request_sent = in.get_i64();
     o.first_byte = in.get_i64();
     o.complete = in.get_i64();
@@ -205,6 +207,7 @@ std::optional<std::pair<TaskKey, TaskResult>> decode_task_record(
 journal::Manifest build_manifest(const ExperimentSpec& spec,
                                  const std::vector<Cell>& matrix,
                                  int effective_loads, bool probes, bool traced,
+                                 bool metrics,
                                  const std::string& spec_fingerprint) {
   // Hash the expanded matrix — labels, seeds, fleet sizes, probe window —
   // so a journal can only replay into the exact cell grid it was written
@@ -229,6 +232,7 @@ journal::Manifest build_manifest(const ExperimentSpec& spec,
   manifest.set("loads", std::to_string(effective_loads));
   manifest.set("probes", probes ? "1" : "0");
   manifest.set("traced", traced ? "1" : "0");
+  manifest.set("metrics", metrics ? "1" : "0");
   manifest.set("deadline-us", std::to_string(spec.cell_deadline));
   manifest.set("matrix-hash", hash);
   manifest.set("spec-fingerprint", spec_fingerprint);

@@ -73,14 +73,16 @@ struct TaskResult {
     std::string_view payload);
 
 /// Everything a journal run must agree on before records can be replayed:
-/// experiment name, seed, effective loads-per-cell, probe/tracing flags,
-/// watchdog deadline, a hash of the expanded matrix (labels, seeds, fleet
-/// sizes), the spec fingerprint (hash of the spec file text; "-" for
+/// experiment name, seed, effective loads-per-cell, probe/tracing/metrics
+/// flags, watchdog deadline, a hash of the expanded matrix (labels, seeds,
+/// fleet sizes), the spec fingerprint (hash of the spec file text; "-" for
 /// programmatic specs) and the toolchain fingerprint. A resume whose
 /// manifest differs in any field is refused with the field named.
+/// `traced` is the *effective* tracing state (trace export or metrics) —
+/// it decides whether journaled records carry trace buffers.
 [[nodiscard]] journal::Manifest build_manifest(
     const ExperimentSpec& spec, const std::vector<Cell>& matrix,
-    int effective_loads, bool probes, bool traced,
+    int effective_loads, bool probes, bool traced, bool metrics,
     const std::string& spec_fingerprint);
 
 }  // namespace mahimahi::experiment

@@ -124,6 +124,12 @@ std::string Report::to_json() const {
       }
       out += "]}";
     }
+    // Derived metrics ride along only when requested (key absent
+    // otherwise, like load_errors): the snapshot is already deterministic
+    // JSON, so the report stays byte-stable under the same contract.
+    if (!cell.metrics_json.empty()) {
+      out += ", \"metrics\": " + cell.metrics_json;
+    }
     out += "}";
   }
   out += "\n  ]\n}\n";

@@ -51,6 +51,12 @@ struct CellResult {
   /// the cell completed; serialized only in interrupted reports.
   int loads_done{0};
   int loads_expected{0};
+  /// Pre-serialized derived-metrics snapshot for this cell (one-line JSON,
+  /// obs::MetricsSnapshot::to_json_inline). Filled only when the run asked
+  /// for metrics (RunOptions::metrics); empty = the "metrics" key is
+  /// absent, keeping non-metrics reports byte-identical to pre-metrics
+  /// builds — the same gating idiom as load_errors.
+  std::string metrics_json;
   /// Transport probe: one bulk flow per fleet entry over the cell's
   /// bottleneck. probe_ran is false when probes were disabled.
   bool probe_ran{false};

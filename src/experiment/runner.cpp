@@ -13,6 +13,8 @@
 #include "journal/journal.hpp"
 #include "net/bulk_probe.hpp"
 #include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/random.hpp"
@@ -103,7 +105,8 @@ struct JournalState {
 
 JournalState open_journal(const ExperimentSpec& spec,
                           const std::vector<Cell>& matrix, int loads,
-                          bool tracing, const RunOptions& options) {
+                          bool tracing, bool metrics,
+                          const RunOptions& options) {
   JournalState state;
   if (options.journal_dir.empty()) {
     if (options.resume) {
@@ -115,7 +118,7 @@ JournalState open_journal(const ExperimentSpec& spec,
   std::filesystem::create_directories(options.journal_dir);
   const journal::Manifest manifest =
       build_manifest(spec, matrix, loads, options.transport_probes, tracing,
-                     options.spec_fingerprint);
+                     metrics, options.spec_fingerprint);
   std::uint64_t truncate_to = 0;
   if (options.resume) {
     const journal::Manifest existing =
@@ -180,9 +183,11 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
     }
   }
 
-  const bool tracing = !options.trace_dir.empty();
+  // Metrics derive from per-cell trace buffers, so asking for metrics
+  // turns tracing on internally even when no artifacts will be exported.
+  const bool tracing = !options.trace_dir.empty() || options.metrics;
   JournalState journal_state =
-      open_journal(spec, matrix, loads, tracing, options);
+      open_journal(spec, matrix, loads, tracing, options.metrics, options);
 
   // --- record each referenced site once (they are shared, read-only) ----
   // Distinct site labels in first-appearance order; recording seeds fork
@@ -200,18 +205,21 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
     record::RecordStore store;
   };
   const util::Rng seed_root{spec.seed};
-  const std::vector<RecordedSite> recorded = pool.map(
-      static_cast<int>(distinct_sites.size()), [&](int i) {
-        const SiteAxis& axis = *distinct_sites[static_cast<std::size_t>(i)];
-        RecordedSite entry{corpus::generate_site(axis.site),
-                           record::RecordStore{}};
-        core::SessionConfig config;
-        config.seed = seed_root.fork("record-" + axis.label).next();
-        core::RecordSession session{entry.site, corpus::LiveWebConfig{},
-                                    config};
-        entry.store = session.record();
-        return entry;
-      });
+  const std::vector<RecordedSite> recorded = [&] {
+    MAHI_PROFILE("record");
+    return pool.map(
+        static_cast<int>(distinct_sites.size()), [&](int i) {
+          const SiteAxis& axis = *distinct_sites[static_cast<std::size_t>(i)];
+          RecordedSite entry{corpus::generate_site(axis.site),
+                             record::RecordStore{}};
+          core::SessionConfig config;
+          config.seed = seed_root.fork("record-" + axis.label).next();
+          core::RecordSession session{entry.site, corpus::LiveWebConfig{},
+                                      config};
+          entry.store = session.record();
+          return entry;
+        });
+  }();
 
   // Materialize each cell once (traces are immutable and shared): the
   // fan-out below reads these concurrently but never mutates them.
@@ -233,6 +241,19 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
     }
   }
 
+  // Progress accounting (observation only — counts, never results). The
+  // per-cell countdown makes cells_done exact under out-of-order task
+  // completion across the pool.
+  const int tasks_total = static_cast<int>(tasks.size());
+  const int cells_total = static_cast<int>(cells.size());
+  std::atomic<int> tasks_done{0};
+  std::atomic<int> cells_done{0};
+  std::vector<std::atomic<int>> cell_remaining(cells.size());
+  for (std::size_t pos = 0; pos < cells.size(); ++pos) {
+    cell_remaining[pos].store(loads + (options.transport_probes ? 1 : 0),
+                              std::memory_order_relaxed);
+  }
+
   const int max_attempts = 1 + spec.task_retries;
   std::vector<TaskResult> outcomes = pool.map(
       static_cast<int>(tasks.size()), [&](int task_index) {
@@ -240,12 +261,27 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
         const Cell& cell = cells[task.cell_pos];
         const TaskKey key{cell.index, task.is_probe ? 0 : task.load_index,
                           task.is_probe};
+        const auto progress = [&] {
+          if (!options.on_progress) {
+            return;
+          }
+          const int done =
+              tasks_done.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (cell_remaining[task.cell_pos].fetch_sub(
+                  1, std::memory_order_relaxed) == 1) {
+            cells_done.fetch_add(1, std::memory_order_relaxed);
+          }
+          options.on_progress(done, tasks_total,
+                              cells_done.load(std::memory_order_relaxed),
+                              cells_total);
+        };
         // Resume: a journaled result satisfies the task without running
         // anything — the copy lands in the same global-index slot the live
         // run would have filled, so the merge below cannot tell the
         // difference.
         const auto it = journal_state.replayed.find(key);
         if (it != journal_state.replayed.end()) {
+          progress();
           return it->second;
         }
         TaskResult outcome;
@@ -255,6 +291,7 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
         if (options.cancel != nullptr &&
             options.cancel->load(std::memory_order_relaxed)) {
           outcome.skipped = 1;
+          progress();
           return outcome;
         }
         const MaterializedCell& cell_net = materialized[task.cell_pos];
@@ -276,10 +313,12 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
                   "transient: injected worker fault (test hook)"};
             }
             if (task.is_probe) {
+              MAHI_PROFILE("probe");
               outcome.probe = net::run_multi_bulk_flow(
                   cell_probe_spec(cell, cell_net, spec.probe_duration));
               break;
             }
+            MAHI_PROFILE("replay");
             const RecordedSite& entry =
                 recorded[site_pos.at(cell.site.label)];
             if (cell.fleet.sessions > 1) {
@@ -362,8 +401,10 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
         // Durability point: the record is fsync'd before the task counts
         // as done — a SIGKILL after this line cannot lose the result.
         if (journal_state.writer != nullptr) {
+          MAHI_PROFILE("journal");
           journal_state.writer->append(encode_task_record(key, outcome));
         }
+        progress();
         return outcome;
       });
 
@@ -492,10 +533,10 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
   }
 
   if (tracing) {
-    // Per-cell trace artifacts, merged by global load index — the same
-    // ordering contract as the report rows, so the exported bytes are
-    // identical at any thread count and across shard splits.
-    std::filesystem::create_directories(options.trace_dir);
+    // Per-cell traces, merged by global load index — the same ordering
+    // contract as the report rows, so both the exported bytes and the
+    // derived metrics are identical at any thread count and across shard
+    // splits (and across --resume, which replays the same buffers).
     std::vector<std::vector<obs::LoadTrace>> cell_traces(cells.size());
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       const Task& task = tasks[i];
@@ -505,16 +546,27 @@ Report run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
       cell_traces[task.cell_pos].push_back(
           obs::LoadTrace{task.load_index, std::move(outcomes[i].trace)});
     }
-    for (std::size_t pos = 0; pos < cells.size(); ++pos) {
-      const Cell& cell = cells[pos];
-      const obs::TraceMeta meta{spec.name, cell.label(), cell.index,
-                                cell.cell_seed};
-      const std::string base =
-          options.trace_dir + "/cell" + std::to_string(cell.index);
-      Report::write_file(base + ".trace.json",
-                         obs::to_chrome_trace(meta, cell_traces[pos]));
-      Report::write_file(base + ".har", obs::to_har(meta, cell_traces[pos]));
-      Report::write_file(base + ".csv", obs::to_csv(meta, cell_traces[pos]));
+    if (options.metrics) {
+      MAHI_PROFILE("metrics");
+      for (std::size_t pos = 0; pos < cells.size(); ++pos) {
+        report.cells[pos].metrics_json =
+            obs::derive_cell_metrics(cell_traces[pos]).to_json_inline();
+      }
+    }
+    if (!options.trace_dir.empty()) {
+      MAHI_PROFILE("export");
+      std::filesystem::create_directories(options.trace_dir);
+      for (std::size_t pos = 0; pos < cells.size(); ++pos) {
+        const Cell& cell = cells[pos];
+        const obs::TraceMeta meta{spec.name, cell.label(), cell.index,
+                                  cell.cell_seed};
+        const std::string base =
+            options.trace_dir + "/cell" + std::to_string(cell.index);
+        Report::write_file(base + ".trace.json",
+                           obs::to_chrome_trace(meta, cell_traces[pos]));
+        Report::write_file(base + ".har", obs::to_har(meta, cell_traces[pos]));
+        Report::write_file(base + ".csv", obs::to_csv(meta, cell_traces[pos]));
+      }
     }
   }
   return report;

@@ -36,6 +36,20 @@ struct RunOptions {
   /// task, buffers merged by load index, so artifact bytes are identical
   /// at any thread or shard count. Off (empty) = zero tracing overhead.
   std::string trace_dir{};
+  /// Derive per-cell metrics (counters / gauges / log-bucketed histograms:
+  /// queue residence, cwnd convergence, retransmit bursts, PLT critical
+  /// path, fault recovery) and attach each cell's snapshot to the Report
+  /// as a "metrics" block. Implies tracing internally — every load task
+  /// records a trace buffer even when trace_dir is empty — but artifacts
+  /// are only exported when trace_dir is set. Metrics derive from the
+  /// merged per-cell traces (load-index order), so they obey the same
+  /// byte-determinism contract as the report and survive --resume.
+  bool metrics{false};
+  /// Progress callback (tasks_done, tasks_total, cells_done, cells_total),
+  /// invoked from worker threads after every finished task. Observation
+  /// only: it sees completion counts, never results, so it cannot perturb
+  /// any artifact. Callers throttle/render (mm_experiment --progress).
+  std::function<void(int, int, int, int)> on_progress{};
   /// When non-empty: crash-safe execution. The directory receives a
   /// MANIFEST pinning the run's identity (spec/matrix/toolchain hashes), a
   /// journal.bin with one fsync'd checksummed record per completed task,

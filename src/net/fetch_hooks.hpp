@@ -9,6 +9,10 @@ namespace mahimahi::net {
 /// default — zero overhead). The browser uses these to timestamp the
 /// request→first-byte edges of its per-object waterfall.
 struct FetchHooks {
+  /// The carrying connection completed its handshake after this request
+  /// was queued. Never fires for a request queued on an already-warm
+  /// connection — HAR's "connect": -1 convention. Fires once.
+  std::function<void()> on_connected;
   /// Request bytes were handed to the transport.
   std::function<void()> on_sent;
   /// First bytes of this request's response arrived.

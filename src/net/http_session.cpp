@@ -217,7 +217,12 @@ HttpClientConnection::HttpClientConnection(Fabric& fabric, Address server,
       on_error_{std::move(on_error)},
       client_{fabric, server,
               TcpConnection::Callbacks{
-                  .on_connected = [this] { connected_ = true; maybe_send_next(); },
+                  .on_connected =
+                      [this] {
+                        connected_ = true;
+                        notify_connected();
+                        maybe_send_next();
+                      },
                   .on_data = [this](std::string_view bytes) { on_data(bytes); },
                   .on_peer_close =
                       [this] {
@@ -277,6 +282,19 @@ void HttpClientConnection::abort() {
   in_flight_callbacks_.clear();
   current_hooks_ = {};
   client_.connection().abort();
+}
+
+void HttpClientConnection::notify_connected() {
+  // Every queued request was waiting on this handshake (requests only
+  // queue pre-connect or behind an outstanding response, and the latter
+  // implies an established connection). Fire-once per hook set.
+  for (PendingRequest& pending : queue_) {
+    if (pending.hooks.on_connected) {
+      auto connected = std::move(pending.hooks.on_connected);
+      pending.hooks.on_connected = nullptr;
+      connected();
+    }
+  }
 }
 
 void HttpClientConnection::maybe_send_next() {

@@ -147,6 +147,7 @@ class HttpClientConnection {
     FetchHooks hooks;
   };
 
+  void notify_connected();
   void maybe_send_next();
   void on_data(std::string_view bytes);
   void fail(const std::string& reason);

@@ -254,6 +254,16 @@ MuxClientConnection::MuxClientConnection(Fabric& fabric, Address server,
                   .on_connected =
                       [this] {
                         connected_ = true;
+                        // Streams opened pre-connect all waited on this
+                        // handshake; later streams find connected_ set and
+                        // never get the callback (warm connection).
+                        for (auto& [id, stream] : streams_) {
+                          if (stream.hooks.on_connected) {
+                            auto cb = std::move(stream.hooks.on_connected);
+                            stream.hooks.on_connected = nullptr;
+                            cb();
+                          }
+                        }
                         for (auto& frame : queued_frames_) {
                           client_.connection().send(std::move(frame));
                         }

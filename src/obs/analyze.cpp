@@ -1,0 +1,450 @@
+#include "obs/analyze.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace mahimahi::obs {
+namespace {
+
+std::vector<std::string> split(const std::string& line, char sep,
+                               std::size_t max_fields) {
+  // The exporter sanitizes separators out of every text field, but capping
+  // the split keeps the last field whole if a future field grows commas.
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (fields.size() + 1 < max_fields) {
+    const std::size_t pos = line.find(sep, start);
+    if (pos == std::string::npos) {
+      break;
+    }
+    fields.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  fields.push_back(line.substr(start));
+  return fields;
+}
+
+/// "key=value" token from the space-separated header comment; "" absent.
+std::string header_field(const std::string& header, const std::string& key) {
+  const std::string needle = " " + key + "=";
+  const std::size_t pos = header.find(needle);
+  if (pos == std::string::npos) {
+    return "";
+  }
+  const std::size_t start = pos + needle.size();
+  const std::size_t end = header.find(' ', start);
+  return header.substr(start,
+                       end == std::string::npos ? end : end - start);
+}
+
+void fail(std::string* error, const std::string& reason) {
+  if (error != nullptr) {
+    *error = reason;
+  }
+}
+
+}  // namespace
+
+std::string detail_field(const std::string& detail, const std::string& key) {
+  const std::string needle = key + "=";
+  std::size_t pos = 0;
+  while (pos < detail.size()) {
+    const std::size_t end = detail.find(';', pos);
+    const std::string item =
+        detail.substr(pos, end == std::string::npos ? end : end - pos);
+    if (item.rfind(needle, 0) == 0) {
+      return item.substr(needle.size());
+    }
+    if (end == std::string::npos) {
+      break;
+    }
+    pos = end + 1;
+  }
+  return "";
+}
+
+std::int64_t detail_us(const std::string& detail, const std::string& key) {
+  const std::string text = detail_field(detail, key);
+  return text.empty() ? -1 : std::atoll(text.c_str());
+}
+
+std::optional<ParsedTrace> parse_trace_csv(std::istream& in,
+                                           std::string* error) {
+  ParsedTrace trace;
+  std::string header;
+  if (!std::getline(in, header) ||
+      header.rfind("# mahimahi-obs-trace-v1", 0) != 0) {
+    fail(error, "not a mahimahi-obs-trace-v1 CSV");
+    return std::nullopt;
+  }
+  trace.experiment = header_field(header, "experiment");
+  trace.cell_label = header_field(header, "label");
+  const std::string cell = header_field(header, "cell");
+  trace.cell_index = cell.empty() ? -1 : std::atoi(cell.c_str());
+  trace.seed = std::strtoull(header_field(header, "seed").c_str(), nullptr, 10);
+
+  std::string columns;
+  std::getline(in, columns);  // "load,session,t_us,..."
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::vector<std::string> fields = split(line, ',', 10);
+    if (fields.size() != 10) {
+      fail(error, "malformed row: " + line);
+      return std::nullopt;
+    }
+    TraceRow row;
+    row.load = std::atoi(fields[0].c_str());
+    row.session = std::atoi(fields[1].c_str());
+    row.t_us = std::atoll(fields[2].c_str());
+    row.layer = std::move(fields[3]);
+    row.kind = std::move(fields[4]);
+    row.flow = std::strtoull(fields[5].c_str(), nullptr, 10);
+    row.value = std::strtoull(fields[6].c_str(), nullptr, 10);
+    row.metric = std::atof(fields[7].c_str());
+    row.label = std::move(fields[8]);
+    row.detail = std::move(fields[9]);
+    row.raw = std::move(line);
+    trace.rows.push_back(std::move(row));
+  }
+  return trace;
+}
+
+std::optional<ParsedTrace> parse_trace_file(const std::string& path,
+                                            std::string* error) {
+  std::ifstream in{path};
+  if (!in) {
+    fail(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  return parse_trace_csv(in, error);
+}
+
+std::vector<LoadTrace> to_load_traces(const ParsedTrace& trace) {
+  std::vector<LoadTrace> loads;
+  const auto buffer_for = [&](int load_index) -> TraceBuffer& {
+    if (loads.empty() || loads.back().load_index != load_index) {
+      loads.push_back(LoadTrace{load_index, TraceBuffer{}});
+    }
+    return loads.back().buffer;
+  };
+  for (const TraceRow& row : trace.rows) {
+    TraceBuffer& buffer = buffer_for(row.load);
+    if (row.layer == "browser" && row.kind == "object") {
+      ObjectRecord o;
+      o.url = row.label;
+      o.kind = detail_field(row.detail, "kind");
+      o.session = row.session;
+      o.fetch_start = row.t_us;
+      o.dns_start = detail_us(row.detail, "dns_start_us");
+      o.dns_done = detail_us(row.detail, "dns_done_us");
+      o.connect_done = detail_us(row.detail, "connect_us");
+      o.request_sent = detail_us(row.detail, "request_us");
+      o.first_byte = detail_us(row.detail, "first_byte_us");
+      o.complete = detail_us(row.detail, "complete_us");
+      o.bytes = row.value;
+      const std::string status = detail_field(row.detail, "status");
+      o.status = static_cast<std::uint32_t>(std::atoi(status.c_str()));
+      const std::string attempts = detail_field(row.detail, "attempts");
+      o.attempts = static_cast<std::uint32_t>(
+          attempts.empty() ? 1 : std::atoi(attempts.c_str()));
+      o.failed = detail_field(row.detail, "failed") == "1";
+      o.error = detail_field(row.detail, "error");
+      buffer.objects.push_back(std::move(o));
+      continue;
+    }
+    if (row.layer == "browser" && row.kind == "page") {
+      PageRecord p;
+      p.session = row.session;
+      p.url = row.label;
+      p.started_at = row.t_us;
+      p.plt = static_cast<Microseconds>(row.metric * 1000.0 + 0.5);
+      const std::string degraded = detail_field(row.detail, "degraded_ms");
+      p.degraded_plt = static_cast<Microseconds>(
+          std::atof(degraded.c_str()) * 1000.0 + 0.5);
+      p.success = row.value != 0;
+      buffer.pages.push_back(std::move(p));
+      continue;
+    }
+    TraceEvent e;
+    e.at = row.t_us;
+    if (!layer_from_string(row.layer, e.layer) ||
+        !kind_from_string(row.kind, e.kind)) {
+      continue;  // future layer/kind: skip rather than misclassify
+    }
+    e.session = row.session;
+    e.flow = row.flow;
+    e.value = row.value;
+    e.metric = row.metric;
+    e.label = row.label;
+    buffer.events.push_back(std::move(e));
+  }
+  return loads;
+}
+
+std::string render_waterfall(const std::vector<TraceRow>& rows) {
+  constexpr int kWidth = 64;
+  std::string out;
+  char line[256];
+  std::vector<const TraceRow*> objects;
+  std::int64_t max_us = 1;
+  // Axis extent: every object's last recorded timestamp (not just
+  // completions — an early-failing object still occupies its span) and
+  // every page's end.
+  const auto last_known = [](const TraceRow& row) {
+    std::int64_t end = row.t_us;
+    for (const char* key : {"dns_start_us", "dns_done_us", "connect_us",
+                            "request_us", "first_byte_us", "complete_us"}) {
+      end = std::max(end, detail_us(row.detail, key));
+    }
+    return end;
+  };
+  for (const TraceRow& row : rows) {
+    if (row.layer == "browser" && row.kind == "object") {
+      objects.push_back(&row);
+      max_us = std::max(max_us, last_known(row));
+    } else if (row.layer == "browser" && row.kind == "page") {
+      max_us = std::max(
+          max_us, row.t_us + static_cast<std::int64_t>(row.metric * 1000.0));
+    }
+  }
+  if (objects.empty()) {
+    return "no objects match the filter\n";
+  }
+  std::stable_sort(objects.begin(), objects.end(),
+                   [](const TraceRow* a, const TraceRow* b) {
+                     if (a->load != b->load) {
+                       return a->load < b->load;
+                     }
+                     if (a->session != b->session) {
+                       return a->session < b->session;
+                     }
+                     return a->t_us < b->t_us;
+                   });
+
+  const auto col = [&](std::int64_t t_us) {
+    const std::int64_t c = t_us * kWidth / max_us;
+    return static_cast<int>(std::min<std::int64_t>(c, kWidth - 1));
+  };
+  std::snprintf(line, sizeof line,
+                "time axis: 0 .. %.1f ms  (%d columns; '.' queued  '-' dns  "
+                "'+' connect  '=' request  '#' receive  '!' failed)\n",
+                static_cast<double>(max_us) / 1e3, kWidth);
+  out += line;
+  for (const TraceRow* object : objects) {
+    const std::int64_t start = object->t_us;
+    const std::int64_t dns_start = detail_us(object->detail, "dns_start_us");
+    const std::int64_t dns_done = detail_us(object->detail, "dns_done_us");
+    const std::int64_t connect = detail_us(object->detail, "connect_us");
+    const std::int64_t request = detail_us(object->detail, "request_us");
+    const std::int64_t first_byte =
+        detail_us(object->detail, "first_byte_us");
+    const bool failed = detail_field(object->detail, "failed") == "1";
+    const std::int64_t end = std::max(start, last_known(*object));
+
+    // Column i shows the phase in progress at the column's start instant
+    // (clamped into the object's span). Deciding each column independently
+    // — instead of painting phase intervals over each other — means a
+    // zero-duration phase cannot blot out its successor, it just claims no
+    // column.
+    const auto phase_at = [&](std::int64_t t) {
+      if (first_byte >= 0 && t >= first_byte) {
+        return '#';
+      }
+      if (request >= 0 && t >= request) {
+        return '=';
+      }
+      if (dns_start >= 0 && t >= dns_start &&
+          (dns_done < 0 || t < dns_done)) {
+        return '-';
+      }
+      if (connect >= 0 && t < connect && (dns_done < 0 || t >= dns_done)) {
+        return '+';
+      }
+      return '.';
+    };
+    std::string bar(kWidth, ' ');
+    const int from = std::clamp(col(start), 0, kWidth - 1);
+    const int to = std::clamp(std::max(col(end), from), 0, kWidth - 1);
+    for (int i = from; i <= to; ++i) {
+      const std::int64_t t =
+          std::max(start, static_cast<std::int64_t>(i) * max_us / kWidth);
+      bar[static_cast<std::size_t>(i)] = phase_at(t);
+    }
+    if (failed) {
+      bar[static_cast<std::size_t>(to)] = '!';
+    }
+
+    std::string name = object->label;
+    if (name.size() > 36) {
+      name = "..." + name.substr(name.size() - 33);
+    }
+    const std::string attempts = detail_field(object->detail, "attempts");
+    std::snprintf(line, sizeof line, "%2d/%-3d %-36s |%s| %8.1f ms%s%s\n",
+                  object->load, object->session, name.c_str(), bar.c_str(),
+                  static_cast<double>(end - start) / 1e3,
+                  attempts != "1" && !attempts.empty()
+                      ? (" x" + attempts).c_str()
+                      : "",
+                  failed ? "  FAILED" : "");
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+
+/// Snapshot flattened to name → value, so counter/gauge/histogram deltas
+/// rank on one scale.
+std::map<std::string, double> flatten(const MetricsSnapshot& snap) {
+  std::map<std::string, double> flat;
+  for (const auto& [name, value] : snap.counters) {
+    flat[name] = static_cast<double>(value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    flat[name] = value;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    flat[name + ".count"] = static_cast<double>(h.count);
+    flat[name + ".sum"] = h.sum;
+    flat[name + ".p50"] = h.p50;
+    flat[name + ".p99"] = h.p99;
+    flat[name + ".max"] = h.max;
+  }
+  return flat;
+}
+
+CellDiff diff_cell(const ParsedTrace& a, const ParsedTrace& b) {
+  CellDiff diff;
+  diff.label = a.cell_label;
+
+  // Divergence localization: first raw-line mismatch (the exact relation
+  // a byte-compare of the two files would trip on, minus the header).
+  const std::size_t common = std::min(a.rows.size(), b.rows.size());
+  std::size_t divergence = common;
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a.rows[i].raw != b.rows[i].raw) {
+      divergence = i;
+      break;
+    }
+  }
+  if (divergence == common && a.rows.size() == b.rows.size()) {
+    diff.identical = true;
+    return diff;
+  }
+  diff.first_divergence = divergence;
+  const TraceRow* witness = nullptr;
+  if (divergence < a.rows.size()) {
+    diff.a_line = a.rows[divergence].raw;
+    witness = &a.rows[divergence];
+  }
+  if (divergence < b.rows.size()) {
+    diff.b_line = b.rows[divergence].raw;
+    if (witness == nullptr) {
+      witness = &b.rows[divergence];
+    }
+  }
+  if (witness != nullptr) {
+    diff.layer = witness->layer;
+    diff.kind = witness->kind;
+    diff.t_us = witness->t_us;
+    diff.flow = witness->flow;
+  }
+
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> counts;
+  for (const TraceRow& row : a.rows) {
+    ++counts[row.layer + "." + row.kind].first;
+  }
+  for (const TraceRow& row : b.rows) {
+    ++counts[row.layer + "." + row.kind].second;
+  }
+  for (const auto& [key, pair] : counts) {
+    if (pair.first != pair.second) {
+      diff.count_deltas.push_back(
+          CellDiff::CountDelta{key, pair.first, pair.second});
+    }
+  }
+  std::stable_sort(diff.count_deltas.begin(), diff.count_deltas.end(),
+                   [](const CellDiff::CountDelta& x,
+                      const CellDiff::CountDelta& y) {
+                     const std::int64_t dx = x.a > x.b ? x.a - x.b : x.b - x.a;
+                     const std::int64_t dy = y.a > y.b ? y.a - y.b : y.b - y.a;
+                     return dx > dy;
+                   });
+
+  const std::map<std::string, double> metrics_a =
+      flatten(derive_cell_metrics(to_load_traces(a)));
+  const std::map<std::string, double> metrics_b =
+      flatten(derive_cell_metrics(to_load_traces(b)));
+  std::map<std::string, std::pair<double, double>> merged;
+  for (const auto& [name, value] : metrics_a) {
+    merged[name].first = value;
+  }
+  for (const auto& [name, value] : metrics_b) {
+    merged[name].second = value;
+  }
+  for (const auto& [name, pair] : merged) {
+    if (pair.first == pair.second) {
+      continue;
+    }
+    const double magnitude =
+        std::max({pair.first < 0 ? -pair.first : pair.first,
+                  pair.second < 0 ? -pair.second : pair.second, 1e-12});
+    const double relative = (pair.second - pair.first) / magnitude;
+    diff.metric_deltas.push_back(
+        CellDiff::MetricDelta{name, pair.first, pair.second, relative});
+  }
+  std::stable_sort(
+      diff.metric_deltas.begin(), diff.metric_deltas.end(),
+      [](const CellDiff::MetricDelta& x, const CellDiff::MetricDelta& y) {
+        const double rx = x.relative < 0 ? -x.relative : x.relative;
+        const double ry = y.relative < 0 ? -y.relative : y.relative;
+        return rx > ry;
+      });
+  return diff;
+}
+
+}  // namespace
+
+TraceDiff diff_traces(const std::vector<ParsedTrace>& a,
+                      const std::vector<ParsedTrace>& b) {
+  TraceDiff diff;
+  std::map<std::string, const ParsedTrace*> b_by_label;
+  for (const ParsedTrace& trace : b) {
+    b_by_label.emplace(trace.cell_label, &trace);
+  }
+  for (const ParsedTrace& trace : a) {
+    const auto it = b_by_label.find(trace.cell_label);
+    if (it == b_by_label.end()) {
+      CellDiff missing;
+      missing.label = trace.cell_label;
+      missing.in_b = false;
+      diff.cells.push_back(std::move(missing));
+      diff.identical = false;
+      continue;
+    }
+    CellDiff cell = diff_cell(trace, *it->second);
+    diff.identical = diff.identical && cell.identical;
+    diff.cells.push_back(std::move(cell));
+    b_by_label.erase(it);
+  }
+  for (const ParsedTrace& trace : b) {
+    if (b_by_label.count(trace.cell_label) != 0) {
+      CellDiff missing;
+      missing.label = trace.cell_label;
+      missing.in_a = false;
+      diff.cells.push_back(std::move(missing));
+      diff.identical = false;
+    }
+  }
+  return diff;
+}
+
+}  // namespace mahimahi::obs

@@ -133,6 +133,7 @@ void append_object_span(std::string& out, int pid, const ObjectRecord& o) {
          R"(,"attempts":)" + std::to_string(o.attempts) + R"(,"failed":)" +
          (o.failed ? "true" : "false") + R"(,"dns_start":)" +
          fmt_i64(o.dns_start) + R"(,"dns_done":)" + fmt_i64(o.dns_done) +
+         R"(,"connect_done":)" + fmt_i64(o.connect_done) +
          R"(,"request_sent":)" + fmt_i64(o.request_sent) +
          R"(,"first_byte":)" + fmt_i64(o.first_byte) + R"(,"error":")" +
          json_escape(o.error) + R"("}})";
@@ -288,7 +289,19 @@ std::string to_har(const TraceMeta& meta, const std::vector<LoadTrace>& loads) {
       const Microseconds end = o.complete >= 0 ? o.complete : start;
       const double total_ms = to_ms(end - start);
       const double dns_ms = span_ms(o.dns_start, o.dns_done, -1.0);
-      const double blocked_ms = span_ms(o.dns_done, o.request_sent, -1.0);
+      // Connect counts from name resolution (or fetch start) to handshake
+      // completion; blocked then covers handshake→request. A multiplexed
+      // request queued pre-connect timestamps "sent" at queue time, so its
+      // connect_done can exceed request_sent — that inversion falls back
+      // to the pre-connect accounting (connect -1, whole gap blocked).
+      double connect_ms = -1.0;
+      double blocked_ms = span_ms(o.dns_done, o.request_sent, -1.0);
+      if (o.connect_done >= 0 && o.connect_done <= o.request_sent) {
+        const Microseconds connect_from =
+            o.dns_done >= 0 ? o.dns_done : o.fetch_start;
+        connect_ms = span_ms(connect_from, o.connect_done, -1.0);
+        blocked_ms = span_ms(o.connect_done, o.request_sent, -1.0);
+      }
       // wait = request to first response byte; receive = rest of the
       // body. Without a first-byte mark (multiplexed transports) the whole
       // response interval counts as wait and receive is 0.
@@ -315,7 +328,8 @@ std::string to_har(const TraceMeta& meta, const std::vector<LoadTrace>& loads) {
              R"("},"redirectURL":"","headersSize":-1,"bodySize":)" +
              fmt_u64(o.bytes) + R"(},"cache":{},"timings":{"blocked":)" +
              fmt(blocked_ms, 3) + R"(,"dns":)" + fmt(dns_ms, 3) +
-             R"(,"connect":-1,"ssl":-1,"send":0,"wait":)" + fmt(wait_ms, 3) +
+             R"(,"connect":)" + fmt(connect_ms, 3) +
+             R"(,"ssl":-1,"send":0,"wait":)" + fmt(wait_ms, 3) +
              R"(,"receive":)" + fmt(receive_ms, 3) + R"(},"_attempts":)" +
              std::to_string(o.attempts) + R"(,"_failed":)" +
              (o.failed ? "true" : "false") + R"(,"_error":")" +
@@ -360,7 +374,8 @@ std::string to_csv(const TraceMeta& meta, const std::vector<LoadTrace>& loads) {
              std::to_string(o.status) + ";attempts=" +
              std::to_string(o.attempts) + ";failed=" + (o.failed ? "1" : "0") +
              ";dns_start_us=" + fmt_i64(o.dns_start) + ";dns_done_us=" +
-             fmt_i64(o.dns_done) + ";request_us=" + fmt_i64(o.request_sent) +
+             fmt_i64(o.dns_done) + ";connect_us=" + fmt_i64(o.connect_done) +
+             ";request_us=" + fmt_i64(o.request_sent) +
              ";first_byte_us=" + fmt_i64(o.first_byte) + ";complete_us=" +
              fmt_i64(o.complete) + ";error=" + sanitize(o.error) + "\n";
     }

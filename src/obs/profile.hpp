@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mahimahi::obs {
+
+/// Wall-clock profiler: scoped RAII timers aggregated by name across every
+/// thread. Real elapsed time — NOT simulated time — so the output is a
+/// diagnostic, never a determinism-checked artifact (it changes run to
+/// run; mm_experiment writes it as profile.json next to, but excluded
+/// from, the byte-compared exports).
+///
+/// Disabled (the default) a ProfileScope is two relaxed atomic loads and
+/// no clock reads, so MAHI_PROFILE can stay in hot paths permanently.
+/// The merge is deterministic by name: identical scope structure yields an
+/// identical table layout even though the times differ.
+class Profiler {
+ public:
+  struct Entry {
+    std::string name;
+    std::uint64_t count{0};
+    std::int64_t total_ns{0};  // wall time with children included
+    std::int64_t self_ns{0};   // total minus time inside nested scopes
+  };
+
+  static void enable(bool on);
+  [[nodiscard]] static bool enabled();
+
+  /// Drop all accumulated entries (tests; between experiment phases).
+  static void reset();
+
+  /// Snapshot sorted by name — the deterministic merge order.
+  [[nodiscard]] static std::vector<Entry> snapshot();
+
+  /// Human table: name, calls, total ms, self ms; sorted by name.
+  [[nodiscard]] static std::string report();
+
+  /// {"schema": "mahimahi-profile-v1", "scopes": [...]} — one line per
+  /// scope, sorted by name.
+  [[nodiscard]] static std::string to_json();
+};
+
+/// RAII scope: measures wall time from construction to destruction and
+/// folds it into the named Profiler entry. Parent scopes on the same
+/// thread subtract nested time to get self time. `name` must outlive the
+/// scope (string literals).
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name);
+  ~ProfileScope();
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_ns_{0};
+  std::int64_t child_ns_{0};
+  ProfileScope* parent_{nullptr};
+  bool active_{false};
+};
+
+}  // namespace mahimahi::obs
+
+#define MAHI_PROFILE_CONCAT2(a, b) a##b
+#define MAHI_PROFILE_CONCAT(a, b) MAHI_PROFILE_CONCAT2(a, b)
+/// Time the rest of the enclosing block under `name` (a string literal).
+#define MAHI_PROFILE(name) \
+  ::mahimahi::obs::ProfileScope MAHI_PROFILE_CONCAT(mahi_profile_, __LINE__)(name)

@@ -1,6 +1,14 @@
 #include "obs/trace.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace mahimahi::obs {
+
+// Out of line so trace.hpp needs only a forward declaration of
+// MetricsRegistry (metrics.hpp includes trace.hpp for TraceEvent).
+void Tracer::notify_metrics(const TraceEvent& event) {
+  metrics_->observe_trace_event(event);
+}
 
 std::string_view to_string(Layer layer) {
   switch (layer) {
@@ -68,6 +76,28 @@ std::string_view to_string(EventKind kind) {
       return "task-retry";
   }
   return "unknown";
+}
+
+bool layer_from_string(std::string_view name, Layer& layer) {
+  for (int i = 0; i <= static_cast<int>(Layer::kRunner); ++i) {
+    const auto candidate = static_cast<Layer>(i);
+    if (to_string(candidate) == name) {
+      layer = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool kind_from_string(std::string_view name, EventKind& kind) {
+  for (int i = 0; i <= static_cast<int>(EventKind::kTaskRetry); ++i) {
+    const auto candidate = static_cast<EventKind>(i);
+    if (to_string(candidate) == name) {
+      kind = candidate;
+      return true;
+    }
+  }
+  return false;
 }
 
 ObjectRecord& Tracer::object(std::int32_t session, const std::string& url) {

@@ -11,6 +11,8 @@
 
 namespace mahimahi::obs {
 
+class MetricsRegistry;
+
 /// Which layer of the stack emitted an event. Layers double as filter keys
 /// in mm_trace_dump and as thread lanes in the Chrome-trace export.
 enum class Layer : std::uint8_t {
@@ -67,6 +69,12 @@ enum class EventKind : std::uint8_t {
 [[nodiscard]] std::string_view to_string(Layer layer);
 [[nodiscard]] std::string_view to_string(EventKind kind);
 
+/// Reverse lookups for the CSV trace format (obs::parse_trace_csv).
+/// Homonym kinds ("connect" names kTcpConnect only) resolve through the
+/// same to_string table, so round-trips are exact. false = unknown name.
+[[nodiscard]] bool layer_from_string(std::string_view name, Layer& layer);
+[[nodiscard]] bool kind_from_string(std::string_view name, EventKind& kind);
+
 /// One virtual-time-stamped point event. Events are recorded in event-loop
 /// dispatch order, which is deterministic per simulation, so a buffer's
 /// byte serialization is part of the determinism contract.
@@ -95,6 +103,11 @@ struct ObjectRecord {
   Microseconds fetch_start{-1};
   Microseconds dns_start{-1};
   Microseconds dns_done{-1};
+  /// Handshake completion of a connection this object waited on; -1 when
+  /// every attempt rode an already-warm connection (HAR's "connect": -1).
+  /// A multiplexed request queued pre-connect keeps its queue-time
+  /// request_sent, so connect_done may exceed request_sent there.
+  Microseconds connect_done{-1};
   Microseconds request_sent{-1};
   Microseconds first_byte{-1};
   Microseconds complete{-1};
@@ -138,14 +151,26 @@ struct TraceBuffer {
 /// by bench_trace_overhead.
 class Tracer {
  public:
-  void record(TraceEvent event) { buffer_.events.push_back(std::move(event)); }
+  void record(TraceEvent event) {
+    if (metrics_ != nullptr) {
+      notify_metrics(event);
+    }
+    buffer_.events.push_back(std::move(event));
+  }
 
   void event(Microseconds at, Layer layer, EventKind kind,
              std::int32_t session, std::uint64_t flow, std::uint64_t value,
              double metric, std::string label) {
-    buffer_.events.push_back(TraceEvent{at, layer, kind, session, flow, value,
-                                        metric, std::move(label)});
+    record(TraceEvent{at, layer, kind, session, flow, value, metric,
+                      std::move(label)});
   }
+
+  /// Live-population hook: every recorded event is also counted into
+  /// `registry` (MetricsRegistry::observe_trace_event). Optional — the
+  /// experiment runner instead derives metrics post-hoc from the buffer,
+  /// which reproduces these counters exactly (tested), so journaled
+  /// resumes need no registry state. nullptr detaches.
+  void set_metrics(MetricsRegistry* registry) { metrics_ = registry; }
 
   /// Connection ids, handed out in construction order — deterministic
   /// because construction order is simulation order.
@@ -169,9 +194,12 @@ class Tracer {
   [[nodiscard]] TraceBuffer take() { return std::move(buffer_); }
 
  private:
+  void notify_metrics(const TraceEvent& event);
+
   TraceBuffer buffer_;
   std::map<std::pair<std::int32_t, std::string>, std::size_t> object_index_;
   std::uint64_t last_flow_id_{0};
+  MetricsRegistry* metrics_{nullptr};
 };
 
 }  // namespace mahimahi::obs

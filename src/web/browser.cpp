@@ -70,6 +70,11 @@ net::FetchHooks Browser::make_fetch_hooks(const http::Url& url) {
   if (tracer() == nullptr) {
     return hooks;
   }
+  hooks.on_connected = [this, url] {
+    if (auto* object = trace_object(url)) {
+      object->connect_done = loop_.now();
+    }
+  };
   hooks.on_sent = [this, url] {
     if (auto* object = trace_object(url)) {
       object->request_sent = loop_.now();

@@ -1,0 +1,144 @@
+// Golden tests for the trace exporters. The HAR output is pinned byte for
+// byte against a checked-in file (viewers are strict about field shape);
+// the Chrome trace is checked structurally: every event object must carry
+// the four fields ("ph", "pid", "tid", "ts") chrome://tracing requires.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+
+namespace mahimahi::obs {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string{MAHI_TEST_SOURCE_DIR} + "/obs/golden/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// MAHI_UPDATE_GOLDEN=1 re-pins the goldens from the actual output (then
+// still compares — regeneration is explicit, never silent).
+void maybe_update_golden(const std::string& path, const std::string& actual) {
+  if (std::getenv("MAHI_UPDATE_GOLDEN") == nullptr) {
+    return;
+  }
+  std::ofstream out{path, std::ios::binary};
+  out << actual;
+}
+
+// A fixture touching every exporter branch: events on shared and
+// per-session lanes, a fully-stamped object, a warm-connection object
+// (connect -1), a failed object, and both page outcomes.
+std::vector<LoadTrace> golden_loads() {
+  std::vector<LoadTrace> loads;
+  Tracer tracer;
+  tracer.event(500, Layer::kLink, EventKind::kEnqueue, -1, 3, 2, 1504.0,
+               "uplink");
+  tracer.event(900, Layer::kLink, EventKind::kDequeue, -1, 3, 1, 1504.0,
+               "uplink");
+  tracer.event(1'200, Layer::kTcp, EventKind::kTcpCwndSample, 0, 1, 0,
+               14'480.0, "");
+  tracer.event(1'500, Layer::kDns, EventKind::kDnsAnswer, 0, 0, 1, 0.25,
+               "site.test");
+  ObjectRecord& cold = tracer.object(0, "http://site.test/index.html");
+  cold.kind = "html";
+  cold.fetch_start = 0;
+  cold.dns_start = 0;
+  cold.dns_done = 400;
+  cold.connect_done = 900;
+  cold.request_sent = 1'000;
+  cold.first_byte = 1'800;
+  cold.complete = 2'600;
+  cold.bytes = 8'192;
+  cold.status = 200;
+  ObjectRecord& warm = tracer.object(0, "http://site.test/app.js");
+  warm.kind = "js";
+  warm.fetch_start = 2'700;
+  warm.request_sent = 2'750;
+  warm.first_byte = 3'100;
+  warm.complete = 3'900;
+  warm.bytes = 2'048;
+  warm.status = 200;
+  ObjectRecord& broken = tracer.object(0, "http://site.test/missing.png");
+  broken.kind = "png";
+  broken.fetch_start = 2'800;
+  broken.request_sent = 2'820;
+  broken.complete = 4'000;
+  broken.status = 404;
+  broken.attempts = 2;
+  broken.failed = true;
+  broken.error = "http-404";
+  tracer.page(PageRecord{0, "http://site.test/", 0, 4'200, 4'500, true});
+  loads.push_back(LoadTrace{0, tracer.take()});
+
+  Tracer second;
+  second.event(100, Layer::kFault, EventKind::kFaultInjected, 0, 0, 1, 0.0,
+               "drop-conn");
+  ObjectRecord& only = second.object(0, "http://site.test/index.html");
+  only.kind = "html";
+  only.fetch_start = 0;
+  only.request_sent = 50;
+  only.complete = 600;
+  only.failed = true;
+  only.error = "connect-timeout";
+  second.page(PageRecord{0, "http://site.test/", 0, 700, 700, false});
+  loads.push_back(LoadTrace{1, second.take()});
+  return loads;
+}
+
+const TraceMeta kMeta{"export-golden", "fifo+reno", 2, 42};
+
+TEST(ExportGolden, HarMatchesTheCheckedInGolden) {
+  const std::string har = to_har(kMeta, golden_loads());
+  maybe_update_golden(golden_path("trace.har"), har);
+  const std::string golden = read_file(golden_path("trace.har"));
+  EXPECT_EQ(har, golden) << "actual HAR:\n" << har;
+}
+
+TEST(ExportGolden, ChromeTraceEventsCarryRequiredFields) {
+  const std::string trace = to_chrome_trace(kMeta, golden_loads());
+  // Split the traceEvents array into objects; every one of them must have
+  // the viewer-required keys.
+  std::istringstream lines{trace};
+  std::string line;
+  std::size_t events = 0;
+  while (std::getline(lines, line)) {
+    const std::size_t open = line.find('{');
+    if (open == std::string::npos ||
+        line.find("\"traceEvents\"") != std::string::npos ||
+        line.find("\"ph\":\"M\"") != std::string::npos) {
+      // Metadata records (thread names) legitimately omit "ts".
+      continue;
+    }
+    ++events;
+    for (const char* field : {"\"ph\":", "\"pid\":", "\"tid\":", "\"ts\":"}) {
+      EXPECT_NE(line.find(field), std::string::npos)
+          << "event missing " << field << ": " << line;
+    }
+  }
+  // Fixture has 5 events + 4 objects + 2 pages + metadata lanes; make sure
+  // the scan actually saw them rather than vacuously passing.
+  EXPECT_GE(events, 11u);
+}
+
+TEST(ExportGolden, CsvMatchesTheCheckedInGolden) {
+  const std::string csv = to_csv(kMeta, golden_loads());
+  maybe_update_golden(golden_path("trace.csv"), csv);
+  const std::string golden = read_file(golden_path("trace.csv"));
+  EXPECT_EQ(csv, golden) << "actual CSV:\n" << csv;
+}
+
+}  // namespace
+}  // namespace mahimahi::obs

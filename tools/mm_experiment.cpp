@@ -19,6 +19,25 @@
 //                         cell<i>.csv (mm_trace_dump input). Artifact
 //                         bytes are deterministic at any MAHI_THREADS and
 //                         across --shard splits.
+//     --metrics           derive per-cell metrics (counters, gauges,
+//                         log-bucketed histograms: queue residence, cwnd
+//                         convergence, retransmit bursts, PLT critical
+//                         path, fault recovery) and attach a "metrics"
+//                         block to every cell of the report JSON. Off, the
+//                         report is byte-identical to a pre-metrics build.
+//                         Metric bytes are deterministic at any
+//                         MAHI_THREADS and across --shard / --resume.
+//     --progress          periodic progress line on stderr (tasks done /
+//                         total, cells done / total, elapsed, ETA). Purely
+//                         observational: never touches stdout or any
+//                         artifact.
+//     --profile           wall-clock profiler: aggregate real time per
+//                         phase (record/replay/probe/journal/metrics/
+//                         export) across the pool, print the table on
+//                         stderr and write profile.json. Wall-clock is
+//                         nondeterministic by nature — profile.json is
+//                         excluded from the determinism-checked artifact
+//                         set, and profiling perturbs none of them.
 //     --selfcheck         run the whole experiment twice — once on 1
 //                         thread, once on several — and fail unless the
 //                         serialized reports are byte-identical (the
@@ -52,6 +71,7 @@
 // 130 interrupted (resume with --journal ... --resume).
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -61,6 +81,7 @@
 #include <string>
 
 #include "experiment/runner.hpp"
+#include "obs/profile.hpp"
 #include "util/random.hpp"
 
 using namespace mahimahi;
@@ -161,8 +182,8 @@ int env_loads() {
       stderr,
       "usage: %s <spec-file> [--list] [--shard i/n] [--loads N] "
       "[--no-probes] [--json PATH] [--csv PATH] [--bench-json PATH] "
-      "[--trace-dir DIR] [--journal DIR] [--resume] [--selfcheck] "
-      "[--fail-on-error]\n",
+      "[--trace-dir DIR] [--metrics] [--progress] [--profile] "
+      "[--journal DIR] [--resume] [--selfcheck] [--fail-on-error]\n",
       argv0);
   std::exit(2);
 }
@@ -177,6 +198,8 @@ int main(int argc, char** argv) {
   bool list = false;
   bool selfcheck = false;
   bool fail_on_error = false;
+  bool progress = false;
+  bool profile = false;
   RunOptions options;
   std::string json_path;
   std::string csv_path;
@@ -227,6 +250,12 @@ int main(int argc, char** argv) {
       bench_json_path = value();
     } else if (arg == "--trace-dir") {
       options.trace_dir = value();
+    } else if (arg == "--metrics") {
+      options.metrics = true;
+    } else if (arg == "--progress") {
+      progress = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--journal") {
       options.journal_dir = value();
     } else if (arg == "--resume") {
@@ -270,6 +299,36 @@ int main(int argc, char** argv) {
   try {
     install_signal_handlers();
     options.cancel = &g_cancel;
+    if (profile) {
+      obs::Profiler::enable(true);
+    }
+    // --progress: stderr-only, throttled to ~1 line/s by a CAS on the
+    // last-print timestamp (callbacks arrive concurrently from workers).
+    const auto started = std::chrono::steady_clock::now();
+    std::atomic<long long> last_print_ms{-1000};
+    if (progress) {
+      options.on_progress = [&](int done, int total, int cells_done,
+                                int cells_total) {
+        const long long elapsed_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        long long last = last_print_ms.load(std::memory_order_relaxed);
+        if (done < total && elapsed_ms - last < 1000) {
+          return;
+        }
+        if (!last_print_ms.compare_exchange_strong(last, elapsed_ms)) {
+          return;  // another worker is printing this tick
+        }
+        const double elapsed_s = static_cast<double>(elapsed_ms) / 1e3;
+        const double eta_s =
+            done > 0 ? elapsed_s * (total - done) / done : 0.0;
+        std::fprintf(stderr,
+                     "[progress] %d/%d tasks  %d/%d cells  %.1fs elapsed"
+                     "  ETA %.1fs\n",
+                     done, total, cells_done, cells_total, elapsed_s, eta_s);
+      };
+    }
     const Report report = run_experiment(spec, options);
     std::printf("=== experiment %s: %zu/%d cells (shard %d/%d), "
                 "%d loads/cell ===\n",
@@ -293,6 +352,17 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "[experiment] wrote %s and %s\n", json_out.c_str(),
                  csv_out.c_str());
+
+    if (profile) {
+      // Wall-clock numbers: a diagnostic artifact, deliberately outside
+      // the determinism-checked set (its bytes differ every run).
+      std::fprintf(stderr, "%s", obs::Profiler::report().c_str());
+      if (Report::write_file("profile.json", obs::Profiler::to_json())) {
+        std::fprintf(stderr,
+                     "[experiment] wrote profile.json (wall-clock; "
+                     "excluded from determinism checks)\n");
+      }
+    }
 
     if (report.interrupted) {
       // Partial artifacts are on disk (marked "interrupted": true with

@@ -1,0 +1,50 @@
+// mm-metrics: derive the metrics snapshot of one cell trace CSV, post-hoc.
+//
+//   usage: mm_metrics <cell.csv> [--csv]
+//
+// Runs the exact derivation mm_experiment --metrics performs in-process
+// (counters, gauges, log-bucketed histograms: queue residence, cwnd
+// convergence, retransmit bursts, PLT critical-path shares, fault
+// recovery) on an already-exported trace, and prints the snapshot as JSON
+// (default) or CSV. Deriving from the CSV reproduces the in-run snapshot
+// byte for byte — the trace carries every field the derivation consumes.
+//
+// Exit status: 0 ok, 2 usage/load error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/analyze.hpp"
+#include "obs/metrics.hpp"
+
+using namespace mahimahi::obs;
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s <cell.csv> [--csv]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s <cell.csv> [--csv]\n", argv[0]);
+    return 2;
+  }
+  std::string error;
+  const auto parsed = parse_trace_file(path, &error);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+  const MetricsSnapshot snapshot = derive_cell_metrics(to_load_traces(*parsed));
+  const std::string out = csv ? snapshot.to_csv() : snapshot.to_json();
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  return 0;
+}

@@ -1,0 +1,163 @@
+// mm-trace-diff: compare two experiment trace runs and localize divergence.
+//
+//   usage: mm_trace_diff <a> <b> [--max-deltas N]
+//
+// <a> and <b> are either two --trace-dir directories (every cell*.csv in
+// each is loaded and cells are aligned by label) or two single cell CSVs.
+// For each aligned cell pair the tool reports:
+//   - byte-identical, or
+//   - the first divergent event (row index, layer, kind, t_us, flow, both
+//     raw lines),
+//   - per-(layer.kind) event-count deltas ranked by |delta|, and
+//   - derived-metric deltas (counters / gauges / histogram stats from the
+//     same derivation mm_experiment --metrics uses) ranked by |relative
+//     delta|.
+// A cell label present in only one run is itself a divergence.
+//
+// Exit status: 0 identical, 1 divergent, 2 usage/load error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/analyze.hpp"
+
+using namespace mahimahi::obs;
+
+namespace {
+
+/// Load one run: a directory of cell*.csv (sorted by filename so the order
+/// is stable) or a single CSV file. Empty vector = error (already printed).
+std::vector<ParsedTrace> load_run(const std::string& path) {
+  std::vector<ParsedTrace> traces;
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    std::vector<std::string> files;
+    for (const auto& entry : std::filesystem::directory_iterator{path, ec}) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("cell", 0) == 0 && name.size() > 4 &&
+          name.substr(name.size() - 4) == ".csv") {
+        files.push_back(entry.path().string());
+      }
+    }
+    if (files.empty()) {
+      std::fprintf(stderr, "error: no cell*.csv in %s\n", path.c_str());
+      return traces;
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string& file : files) {
+      std::string error;
+      auto parsed = parse_trace_file(file, &error);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "error: %s: %s\n", file.c_str(), error.c_str());
+        traces.clear();
+        return traces;
+      }
+      traces.push_back(std::move(*parsed));
+    }
+    return traces;
+  }
+  std::string error;
+  auto parsed = parse_trace_file(path, &error);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+    return traces;
+  }
+  traces.push_back(std::move(*parsed));
+  return traces;
+}
+
+void print_cell(const CellDiff& cell, std::size_t max_deltas) {
+  if (!cell.in_a || !cell.in_b) {
+    std::printf("cell %-40s  only in %s\n", cell.label.c_str(),
+                cell.in_a ? "A" : "B");
+    return;
+  }
+  if (cell.identical) {
+    std::printf("cell %-40s  identical\n", cell.label.c_str());
+    return;
+  }
+  std::printf("cell %-40s  DIVERGENT\n", cell.label.c_str());
+  std::printf("  first divergence: event index %zu  layer=%s kind=%s "
+              "t_us=%lld flow=%llu\n",
+              cell.first_divergence, cell.layer.c_str(), cell.kind.c_str(),
+              static_cast<long long>(cell.t_us),
+              static_cast<unsigned long long>(cell.flow));
+  std::printf("    A: %s\n",
+              cell.a_line.empty() ? "<stream ended>" : cell.a_line.c_str());
+  std::printf("    B: %s\n",
+              cell.b_line.empty() ? "<stream ended>" : cell.b_line.c_str());
+  std::size_t shown = 0;
+  for (const CellDiff::CountDelta& delta : cell.count_deltas) {
+    if (shown++ >= max_deltas) {
+      std::printf("  ... %zu more count delta(s)\n",
+                  cell.count_deltas.size() - max_deltas);
+      break;
+    }
+    std::printf("  count %-32s A=%lld B=%lld (%+lld)\n", delta.key.c_str(),
+                static_cast<long long>(delta.a),
+                static_cast<long long>(delta.b),
+                static_cast<long long>(delta.b - delta.a));
+  }
+  shown = 0;
+  for (const CellDiff::MetricDelta& delta : cell.metric_deltas) {
+    if (shown++ >= max_deltas) {
+      std::printf("  ... %zu more metric delta(s)\n",
+                  cell.metric_deltas.size() - max_deltas);
+      break;
+    }
+    std::printf("  metric %-40s A=%.6f B=%.6f (%+.2f%%)\n",
+                delta.name.c_str(), delta.a, delta.b,
+                delta.relative * 100.0);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path_a;
+  std::string path_b;
+  std::size_t max_deltas = 10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-deltas" && i + 1 < argc) {
+      max_deltas = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (path_a.empty()) {
+      path_a = arg;
+    } else if (path_b.empty()) {
+      path_b = arg;
+    } else {
+      std::fprintf(stderr, "usage: %s <a> <b> [--max-deltas N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (path_b.empty()) {
+    std::fprintf(stderr, "usage: %s <a> <b> [--max-deltas N]\n", argv[0]);
+    return 2;
+  }
+
+  const std::vector<ParsedTrace> a = load_run(path_a);
+  if (a.empty()) {
+    return 2;
+  }
+  const std::vector<ParsedTrace> b = load_run(path_b);
+  if (b.empty()) {
+    return 2;
+  }
+
+  const TraceDiff diff = diff_traces(a, b);
+  std::size_t divergent = 0;
+  for (const CellDiff& cell : diff.cells) {
+    if (!cell.identical) {
+      ++divergent;
+    }
+    print_cell(cell, max_deltas);
+  }
+  std::printf("%zu cell(s) compared, %zu divergent: runs are %s\n",
+              diff.cells.size(), divergent,
+              diff.identical ? "IDENTICAL" : "DIVERGENT");
+  return diff.identical ? 0 : 1;
+}

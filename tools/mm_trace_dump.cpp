@@ -10,38 +10,30 @@
 //     --stream N       only this session (stream) index; -1 = shared infra
 //     --load N         only this load index
 //     --events         list the matching raw events instead of a summary
-//     --waterfall      ASCII per-object waterfall (DNS → request → first
-//                      byte → complete) for the matching loads/sessions
+//     --waterfall      ASCII per-object waterfall (DNS → connect →
+//                      request → first byte → complete) for the matching
+//                      loads/sessions
 //
 // Default output is a summary: per-layer/kind event counts, per-load page
 // results, and object failure totals. Filters compose with every mode.
+// Parsing and the waterfall renderer live in obs/analyze (shared with
+// mm_trace_diff and mm_metrics).
 //
 // Exit status: 0 ok, 1 parse failure, 2 usage error.
 
-#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
-namespace {
+#include "obs/analyze.hpp"
 
-struct Row {
-  int load{0};
-  std::int32_t session{0};
-  long long t_us{0};
-  std::string layer;
-  std::string kind;
-  std::uint64_t flow{0};
-  std::uint64_t value{0};
-  double metric{0};
-  std::string label;
-  std::string detail;
-};
+using namespace mahimahi::obs;
+
+namespace {
 
 struct Filter {
   std::string layer;  // empty = all
@@ -50,7 +42,7 @@ struct Filter {
   bool has_load{false};
   int load{0};
 
-  [[nodiscard]] bool matches(const Row& row) const {
+  [[nodiscard]] bool matches(const TraceRow& row) const {
     if (!layer.empty() && row.layer != layer) {
       return false;
     }
@@ -64,51 +56,13 @@ struct Filter {
   }
 };
 
-std::vector<std::string> split(const std::string& line, char sep,
-                               std::size_t max_fields) {
-  // The detail column may itself never contain the separator (the
-  // exporter sanitizes it), but capping the split keeps us honest if a
-  // future field grows commas.
-  std::vector<std::string> fields;
-  std::size_t start = 0;
-  while (fields.size() + 1 < max_fields) {
-    const std::size_t pos = line.find(sep, start);
-    if (pos == std::string::npos) {
-      break;
-    }
-    fields.push_back(line.substr(start, pos - start));
-    start = pos + 1;
-  }
-  fields.push_back(line.substr(start));
-  return fields;
-}
-
-// Extract "key=value" from a ';'-separated detail blob; "" if absent.
-std::string detail_field(const std::string& detail, const std::string& key) {
-  const std::string needle = key + "=";
-  std::size_t pos = 0;
-  while (pos < detail.size()) {
-    const std::size_t end = detail.find(';', pos);
-    const std::string item =
-        detail.substr(pos, end == std::string::npos ? end : end - pos);
-    if (item.rfind(needle, 0) == 0) {
-      return item.substr(needle.size());
-    }
-    if (end == std::string::npos) {
-      break;
-    }
-    pos = end + 1;
-  }
-  return "";
-}
-
-long long detail_us(const std::string& detail, const std::string& key) {
-  const std::string text = detail_field(detail, key);
-  return text.empty() ? -1 : std::atoll(text.c_str());
-}
-
-void print_summary(const std::string& header, const std::vector<Row>& rows) {
-  std::printf("%s\n", header.c_str());
+void print_summary(const ParsedTrace& trace,
+                   const std::vector<TraceRow>& rows) {
+  std::printf("# mahimahi-obs-trace-v1 experiment=%s cell=%d label=%s "
+              "seed=%llu\n",
+              trace.experiment.c_str(), trace.cell_index,
+              trace.cell_label.c_str(),
+              static_cast<unsigned long long>(trace.seed));
 
   std::map<int, std::size_t> per_load;
   std::map<std::int32_t, std::size_t> per_session;
@@ -116,8 +70,8 @@ void print_summary(const std::string& header, const std::vector<Row>& rows) {
   std::size_t objects = 0;
   std::size_t failed_objects = 0;
   std::uint64_t object_bytes = 0;
-  std::vector<const Row*> pages;
-  for (const Row& row : rows) {
+  std::vector<const TraceRow*> pages;
+  for (const TraceRow& row : rows) {
     per_load[row.load]++;
     per_session[row.session]++;
     per_layer_kind[row.layer][row.kind]++;
@@ -164,7 +118,7 @@ void print_summary(const std::string& header, const std::vector<Row>& rows) {
   }
   if (!pages.empty()) {
     std::printf("pages:\n");
-    for (const Row* page : pages) {
+    for (const TraceRow* page : pages) {
       std::printf("  load %d stream %d  %-40s  plt=%8.1f ms  "
                   "degraded=%8s ms  %s\n",
                   page->load, page->session, page->label.c_str(), page->metric,
@@ -174,103 +128,17 @@ void print_summary(const std::string& header, const std::vector<Row>& rows) {
   }
 }
 
-void print_events(const std::vector<Row>& rows) {
-  for (const Row& row : rows) {
+void print_events(const std::vector<TraceRow>& rows) {
+  for (const TraceRow& row : rows) {
     if (row.kind == "object" || row.kind == "page") {
       continue;  // synthetic summary rows; use --waterfall / summary
     }
     std::printf("%4d %4d %12lld us  %-8s %-20s flow=%-4llu value=%-8llu "
                 "metric=%-10.3f %s\n",
-                row.load, row.session, row.t_us, row.layer.c_str(),
-                row.kind.c_str(), (unsigned long long)row.flow,
-                (unsigned long long)row.value, row.metric, row.label.c_str());
-  }
-}
-
-// One line per object: a bar over the load's time axis with phase marks —
-// '.' queued (fetch discovered, DNS not yet answered), '-' DNS lookup,
-// '=' request in flight (sent, no response byte yet), '#' receiving.
-void print_waterfall(const std::vector<Row>& rows) {
-  constexpr int kWidth = 64;
-  std::vector<const Row*> objects;
-  long long max_us = 1;
-  for (const Row& row : rows) {
-    if (row.layer == "browser" && row.kind == "object") {
-      objects.push_back(&row);
-      max_us = std::max(max_us, detail_us(row.detail, "complete_us"));
-    } else if (row.layer == "browser" && row.kind == "page") {
-      max_us = std::max(
-          max_us, row.t_us + static_cast<long long>(row.metric * 1000.0));
-    }
-  }
-  if (objects.empty()) {
-    std::printf("no objects match the filter\n");
-    return;
-  }
-  std::stable_sort(objects.begin(), objects.end(),
-                   [](const Row* a, const Row* b) {
-                     if (a->load != b->load) {
-                       return a->load < b->load;
-                     }
-                     if (a->session != b->session) {
-                       return a->session < b->session;
-                     }
-                     return a->t_us < b->t_us;
-                   });
-
-  const auto col = [&](long long t_us) {
-    if (t_us < 0) {
-      return -1;
-    }
-    const long long c = t_us * kWidth / max_us;
-    return static_cast<int>(std::min<long long>(c, kWidth - 1));
-  };
-  std::printf("time axis: 0 .. %.1f ms  (%d columns; "
-              "'.' queued  '-' dns  '=' request  '#' receive  '!' failed)\n",
-              static_cast<double>(max_us) / 1e3, kWidth);
-  for (const Row* object : objects) {
-    const long long start = object->t_us;
-    const long long dns_done = detail_us(object->detail, "dns_done_us");
-    const long long request = detail_us(object->detail, "request_us");
-    const long long first_byte = detail_us(object->detail, "first_byte_us");
-    const long long complete = detail_us(object->detail, "complete_us");
-    const bool failed = detail_field(object->detail, "failed") == "1";
-    const long long end = complete >= 0 ? complete : max_us;
-
-    std::string bar(kWidth, ' ');
-    const int from = std::clamp(col(start), 0, kWidth - 1);
-    const int to = std::clamp(std::max(col(end), from), 0, kWidth - 1);
-    for (int i = from; i <= to; ++i) {
-      bar[static_cast<std::size_t>(i)] = '.';
-    }
-    const auto fill = [&](long long phase_start, long long phase_end,
-                          char mark) {
-      if (phase_start < 0 || phase_end < phase_start) {
-        return;
-      }
-      const int a = std::max(col(phase_start), from);
-      const int b = std::min(std::max(col(phase_end), a), to);
-      for (int i = a; i <= b; ++i) {
-        bar[static_cast<std::size_t>(i)] = mark;
-      }
-    };
-    fill(start, dns_done, '-');
-    fill(request, first_byte >= 0 ? first_byte : end, '=');
-    fill(first_byte, end, '#');
-    if (failed) {
-      bar[static_cast<std::size_t>(to)] = '!';
-    }
-
-    std::string name = object->label;
-    if (name.size() > 36) {
-      name = "..." + name.substr(name.size() - 33);
-    }
-    const std::string attempts = detail_field(object->detail, "attempts");
-    std::printf("%2d/%-3d %-36s |%s| %8.1f ms%s%s\n", object->load,
-                object->session, name.c_str(), bar.c_str(),
-                static_cast<double>(end - start) / 1e3,
-                attempts != "1" ? (" x" + attempts).c_str() : "",
-                failed ? "  FAILED" : "");
+                row.load, row.session, static_cast<long long>(row.t_us),
+                row.layer.c_str(), row.kind.c_str(),
+                (unsigned long long)row.flow, (unsigned long long)row.value,
+                row.metric, row.label.c_str());
   }
 }
 
@@ -319,56 +187,29 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::ifstream in{path};
-  if (!in) {
-    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
-    return 1;
-  }
-  std::string header;
-  if (!std::getline(in, header) ||
-      header.rfind("# mahimahi-obs-trace-v1", 0) != 0) {
+  std::string error;
+  const auto parsed = parse_trace_file(path, &error);
+  if (!parsed.has_value()) {
     std::fprintf(stderr,
-                 "error: %s is not a mahimahi-obs-trace-v1 CSV (did you "
-                 "mean mm_trace_info, for cellular rate traces?)\n",
-                 path.c_str());
+                 "error: %s: %s (did you mean mm_trace_info, for cellular "
+                 "rate traces?)\n",
+                 path.c_str(), error.c_str());
     return 1;
   }
-  std::string columns;
-  std::getline(in, columns);  // "load,session,t_us,..."
-
-  std::vector<Row> rows;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) {
-      continue;
-    }
-    const std::vector<std::string> fields = split(line, ',', 10);
-    if (fields.size() != 10) {
-      std::fprintf(stderr, "error: malformed row: %s\n", line.c_str());
-      return 1;
-    }
-    Row row;
-    row.load = std::atoi(fields[0].c_str());
-    row.session = std::atoi(fields[1].c_str());
-    row.t_us = std::atoll(fields[2].c_str());
-    row.layer = fields[3];
-    row.kind = fields[4];
-    row.flow = std::strtoull(fields[5].c_str(), nullptr, 10);
-    row.value = std::strtoull(fields[6].c_str(), nullptr, 10);
-    row.metric = std::atof(fields[7].c_str());
-    row.label = fields[8];
-    row.detail = fields[9];
+  std::vector<TraceRow> rows;
+  for (const TraceRow& row : parsed->rows) {
     if (filter.matches(row)) {
-      rows.push_back(std::move(row));
+      rows.push_back(row);
     }
   }
 
   if (waterfall) {
-    print_waterfall(rows);
+    const std::string out = render_waterfall(rows);
+    std::fwrite(out.data(), 1, out.size(), stdout);
   } else if (events) {
     print_events(rows);
   } else {
-    print_summary(header, rows);
+    print_summary(*parsed, rows);
   }
   return 0;
 }
